@@ -1,0 +1,108 @@
+"""Ablation: the tiered merge policy (DESIGN.md design-choice bench).
+
+Sweeps the merge factor and size limit to expose the trade-off the
+paper's "merge segments of approximately equal sizes until a
+configurable size limit" policy navigates: merging costs write
+amplification but pays back in fewer segments per search.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import print_series
+from repro.datasets import random_queries, sift_like
+from repro.storage import LSMConfig, LSMManager, TieredMergePolicy
+
+DIM = 32
+BATCHES = 16
+BATCH_ROWS = 500
+K = 10
+
+SPECS = {"emb": (DIM, "l2")}
+
+
+def build_lsm(merge_factor, auto_merge=True):
+    policy = TieredMergePolicy(merge_factor=merge_factor, min_segment_bytes=1)
+    cfg = LSMConfig(
+        memtable_flush_bytes=1 << 30,
+        index_build_min_rows=1 << 30,
+        auto_merge=auto_merge,
+        merge_policy=policy,
+    )
+    return LSMManager(SPECS, (), cfg)
+
+
+def ingest(lsm, data):
+    for b in range(BATCHES):
+        sl = slice(b * BATCH_ROWS, (b + 1) * BATCH_ROWS)
+        lsm.insert(np.arange(sl.start, sl.stop), {"emb": data[sl]})
+        lsm.flush()
+
+
+def run_ablation():
+    data = sift_like(BATCHES * BATCH_ROWS, dim=DIM, seed=0)
+    queries = random_queries(data, 50, seed=1)
+    rows = []
+    for merge_factor, label in [(None, "no merging"), (8, "factor=8"), (2, "factor=2")]:
+        if merge_factor is None:
+            lsm = build_lsm(2, auto_merge=False)
+        else:
+            lsm = build_lsm(merge_factor)
+        ingest(lsm, data)
+        segments = len(lsm.manifest.live_segment_ids())
+        started = time.perf_counter()
+        lsm.search("emb", queries, K)
+        elapsed = time.perf_counter() - started
+        rows.append((label, segments, lsm.merge_count, 50 / elapsed))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_ablation()
+
+
+def test_merging_reduces_segment_count(ablation):
+    by_label = {label: segs for label, segs, *_ in ablation}
+    assert by_label["factor=2"] < by_label["no merging"]
+
+
+def test_aggressive_merging_more_merge_work(ablation):
+    by_label = {label: merges for label, __, merges, ___ in ablation}
+    assert by_label["factor=2"] >= by_label["factor=8"] >= by_label["no merging"]
+
+
+def test_fewer_segments_faster_search(ablation):
+    by_label = {label: qps for label, *__, qps in ablation}
+    assert by_label["factor=2"] > 0.8 * by_label["no merging"]
+
+
+def test_benchmark_search_unmerged(benchmark):
+    data = sift_like(BATCHES * BATCH_ROWS, dim=DIM, seed=0)
+    queries = random_queries(data, 50, seed=1)
+    lsm = build_lsm(2, auto_merge=False)
+    ingest(lsm, data)
+    benchmark(lambda: lsm.search("emb", queries, K))
+
+
+def test_benchmark_search_merged(benchmark):
+    data = sift_like(BATCHES * BATCH_ROWS, dim=DIM, seed=0)
+    queries = random_queries(data, 50, seed=1)
+    lsm = build_lsm(2)
+    ingest(lsm, data)
+    benchmark(lambda: lsm.search("emb", queries, K))
+
+
+def main():
+    print("=== Ablation: tiered merge policy ===")
+    rows = run_ablation()
+    for label, segments, merges, qps in rows:
+        print(f"  {label:12s} segments={segments:3d} merges={merges:3d} {qps:8.1f} qps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Figure 10: scalability.
+
+(a) single node, throughput vs data size (paper: 1M -> 1B rows of
+SIFT1B; here 1k -> 64k) — throughput should drop roughly
+proportionally to data size.
+
+(b) distributed, throughput vs number of reader nodes (paper: 4 -> 12
+nodes, near-linear) — throughput computed from the cluster's
+simulated parallel time (max per-node busy time), the quantity a
+one-node-per-machine deployment would observe.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import MilvusEngine
+from repro.bench import print_series
+from repro.datasets import random_queries, sift_like
+from repro.distributed import MilvusCluster
+
+DIM = 32
+K = 10
+DATA_SIZES = (2000, 8000, 32000, 128000)
+NODE_COUNTS = (1, 2, 4, 8, 12)
+CLUSTER_N = 120000
+CLUSTER_NQ = 200
+
+
+def run_data_size_sweep():
+    """Fixed nlist/nprobe so scanned rows grow linearly with n (the
+    paper keeps the index configuration fixed across sizes)."""
+    points = []
+    for n in DATA_SIZES:
+        data = sift_like(n, dim=DIM, n_clusters=32, seed=0)
+        queries = random_queries(data, 200, seed=1)
+        engine = MilvusEngine(index_type="IVF_FLAT", nlist=64)
+        engine.fit(data)
+        engine.search(queries[:10], K, nprobe=8)  # warm-up
+        from common import best_time
+
+        elapsed = best_time(lambda: engine.search(queries, K, nprobe=8), repeats=3)
+        points.append((n, len(queries) / elapsed))
+    return points
+
+
+def run_node_sweep():
+    """FLAT per reader so per-node work scales with shard size — the
+    compute-bound regime where the shared-storage fan-out shows its
+    near-linear scaling."""
+    data = sift_like(CLUSTER_N, dim=DIM, n_clusters=32, seed=2)
+    queries = random_queries(data, CLUSTER_NQ, seed=3)
+    points = []
+    for n_nodes in NODE_COUNTS:
+        cluster = MilvusCluster(n_nodes, dim=DIM, index_type="FLAT")
+        cluster.insert(np.arange(len(data)), data)
+        cluster.sync()
+        cluster.search(queries[:10], K)  # warm-up
+        sim_seconds = min(
+            cluster.search(queries, K).simulated_parallel_seconds
+            for __ in range(3)
+        )
+        points.append((n_nodes, CLUSTER_NQ / sim_seconds))
+    return points
+
+
+@pytest.fixture(scope="module")
+def size_points():
+    return run_data_size_sweep()
+
+
+@pytest.fixture(scope="module")
+def node_points():
+    return run_node_sweep()
+
+
+def test_throughput_drops_with_data_size(size_points):
+    """Fig. 10a: 'throughput gracefully drops proportionally'.
+
+    Non-strict monotonicity with 15% noise tolerance — the two
+    smallest sizes are overhead-bound and can jitter; the overall
+    decline must be unambiguous.
+    """
+    qps = [q for __, q in size_points]
+    assert all(b < 1.15 * a for a, b in zip(qps, qps[1:]))
+    assert qps[-1] < qps[0] / 2
+
+
+def test_drop_roughly_proportional(size_points):
+    """Throughput must track data growth once compute dominates.
+
+    At laptop scale per-query overhead flattens the small-n points, so
+    the proportionality check runs on the upper half of the sweep.
+    """
+    mid, last = size_points[-2], size_points[-1]
+    ratio = mid[1] / last[1]
+    scale = last[0] / mid[0]  # 4x data
+    assert ratio > scale / 3
+
+
+def test_near_linear_node_scaling(node_points):
+    """Fig. 10b: 'the throughput increases linearly' (with slack for
+    measurement noise on shared machines)."""
+    qps = {n: q for n, q in node_points}
+    assert qps[4] > 1.8 * qps[1]
+    assert qps[12] > 1.4 * qps[4]
+
+
+def test_benchmark_single_node_search(benchmark):
+    data = sift_like(16000, dim=DIM, n_clusters=32, seed=0)
+    queries = random_queries(data, 100, seed=1)
+    engine = MilvusEngine(index_type="IVF_FLAT", nlist=128)
+    engine.fit(data)
+    benchmark(lambda: engine.search(queries, K, nprobe=8))
+
+
+def main():
+    print("=== Figure 10a: throughput vs data size (single node) ===")
+    points = run_data_size_sweep()
+    print_series("IVF_FLAT", [n for n, __ in points], [f"{q:.0f} qps" for __, q in points])
+    print("=== Figure 10b: throughput vs #nodes (simulated parallel time) ===")
+    points = run_node_sweep()
+    print_series("cluster", [n for n, __ in points], [f"{q:.0f} qps" for __, q in points])
+
+
+if __name__ == "__main__":
+    main()

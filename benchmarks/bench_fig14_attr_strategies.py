@@ -1,0 +1,145 @@
+"""Figure 14: attribute filtering strategies A-E in Milvus.
+
+Paper setup: 100M SIFT vectors + uniform attribute in [0, 10000],
+selectivities {0, .1, .3, .5, .7, .9, .95, .99}, two scenarios
+(k=50/recall>=.95 and k=500/recall>=.85).  Here at laptop scale with
+k=10 and k=100.  Expected shape: A speeds up as selectivity rises;
+B flat; C worst at high selectivity; D tracks the best of A/B/C;
+E at least as good as D once partitions prune (paper: up to 13.7x).
+Includes the partition-count (rho) ablation from DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import print_series
+from repro.filtering import AttributeFilterEngine, PartitionedFilterEngine
+
+from common import attribute_bundle, selectivity_to_range
+
+SELECTIVITIES = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99)
+NPROBE = 16
+NQ = 20
+
+_cache = {}
+
+
+def engines():
+    if "engines" not in _cache:
+        data, attrs, queries = attribute_bundle()
+        engine = AttributeFilterEngine(data, attrs, metric="l2", nlist=64, seed=0)
+        part = PartitionedFilterEngine(data, attrs, n_partitions=10, metric="l2", seed=0)
+        _cache["engines"] = (engine, part, queries[:NQ])
+    return _cache["engines"]
+
+
+def run_figure(k):
+    engine, part, queries = engines()
+    strategies = {
+        "A": lambda q, lo, hi: engine.strategy_a(q, lo, hi, k),
+        "B": lambda q, lo, hi: engine.strategy_b(q, lo, hi, k, nprobe=NPROBE),
+        "C": lambda q, lo, hi: engine.strategy_c(q, lo, hi, k, nprobe=NPROBE),
+        "D": lambda q, lo, hi: engine.strategy_d(q, lo, hi, k, nprobe=NPROBE),
+        "E": lambda q, lo, hi: part.search(q, lo, hi, k, nprobe=NPROBE),
+    }
+    from common import best_time
+
+    results = {name: [] for name in strategies}
+    for sel in SELECTIVITIES:
+        lo, hi = selectivity_to_range(sel)
+        for name, fn in strategies.items():
+            elapsed = best_time(
+                lambda: [fn(q, lo, hi) for q in queries], repeats=2
+            ) / len(queries)
+            results[name].append((sel, elapsed))
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    return run_figure(k=10)
+
+
+def test_strategy_a_speeds_up_with_selectivity(fig14):
+    times = [t for __, t in fig14["A"]]
+    assert times[-1] < times[0] / 5
+
+
+def test_strategy_c_degrades_at_high_selectivity(fig14):
+    times = dict(fig14["C"])
+    assert times[0.99] > times[0.0]
+
+
+def test_d_never_much_worse_than_best_single(fig14):
+    for i, sel in enumerate(SELECTIVITIES):
+        best = min(fig14[s][i][1] for s in "ABC")
+        assert fig14["D"][i][1] <= 3.0 * best
+
+
+def test_e_wins_in_the_pruning_regime(fig14):
+    """Partition pruning pays off once ranges are narrow enough to
+    skip partitions but wide enough that exact strategy A is not
+    already optimal (the paper's 13.7x shows at 100M rows where A is
+    never cheap; at laptop scale A wins the extreme tail — see
+    EXPERIMENTS.md)."""
+    d_times = dict(fig14["D"])
+    e_times = dict(fig14["E"])
+    midrange = (0.3, 0.5, 0.7, 0.9)
+    wins = [s for s in midrange if e_times[s] < d_times[s]]
+    assert wins, "E should beat D somewhere in the mid-range"
+    mean_e = np.mean([e_times[s] for s in midrange])
+    mean_d = np.mean([d_times[s] for s in midrange])
+    # E carries per-partition dispatch overhead at this scale; it must
+    # stay within a small constant of D while winning where ranges
+    # prune partitions (0.7+).
+    assert mean_e <= 1.6 * mean_d
+    # At the extreme tail E stays within small-constant overhead of D.
+    assert e_times[0.99] <= 6.0 * d_times[0.99]
+
+
+def test_partition_count_ablation():
+    """DESIGN.md ablation: rho too small -> no pruning; too large ->
+    per-partition indexes degenerate.  The sweet spot is in between."""
+    data, attrs, queries = attribute_bundle()
+    lo, hi = selectivity_to_range(0.9)
+    timings = {}
+    for rho in (2, 10, 50):
+        part = PartitionedFilterEngine(data, attrs, n_partitions=rho, seed=0)
+        started = time.perf_counter()
+        for q in queries[:10]:
+            part.search(q, lo, hi, 10, nprobe=NPROBE)
+        timings[rho] = time.perf_counter() - started
+    assert timings[10] <= timings[2] * 1.5  # pruning compensates its overhead
+
+
+def test_benchmark_strategy_d(benchmark):
+    engine, __, queries = engines()
+    lo, hi = selectivity_to_range(0.5)
+    benchmark(lambda: [engine.strategy_d(q, lo, hi, 10, nprobe=NPROBE) for q in queries[:5]])
+
+
+def test_benchmark_strategy_e(benchmark):
+    __, part, queries = engines()
+    lo, hi = selectivity_to_range(0.5)
+    benchmark(lambda: [part.search(q, lo, hi, 10, nprobe=NPROBE) for q in queries[:5]])
+
+
+def main():
+    for k, label in [(10, "Fig. 14a (k=10 scaled from k=50)"),
+                     (100, "Fig. 14b (k=100 scaled from k=500)")]:
+        print(f"=== {label} ===")
+        results = run_figure(k)
+        for name, points in results.items():
+            print_series(
+                f"strategy {name}",
+                [f"sel={s}" for s, __ in points],
+                [f"{t * 1000:.2f} ms/q" for __, t in points],
+            )
+
+
+if __name__ == "__main__":
+    main()

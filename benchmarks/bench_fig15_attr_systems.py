@@ -1,0 +1,136 @@
+"""Figure 15: attribute filtering — Milvus vs other systems.
+
+Paper: Milvus is 48.5x ~ 41299.5x faster than Systems A/B/C and
+Vearch on filtered queries.  Here the architectural stand-ins run the
+same selectivity sweep; expected shape: Milvus fastest at every
+selectivity, the relational engines orders of magnitude behind.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MilvusEngine,
+    RelationalVectorEngine,
+    VearchLikeEngine,
+)
+from repro.bench import print_series
+
+from common import attribute_bundle, selectivity_to_range
+
+SELECTIVITIES = (0.0, 0.3, 0.7, 0.9, 0.99)
+K = 10
+NQ = 10
+
+_cache = {}
+
+
+def engines():
+    if "engines" not in _cache:
+        data, attrs, queries = attribute_bundle()
+        built = {}
+        milvus = MilvusEngine(nlist=64, filter_strategy="D")
+        milvus.fit(data, attrs)
+        built["Milvus"] = milvus
+        vearch = VearchLikeEngine(nlist=64)
+        vearch.fit(data, attrs)
+        built["Vearch"] = vearch
+        system_b = RelationalVectorEngine(use_index=False)
+        system_b.fit(data, attrs)
+        built["SystemB (relational scan)"] = system_b
+        system_c = RelationalVectorEngine(use_index=True, nlist=64)
+        system_c.fit(data, attrs)
+        built["SystemC (relational+IVF)"] = system_c
+        _cache["engines"] = (built, queries[:NQ], attrs)
+    return _cache["engines"]
+
+
+def run_figure():
+    built, queries, __ = engines()
+    results = {}
+    for name, engine in built.items():
+        engine.filtered_search(queries[:2], K, 0.0, 10000.0, nprobe=16)  # warm-up
+        from common import best_time
+
+        points = []
+        for sel in SELECTIVITIES:
+            lo, hi = selectivity_to_range(sel)
+            elapsed = best_time(
+                lambda: engine.filtered_search(queries, K, lo, hi, nprobe=16),
+                repeats=2,
+            ) / len(queries)
+            points.append((sel, elapsed))
+        results[name] = points
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig15():
+    return run_figure()
+
+
+def test_milvus_fastest_everywhere(fig15):
+    """Milvus leads at every selectivity (within measurement noise
+    against the Vearch class, whose algorithmic path converges with
+    strategy C at low selectivity; the structural gap opens at high
+    selectivity and against the relational engines)."""
+    for i, sel in enumerate(SELECTIVITIES):
+        milvus_t = fig15["Milvus"][i][1]
+        for name, points in fig15.items():
+            if name == "Milvus":
+                continue
+            assert milvus_t <= 1.25 * points[i][1], f"{name} beat Milvus at sel={sel}"
+    # Mean over the sweep: strictly fastest.
+    mean_milvus = np.mean([t for __, t in fig15["Milvus"]])
+    for name, points in fig15.items():
+        if name != "Milvus":
+            assert mean_milvus < np.mean([t for __, t in points])
+
+
+def test_milvus_wins_big_at_high_selectivity(fig15):
+    """Where the cost-based/partitioned machinery matters most."""
+    i = SELECTIVITIES.index(0.99)
+    milvus_t = fig15["Milvus"][i][1]
+    for name, points in fig15.items():
+        if name != "Milvus":
+            assert milvus_t < 0.5 * points[i][1]
+
+
+def test_orders_of_magnitude_over_relational(fig15):
+    """Paper: 48.5x ~ 41299.5x; we require >20x at the extremes."""
+    for i in (0, len(SELECTIVITIES) - 1):
+        ratio = fig15["SystemB (relational scan)"][i][1] / fig15["Milvus"][i][1]
+        assert ratio > 20
+
+
+def test_results_respect_filter(rng=None):
+    built, queries, attrs = engines()
+    lo, hi = selectivity_to_range(0.7)
+    for engine in built.values():
+        result = engine.filtered_search(queries, K, lo, hi, nprobe=16)
+        hits = result.ids[result.ids >= 0]
+        assert ((attrs[hits] >= lo) & (attrs[hits] <= hi)).all()
+
+
+def test_benchmark_milvus_filtered(benchmark):
+    built, queries, __ = engines()
+    lo, hi = selectivity_to_range(0.5)
+    benchmark(lambda: built["Milvus"].filtered_search(queries, K, lo, hi, nprobe=16))
+
+
+def main():
+    print("=== Figure 15: filtered search across systems ===")
+    for name, points in run_figure().items():
+        print_series(
+            name,
+            [f"sel={s}" for s, __ in points],
+            [f"{t * 1000:.2f} ms/q" for __, t in points],
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,280 @@
+"""Figure 16: multi-vector query processing.
+
+Paper setup: Recipe1M (text vector + image vector per entity), 10000
+queries, k=50, weighted-sum aggregation, IVF_FLAT per field.
+
+(a) Euclidean distance: NRA-50 / NRA-2048 (shallow one-shot NRA)
+    vs iterative merging (IMG) with several k' settings.  Expected:
+    NRA-50 fast but recall ~0.1-0.3; NRA-2048 slow with moderate
+    recall; IMG both faster and more accurate (paper: 15x over
+    NRA-2048 at similar recall).
+
+(b) Inner product: IMG vs vector fusion.  Expected: fusion 3.4x-5.8x
+    faster at equal-or-better recall (single top-k search).
+
+Plus the DESIGN.md ablation: k'-doubling vs fixed k'.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import print_series
+from repro.datasets import recipe_like
+from repro.multivector import (
+    IterativeMerging,
+    RankedList,
+    VectorFusion,
+    nra_best_effort_topk,
+)
+
+N = 8000
+K = 10
+NQ = 30
+WEIGHTS = {"image": 1.0, "text": 1.0}
+
+_cache = {}
+
+
+def setup():
+    if "bundle" not in _cache:
+        # Weak modality correlation, like real Recipe1M text vs image
+        # embeddings — this is what makes shallow per-field lists miss
+        # aggregated winners (the paper's recall-0.1 NRA-50 point).
+        entities = recipe_like(N, text_dim=48, image_dim=32, correlation=0.4, seed=0)
+        rng = np.random.default_rng(1)
+        picks = rng.integers(N, size=NQ)
+        # Jittered queries (not exact rows): real queries are new
+        # recipes, so neither modality list is anchored by an exact hit.
+        queries = [
+            {
+                "text": entities["text"][p]
+                + rng.normal(0, 0.08, entities["text"].shape[1]).astype(np.float32),
+                "image": entities["image"][p]
+                + rng.normal(0, 0.08, entities["image"].shape[1]).astype(np.float32),
+            }
+            for p in picks
+        ]
+        truth_l2 = []
+        truth_ip = []
+        for q in queries:
+            agg_l2 = (((entities["text"] - q["text"]) ** 2).sum(axis=1)
+                      + ((entities["image"] - q["image"]) ** 2).sum(axis=1))
+            truth_l2.append(set(np.argsort(agg_l2, kind="stable")[:K].tolist()))
+            agg_ip = entities["text"] @ q["text"] + entities["image"] @ q["image"]
+            truth_ip.append(set(np.argsort(-agg_ip, kind="stable")[:K].tolist()))
+        _cache["bundle"] = (entities, queries, truth_l2, truth_ip)
+    return _cache["bundle"]
+
+
+def _recall(found_sets, truth_sets):
+    return float(np.mean([
+        len(f & t) / len(t) for f, t in zip(found_sets, truth_sets)
+    ]))
+
+
+def _shared_merger(entities, metric):
+    """One set of per-field IVF indexes shared by NRA-d and IMG, so the
+    comparison isolates the *algorithm* (the paper's setup: both issue
+    VectorQuery(q.v_i, D_i, k') against the same indexes)."""
+    key = ("merger", metric)
+    if key not in _cache:
+        _cache[key] = IterativeMerging.over_arrays(
+            entities, metric=metric, weights=WEIGHTS,
+            index_type="IVF_FLAT", k_threshold=2048,
+            nlist=64, search_params={"nprobe": 16},
+        )
+    return _cache[key]
+
+
+def _nra_oneshot(entities, queries, depth):
+    """NRA-<depth>: one shot over per-field top-<depth> index queries."""
+    merger = _shared_merger(entities, "l2")
+    found = []
+    started = time.perf_counter()
+    for q in queries:
+        lists = []
+        for f in ("text", "image"):
+            ids, raw = merger.query_fn(f, np.asarray(q[f], dtype=np.float32), depth)
+            lists.append(RankedList.from_metric_scores(ids, raw, False, WEIGHTS[f]))
+        hits = nra_best_effort_topk(lists, K)
+        found.append({i for i, __ in hits})
+    elapsed = time.perf_counter() - started
+    return found, len(queries) / elapsed
+
+
+def _nra_streaming(entities, queries, max_depth):
+    """Faithful streaming NRA: sorted access only, one getNext() at a
+    time — and because vector indexes "do not support getNext()
+    efficiently, a full search is required to get the next result"
+    (Sec. 4.2).  Every access therefore re-issues a top-(i+1) query.
+    This is the expensive baseline iterative merging replaces.
+    """
+    from repro.multivector import streaming_nra
+
+    merger = _shared_merger(entities, "l2")
+    found = []
+    started = time.perf_counter()
+    for q in queries:
+        # Materialize lists access-by-access, paying a fresh vector
+        # query per getNext, then run depth-by-depth NRA bookkeeping.
+        lists = []
+        for f in ("text", "image"):
+            ids_acc, raw_acc = [], []
+            for depth in range(1, max_depth + 1):
+                ids, raw = merger.query_fn(
+                    f, np.asarray(q[f], dtype=np.float32), depth
+                )
+                if len(ids) < depth:
+                    break
+                ids_acc.append(ids[depth - 1])
+                raw_acc.append(raw[depth - 1])
+            lists.append(RankedList.from_metric_scores(
+                np.array(ids_acc, dtype=np.int64), np.array(raw_acc),
+                False, WEIGHTS[f],
+            ))
+        hits, __ = streaming_nra(lists, K)
+        found.append({i for i, __s in hits})
+    elapsed = time.perf_counter() - started
+    return found, len(queries) / elapsed
+
+
+def _img(entities, queries, metric, k_threshold, index_type="IVF_FLAT"):
+    merger = IterativeMerging.over_arrays(
+        entities, metric=metric, weights=WEIGHTS,
+        index_type=index_type, k_threshold=k_threshold,
+        nlist=64, search_params={"nprobe": 16},
+    )
+    found = []
+    started = time.perf_counter()
+    for q in queries:
+        hits = merger.search_one(q, K)
+        found.append({i for i, __ in hits})
+    elapsed = time.perf_counter() - started
+    return found, len(queries) / elapsed
+
+
+def run_figure_a():
+    entities, queries, truth_l2, __ = setup()
+    rows = {}
+    for depth in (K, 256):
+        found, qps = _nra_oneshot(entities, queries, depth)
+        rows[f"NRA-list-{depth}"] = (_recall(found, truth_l2), qps)
+    found, qps = _nra_streaming(entities, queries[:10], 48)
+    rows["NRA-stream-48"] = (_recall(found, truth_l2[:10]), qps)
+    for k_threshold in (512, 2048):
+        found, qps = _img(entities, queries, "l2", k_threshold)
+        rows[f"IMG-{k_threshold}"] = (_recall(found, truth_l2), qps)
+    return rows
+
+
+def run_figure_b():
+    entities, queries, __, truth_ip = setup()
+    rows = {}
+    found, qps = _img(entities, queries, "ip", 1024)
+    rows["IMG-1024"] = (_recall(found, truth_ip), qps)
+
+    fusion = VectorFusion(entities, metric="ip", weights=WEIGHTS,
+                          index_type="IVF_FLAT", nlist=64)
+    found = []
+    started = time.perf_counter()
+    for q in queries:
+        hits = fusion.search(q, K, nprobe=16)[0]
+        found.append({i for i, __ in hits})
+    elapsed = time.perf_counter() - started
+    rows["vector fusion"] = (_recall(found, truth_ip), len(queries) / elapsed)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig_a():
+    return run_figure_a()
+
+
+@pytest.fixture(scope="module")
+def fig_b():
+    return run_figure_b()
+
+
+def test_shallow_nra_low_recall(fig_a):
+    """Paper: 'NRA-50 is fast but the recall is only 0.1'.  At k=10 on
+    laptop-scale data the shallow merge is less catastrophic, but it
+    must trail the deep variants decisively."""
+    shallow = fig_a[f"NRA-list-{K}"][0]
+    assert shallow < 0.85
+    assert shallow < fig_a["IMG-2048"][0] - 0.1
+
+
+def test_img_beats_deep_nra(fig_a):
+    """Paper: IMG 15x faster than NRA-2048 at similar recall."""
+    nra_recall, nra_qps = fig_a["NRA-list-256"]
+    img_recall, img_qps = fig_a["IMG-2048"]
+    assert img_recall >= nra_recall - 0.05
+    assert img_recall > fig_a[f"NRA-list-{K}"][0]
+
+
+def test_img_much_faster_than_streaming_nra(fig_a):
+    """The paper's core Fig. 16a claim: real (getNext-based) NRA is an
+    order of magnitude slower than iterative merging."""
+    stream_recall, stream_qps = fig_a["NRA-stream-48"]
+    img_recall, img_qps = fig_a["IMG-2048"]
+    # Paper: 15x at their scale; our streaming baseline is depth-capped
+    # (flattering it) and IMG throughput varies ~30% run to run, so
+    # require a decisive but noise-tolerant 3x.
+    assert img_qps > 3 * stream_qps
+    assert img_recall >= stream_recall - 0.05
+
+
+def test_img_recall_grows_with_threshold(fig_a):
+    assert fig_a["IMG-2048"][0] >= fig_a["IMG-512"][0] - 0.02
+
+
+def test_fusion_faster_than_img(fig_b):
+    """Paper: fusion is 3.4x-5.8x faster than IMG on inner product."""
+    img_recall, img_qps = fig_b["IMG-1024"]
+    fus_recall, fus_qps = fig_b["vector fusion"]
+    assert fus_qps > 1.5 * img_qps
+    assert fus_recall >= img_recall - 0.1
+
+
+def test_ablation_fixed_kprime_vs_doubling():
+    """DESIGN.md ablation: doubling k' adapts per query; a fixed large
+    k' pays the worst case on every query."""
+    entities, queries, truth_l2, __ = setup()
+    # Fixed k' = threshold on round one: threshold just above k forces
+    # a single fixed round at k'=k (cheap, low recall ceiling).
+    found_fixed, qps_fixed = _img(entities, queries[:10], "l2", K + 1)
+    found_doubling, qps_doubling = _img(entities, queries[:10], "l2", 2048)
+    assert _recall(found_doubling, truth_l2[:10]) >= _recall(found_fixed, truth_l2[:10])
+
+
+def test_benchmark_img(benchmark):
+    entities, queries, *_ = setup()
+    merger = IterativeMerging.over_arrays(
+        entities, metric="l2", weights=WEIGHTS, index_type="IVF_FLAT",
+        k_threshold=1024, nlist=64, search_params={"nprobe": 16},
+    )
+    benchmark(lambda: merger.search_one(queries[0], K))
+
+
+def test_benchmark_fusion(benchmark):
+    entities, queries, *_ = setup()
+    fusion = VectorFusion(entities, metric="ip", weights=WEIGHTS,
+                          index_type="IVF_FLAT", nlist=64)
+    benchmark(lambda: fusion.search(queries[0], K, nprobe=16))
+
+
+def main():
+    print(f"=== Figure 16a: Euclidean, n={N}, k={K} ===")
+    for name, (recall, qps) in run_figure_a().items():
+        print(f"  {name:12s} recall={recall:.3f}  {qps:8.1f} qps")
+    print(f"=== Figure 16b: inner product ===")
+    for name, (recall, qps) in run_figure_b().items():
+        print(f"  {name:14s} recall={recall:.3f}  {qps:8.1f} qps")
+
+
+if __name__ == "__main__":
+    main()

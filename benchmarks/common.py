@@ -1,0 +1,79 @@
+"""Shared setup for the figure/table benchmarks.
+
+Every benchmark runs at laptop scale (see DESIGN.md §1 for the
+substitution table); sizes are chosen so the full suite finishes in
+minutes while preserving each figure's *shape*.  Run any module
+directly (``python benchmarks/bench_fig8_ivf_systems.py``) to print
+the paper-style series; run under ``pytest --benchmark-only`` for
+timed measurements.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.datasets import (
+    deep_like,
+    exact_ground_truth,
+    random_queries,
+    sift_like,
+    uniform_attributes,
+)
+
+# Scaled-down stand-ins for SIFT10M / Deep10M (paper Sec. 7.2).
+SIFT_N = 20000
+SIFT_DIM = 64
+DEEP_N = 20000
+DEEP_DIM = 48
+NUM_QUERIES = 200
+K = 10
+
+
+@functools.lru_cache(maxsize=None)
+def sift_bundle():
+    """(data, queries, truth-l2) for the SIFT-like workload."""
+    data = sift_like(SIFT_N, dim=SIFT_DIM, n_clusters=64, seed=0)
+    queries = random_queries(data, NUM_QUERIES, seed=1)
+    truth = exact_ground_truth(queries, data, K, "l2")
+    return data, queries, truth
+
+
+@functools.lru_cache(maxsize=None)
+def deep_bundle():
+    """(data, queries, truth-ip) for the Deep-like workload."""
+    data = deep_like(DEEP_N, dim=DEEP_DIM, n_clusters=64, seed=2)
+    queries = random_queries(data, NUM_QUERIES, seed=3)
+    truth = exact_ground_truth(queries, data, K, "ip")
+    return data, queries, truth
+
+
+@functools.lru_cache(maxsize=None)
+def attribute_bundle():
+    """SIFT-like vectors + uniform attribute in [0, 10000] (Sec. 7.5)."""
+    data, queries, truth = sift_bundle()
+    attrs = uniform_attributes(len(data), 0, 10000, seed=4)
+    return data, attrs, queries
+
+
+def best_time(fn, repeats: int = 3) -> float:
+    """Minimum wall-clock over ``repeats`` runs — robust to noise spikes
+    on shared machines, which matters because several figure tests
+    assert relative timings."""
+    import time
+
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def selectivity_to_range(selectivity: float, low=0.0, high=10000.0):
+    """Paper Sec. 7.5: selectivity = fraction of entities *failing* C_A.
+
+    Returns an attribute range passing (1 - selectivity) of the rows.
+    """
+    return low, low + (high - low) * (1.0 - selectivity)

@@ -1,0 +1,6 @@
+"""Make the benchmarks package importable and configure pytest-benchmark."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,81 @@
+"""Intelligent question answering (paper Sec. 6, application #7).
+
+The classic retrieval-based QA loop: embed a corpus of answer
+passages, embed the incoming question, find the nearest passages by
+cosine similarity, answer from the best hit.  Embeddings are
+simulated topic-clustered sentence vectors; the retrieval machinery —
+cosine metric, normalized vectors, HNSW index for low-latency single
+queries — is the real system.
+
+Also demonstrates the paper's Sec. 4.2 remark: on normalized data,
+cosine reduces to inner product, so the two metrics rank identically.
+
+Run:  python examples/question_answering.py
+"""
+
+import numpy as np
+
+from repro import CollectionSchema, MilvusLite, VectorField
+from repro.datasets import gaussian_mixture
+
+N_PASSAGES = 15000
+EMBED_DIM = 96
+N_TOPICS = 50
+
+
+def embed_corpus(seed=0):
+    """Simulated sentence embeddings, clustered by topic, normalized."""
+    vectors = gaussian_mixture(
+        N_PASSAGES, EMBED_DIM, n_clusters=N_TOPICS, cluster_std=0.35, seed=seed
+    )
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    rng = np.random.default_rng(seed)
+    topics = rng.integers(N_TOPICS, size=N_PASSAGES)
+    return vectors.astype(np.float32), topics, rng
+
+
+def main():
+    passages, topics, rng = embed_corpus()
+
+    server = MilvusLite()
+    kb = server.create_collection(CollectionSchema(
+        "knowledge_base",
+        vector_fields=[VectorField("embedding", EMBED_DIM, "cosine")],
+    ))
+    kb.insert({"embedding": passages})
+    kb.flush()
+    # HNSW: single interactive questions want low latency, not batch
+    # throughput — the graph index's sweet spot.
+    kb.create_index("embedding", "HNSW", M=12, ef_construction=80)
+    print(f"knowledge base: {kb.num_entities} passages, cosine + HNSW")
+
+    # An incoming question: embeds near some passage's topic.
+    anchor = 4242
+    question = passages[anchor] + rng.normal(0, 0.05, EMBED_DIM).astype(np.float32)
+    question /= np.linalg.norm(question)
+
+    result = kb.search("embedding", question, k=3, ef=64)
+    print("\ncandidate answer passages:")
+    for pid, similarity in result.row(0):
+        same = "same topic" if topics[pid] == topics[anchor] else "other topic"
+        print(f"  passage {pid:6d}: cosine={similarity:.4f} ({same})")
+    best = result.row(0)[0]
+    print(f"answering from passage {best[0]} (confidence {best[1]:.3f})")
+
+    # Sec. 4.2's remark in action: with normalized vectors, inner
+    # product ranks identically to cosine.
+    kb_ip = server.create_collection(CollectionSchema(
+        "knowledge_base_ip",
+        vector_fields=[VectorField("embedding", EMBED_DIM, "ip")],
+    ))
+    kb_ip.insert({"embedding": passages})
+    kb_ip.flush()
+    ip_result = kb_ip.search("embedding", question, k=3)
+    cosine_ids = [i for i, __ in result.row(0)]
+    ip_ids = [i for i, __ in ip_result.row(0)]
+    print(f"\ncosine top-3 {cosine_ids} == inner-product top-3 {ip_ids}: "
+          f"{set(cosine_ids) == set(ip_ids)} (normalized data)")
+
+
+if __name__ == "__main__":
+    main()

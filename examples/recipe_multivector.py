@@ -1,0 +1,68 @@
+"""Recipe-food search with multi-vector queries (paper Sec. 4.2 / 7.6).
+
+Each recipe is two vectors — a text embedding of the description and
+an image embedding of the dish photo (Recipe1M-style).  The example
+runs the same query through all three multi-vector algorithms and
+compares them against the exact aggregated ground truth.
+
+Run:  python examples/recipe_multivector.py
+"""
+
+import numpy as np
+
+from repro import CollectionSchema, MilvusLite, VectorField
+from repro.datasets import recipe_like
+
+N_RECIPES = 10000
+TEXT_DIM = 64
+IMAGE_DIM = 48
+
+
+def exact_topk(entities, query, k, weights):
+    agg = (weights["text"] * ((entities["text"] - query["text"]) ** 2).sum(axis=1)
+           + weights["image"] * ((entities["image"] - query["image"]) ** 2).sum(axis=1))
+    return np.argsort(agg, kind="stable")[:k]
+
+
+def main():
+    entities = recipe_like(
+        N_RECIPES, text_dim=TEXT_DIM, image_dim=IMAGE_DIM,
+        correlation=0.6, seed=0,
+    )
+
+    server = MilvusLite()
+    recipes = server.create_collection(CollectionSchema(
+        "recipes",
+        vector_fields=[
+            VectorField("text", TEXT_DIM, "l2"),
+            VectorField("image", IMAGE_DIM, "l2"),
+        ],
+    ))
+    recipes.insert({"text": entities["text"], "image": entities["image"]})
+    recipes.flush()
+    print(f"indexed {recipes.num_entities} recipes "
+          f"(text {TEXT_DIM}-d + image {IMAGE_DIM}-d)")
+
+    # The query entity: a dish we have both a description and photo of.
+    # Weight text description twice as heavily as the photo.
+    weights = {"text": 2.0, "image": 1.0}
+    query = {"text": entities["text"][777], "image": entities["image"][777]}
+    truth = exact_topk(entities, query, 5, weights)
+    print("exact aggregated top-5:", truth.tolist())
+
+    for method in ("fusion", "iterative", "naive"):
+        hits = recipes.multi_vector_search(query, k=5, weights=weights, method=method)
+        found = [i for i, __ in hits[0]]
+        overlap = len(set(found) & set(truth.tolist()))
+        print(f"{method:10s}: {found}  ({overlap}/5 match exact)")
+
+    # Fusion requires a decomposable metric; squared L2 decomposes over
+    # the concatenation, so it is exact here (Sec. 4.2).
+    hits = recipes.multi_vector_search(query, k=3, weights=weights, method="fusion")
+    print("\nweighted aggregated distances of the top hits:")
+    for rid, score in hits[0]:
+        print(f"  recipe {rid}: aggregated L2^2 = {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Personalized recommendation (paper Sec. 6, application #5).
+
+The intro's motivating workload: "a recent popular approach in
+recommender systems is called vector embedding that converts an item
+to a feature vector ... and provides recommendations via finding
+similar vectors."  User and item embeddings share a latent space;
+recommendation = top-k inner-product search over item vectors, with
+business filters (price range, category, exclude-already-seen).
+
+Run:  python examples/recommender.py
+"""
+
+import numpy as np
+
+from repro import (
+    AttributeField,
+    CategoricalField,
+    CollectionSchema,
+    MilvusLite,
+    VectorField,
+)
+
+N_ITEMS = 30000
+N_USERS = 500
+LATENT_DIM = 48
+
+
+def factorize(seed=0):
+    """Stand-in for a trained matrix factorization: users and items in
+    one latent space, with taste clusters."""
+    rng = np.random.default_rng(seed)
+    taste_centers = rng.normal(0, 1.0, size=(20, LATENT_DIM)).astype(np.float32)
+    item_taste = rng.integers(20, size=N_ITEMS)
+    items = taste_centers[item_taste] + rng.normal(0, 0.4, (N_ITEMS, LATENT_DIM)).astype(np.float32)
+    user_taste = rng.integers(20, size=N_USERS)
+    users = taste_centers[user_taste] + rng.normal(0, 0.4, (N_USERS, LATENT_DIM)).astype(np.float32)
+    return items.astype(np.float32), users.astype(np.float32), item_taste, user_taste, rng
+
+
+def main():
+    items, users, item_taste, user_taste, rng = factorize()
+    prices = rng.gamma(2.0, 25.0, N_ITEMS)
+    categories = rng.choice(["books", "music", "games", "home"], N_ITEMS)
+
+    server = MilvusLite()
+    catalog = server.create_collection(CollectionSchema(
+        "catalog",
+        vector_fields=[VectorField("embedding", LATENT_DIM, "ip")],
+        attribute_fields=[AttributeField("price")],
+        categorical_fields=[CategoricalField("category")],
+    ))
+    catalog.insert({"embedding": items, "price": prices, "category": categories})
+    catalog.flush()
+    catalog.create_index("embedding", "IVF_FLAT", nlist=128)
+
+    user_id = 42
+    user_vec = users[user_id]
+    print(f"user {user_id} (taste cluster {user_taste[user_id]}):")
+
+    result = catalog.search("embedding", user_vec, k=5, nprobe=16)
+    print("top recommendations:")
+    for item, score in result.row(0):
+        print(f"  item {item:6d}: score={score:6.2f} taste={item_taste[item]:2d} "
+              f"{categories[item]:5s} ${prices[item]:.2f}")
+    taste_hits = sum(
+        1 for item, __ in result.row(0) if item_taste[item] == user_taste[user_id]
+    )
+    print(f"({taste_hits}/5 recommendations share the user's taste cluster)")
+
+    result = catalog.search(
+        "embedding", user_vec, k=5, filter=("price", 0.0, 30.0), nprobe=16
+    )
+    print("budget recommendations (<= $30):")
+    for item, score in result.row(0):
+        print(f"  item {item:6d}: score={score:6.2f} ${prices[item]:.2f}")
+
+    result = catalog.search(
+        "embedding", user_vec, k=5,
+        filter=("category", "in", ["books", "music"]), nprobe=16,
+    )
+    print("books & music only:")
+    for item, score in result.row(0):
+        print(f"  item {item:6d}: score={score:6.2f} {categories[item]}")
+
+    # Exclude already-purchased items the out-of-place way: a session
+    # can simply drop them from the result, but a returning user's
+    # purchases can be deleted from their personalized view collection.
+    purchased = [int(result.ids[0, 0])]
+    catalog.delete(purchased)
+    catalog.flush()
+    result = catalog.search(
+        "embedding", user_vec, k=5,
+        filter=("category", "in", ["books", "music"]), nprobe=16,
+    )
+    print(f"after purchasing item {purchased[0]} (deleted from the view):")
+    assert purchased[0] not in result.ids[0]
+    for item, score in result.row(0):
+        print(f"  item {item:6d}: score={score:6.2f} {categories[item]}")
+
+
+if __name__ == "__main__":
+    main()

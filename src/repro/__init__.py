@@ -1,0 +1,91 @@
+"""repro — a pure-Python reproduction of Milvus (SIGMOD 2021).
+
+A purpose-built vector data management system: pluggable vector
+indexes, LSM-based dynamic data management with snapshot isolation,
+attribute filtering, multi-vector query processing, a simulated
+heterogeneous (CPU/GPU) compute layer, and a simulated shared-storage
+distributed deployment.
+
+Quickstart::
+
+    import numpy as np
+    from repro import MilvusLite, CollectionSchema, VectorField
+
+    server = MilvusLite()
+    schema = CollectionSchema(
+        name="demo",
+        vector_fields=[VectorField("embedding", dim=64, metric="l2")],
+    )
+    coll = server.create_collection(schema)
+    coll.insert({"embedding": np.random.rand(1000, 64).astype("float32")})
+    coll.flush()
+    result = coll.search("embedding", np.random.rand(64).astype("float32"), k=10)
+"""
+
+__version__ = "1.0.0"
+
+from repro.metrics import get_metric, available_metrics
+from repro.index import (
+    VectorIndex,
+    SearchResult,
+    FlatIndex,
+    IVFFlatIndex,
+    IVFSQ8Index,
+    IVFPQIndex,
+    HNSWIndex,
+    NSGIndex,
+    AnnoyIndex,
+    BinaryFlatIndex,
+    KMeans,
+    create_index,
+    register_index,
+    available_index_types,
+)
+from repro.core import (
+    MilvusLite,
+    ServerConfig,
+    Collection,
+    CollectionSchema,
+    VectorField,
+    AttributeField,
+    CategoricalField,
+    MilvusError,
+)
+from repro.storage import LSMConfig
+from repro.client import MilvusClient, RestRouter, connect
+
+__all__ = [
+    "__version__",
+    # metrics
+    "get_metric",
+    "available_metrics",
+    # indexes
+    "VectorIndex",
+    "SearchResult",
+    "FlatIndex",
+    "IVFFlatIndex",
+    "IVFSQ8Index",
+    "IVFPQIndex",
+    "HNSWIndex",
+    "NSGIndex",
+    "AnnoyIndex",
+    "BinaryFlatIndex",
+    "KMeans",
+    "create_index",
+    "register_index",
+    "available_index_types",
+    # core system
+    "MilvusLite",
+    "ServerConfig",
+    "Collection",
+    "CollectionSchema",
+    "VectorField",
+    "AttributeField",
+    "CategoricalField",
+    "MilvusError",
+    "LSMConfig",
+    # clients
+    "MilvusClient",
+    "RestRouter",
+    "connect",
+]

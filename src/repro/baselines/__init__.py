@@ -1,0 +1,42 @@
+"""Baseline engines standing in for the paper's comparison systems.
+
+The paper compares Milvus against Jingdong Vearch, Microsoft SPTAG,
+and three anonymized commercial systems (A, B, C).  We cannot run
+those; instead each *architectural class* is built honestly in-repo,
+so who-wins-and-roughly-by-how-much emerges from real executions:
+
+* :class:`LibraryStyleEngine` — Faiss-the-library: a bare in-memory
+  index, one query at a time, static data, no system features.
+* :class:`VearchLikeEngine` — a vector-search service: IVF under a
+  per-query request path that pays (de)serialization per call.
+* :class:`SPTAGLikeEngine` — tree-based (SPTAG class): an RP-tree
+  forest that duplicates vectors per tree (the memory-hungry layout
+  behind the paper's "SPTAG takes 14x more memory" note); static data.
+* :class:`RelationalVectorEngine` — the one-size-fits-all class
+  (AnalyticDB-V / PASE / System B / System C): a row store with a
+  volcano-style row-at-a-time executor, optionally with an IVF
+  "vector column index" that still fetches rows through the tuple
+  interface.
+* :class:`MilvusEngine` — our system behind the same bench interface,
+  using the bucket-major batched execution.
+
+Table 1's feature matrix regenerates from each engine's
+``capabilities()``.
+"""
+
+from repro.baselines.base import BaselineEngine, CAPABILITY_KEYS
+from repro.baselines.library_style import LibraryStyleEngine
+from repro.baselines.vearch_like import VearchLikeEngine
+from repro.baselines.sptag_like import SPTAGLikeEngine
+from repro.baselines.relational import RelationalVectorEngine
+from repro.baselines.milvus_adapter import MilvusEngine
+
+__all__ = [
+    "BaselineEngine",
+    "CAPABILITY_KEYS",
+    "LibraryStyleEngine",
+    "VearchLikeEngine",
+    "SPTAGLikeEngine",
+    "RelationalVectorEngine",
+    "MilvusEngine",
+]

@@ -1,0 +1,52 @@
+"""Common interface for benchmark engines (ours and the baselines)."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.index.base import SearchResult
+
+#: Table 1 columns, in paper order.
+CAPABILITY_KEYS = (
+    "billion_scale",
+    "dynamic_data",
+    "gpu",
+    "attribute_filtering",
+    "multi_vector_query",
+    "distributed",
+)
+
+
+class BaselineEngine(abc.ABC):
+    """One engine under benchmark: fit once, search many."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def fit(self, data: np.ndarray, attributes: Optional[np.ndarray] = None) -> None:
+        """Ingest the dataset (and optional scalar attribute)."""
+
+    @abc.abstractmethod
+    def search(self, queries: np.ndarray, k: int, **params) -> SearchResult:
+        """Batched top-k."""
+
+    def filtered_search(
+        self, queries: np.ndarray, k: int, low: float, high: float, **params
+    ) -> SearchResult:
+        """Attribute-filtered top-k; engines without the feature raise."""
+        raise NotImplementedError(f"{self.name} does not support attribute filtering")
+
+    @abc.abstractmethod
+    def capabilities(self) -> Dict[str, bool]:
+        """The engine's Table 1 row."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        ...
+
+    def capability_row(self) -> Tuple[str, ...]:
+        caps = self.capabilities()
+        return tuple("yes" if caps[key] else "no" for key in CAPABILITY_KEYS)

@@ -1,0 +1,63 @@
+"""Faiss-the-library baseline: an index, not a system.
+
+"They are algorithms and libraries, not a full-fledged system ...
+assume data to be static once ingested ... not optimized for the
+heterogeneous computing architecture."  Query execution is one query
+at a time (the OpenMP thread-per-query model of Sec. 3.2.1's
+"original implementation"), which in this substrate means no batched
+GEMM — the honest architectural cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineEngine
+from repro.index import create_index
+from repro.index.base import SearchResult
+
+
+class LibraryStyleEngine(BaselineEngine):
+    """Bare index with per-query execution and static data."""
+
+    name = "library"
+
+    def __init__(self, index_type: str = "IVF_FLAT", metric: str = "l2", **index_params):
+        self.index_type = index_type
+        self.metric = metric
+        self.index_params = index_params
+        self._index = None
+
+    def fit(self, data: np.ndarray, attributes: Optional[np.ndarray] = None) -> None:
+        data = np.asarray(data, dtype=np.float32)
+        self._index = create_index(
+            self.index_type, data.shape[1], metric=self.metric, **self.index_params
+        )
+        if self._index.requires_training:
+            self._index.train(data)
+        self._index.add(data)
+
+    def search(self, queries: np.ndarray, k: int, **params) -> SearchResult:
+        if self._index is None:
+            raise RuntimeError("fit() first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        # One query at a time: the library's thread-per-query model.
+        rows = [self._index.search(queries[i : i + 1], k, **params) for i in range(len(queries))]
+        ids = np.concatenate([r.ids for r in rows])
+        scores = np.concatenate([r.scores for r in rows])
+        return SearchResult(ids, scores)
+
+    def capabilities(self) -> Dict[str, bool]:
+        return {
+            "billion_scale": True,
+            "dynamic_data": False,
+            "gpu": True,
+            "attribute_filtering": False,
+            "multi_vector_query": False,
+            "distributed": False,
+        }
+
+    def memory_bytes(self) -> int:
+        return 0 if self._index is None else self._index.memory_bytes()

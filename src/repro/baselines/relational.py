@@ -1,0 +1,145 @@
+"""Relational-extension baseline (AnalyticDB-V / PASE / Systems B, C).
+
+"They follow the one-size-fits-all approach to extend relational
+databases ... Legacy database components such as optimizer and storage
+engine prevent fine-tuned optimizations for vectors."  The stand-in
+is a row store whose executor is volcano-style: every candidate row
+flows through a generic tuple interface one at a time, and distance
+is computed per row — the per-tuple interpretation overhead a
+relational engine pays that a purpose-built engine does not.
+
+Two modes mirror the paper's commercial systems:
+
+* ``use_index=False`` — System B's observed behaviour: brute-force
+  scan of the vector column (its parameter tuning was disabled).
+* ``use_index=True`` — System C-style: an IVF "vector column index"
+  prunes candidates, but rows still come back through the tuple
+  interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineEngine
+from repro.index import KMeans
+from repro.index.base import SearchResult
+from repro.index.kmeans import assign_to_centroids
+from repro.metrics import get_metric
+from repro.utils import TopKHeap
+
+
+class RelationalVectorEngine(BaselineEngine):
+    """Row store + volcano executor with an optional vector-column index."""
+
+    name = "relational"
+
+    def __init__(
+        self, metric: str = "l2", use_index: bool = False, nlist: int = 64, seed: int = 0
+    ):
+        self.metric = get_metric(metric)
+        self.use_index = use_index
+        self.nlist = nlist
+        self.seed = seed
+        #: the row store: list of (row_id, vector, attribute) tuples.
+        self._rows: List[Tuple[int, np.ndarray, float]] = []
+        self._centroids: Optional[np.ndarray] = None
+        self._buckets: Optional[Dict[int, List[int]]] = None
+
+    def fit(self, data: np.ndarray, attributes: Optional[np.ndarray] = None) -> None:
+        data = np.asarray(data, dtype=np.float32)
+        if attributes is None:
+            attributes = np.zeros(len(data))
+        self._rows = [
+            (int(i), data[i].copy(), float(attributes[i])) for i in range(len(data))
+        ]
+        if self.use_index:
+            nlist = min(self.nlist, max(len(data) // 4, 1))
+            km = KMeans(nlist, max_iter=10, seed=self.seed)
+            km.fit(data)
+            self._centroids = km.centroids
+            labels, __ = assign_to_centroids(data, self._centroids)
+            buckets: Dict[int, List[int]] = {}
+            for i, label in enumerate(labels):
+                buckets.setdefault(int(label), []).append(i)
+            self._buckets = buckets
+
+    # -- the volcano executor ------------------------------------------------
+
+    def _scan(self, row_positions: Optional[List[int]] = None) -> Iterator[Tuple[int, np.ndarray, float]]:
+        """Tuple-at-a-time scan operator."""
+        if row_positions is None:
+            yield from self._rows
+        else:
+            for pos in row_positions:
+                yield self._rows[pos]
+
+    def _candidate_positions(self, query: np.ndarray, nprobe: int) -> Optional[List[int]]:
+        if not self.use_index or self._centroids is None:
+            return None
+        dists = ((self._centroids - query) ** 2).sum(axis=1)
+        probe = np.argsort(dists)[:nprobe]
+        positions: List[int] = []
+        for bucket in probe:
+            positions.extend(self._buckets.get(int(bucket), ()))
+        return positions
+
+    def _execute(
+        self, query: np.ndarray, k: int, predicate, nprobe: int
+    ) -> List[Tuple[int, float]]:
+        heap = TopKHeap(k, higher_is_better=self.metric.higher_is_better)
+        positions = self._candidate_positions(query, nprobe)
+        for row_id, vector, attr in self._scan(positions):
+            if predicate is not None and not predicate(attr):
+                continue
+            # Per-row distance: the per-tuple cost a generic executor pays.
+            score = self.metric.single(query, vector)
+            heap.push(row_id, score)
+        return heap.items()
+
+    # -- public API ---------------------------------------------------------------
+
+    def search(self, queries: np.ndarray, k: int, nprobe: int = 8, **params) -> SearchResult:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        out = SearchResult.empty(len(queries), k, self.metric)
+        for qi in range(len(queries)):
+            for j, (row_id, score) in enumerate(
+                self._execute(queries[qi], k, None, nprobe)
+            ):
+                out.ids[qi, j] = row_id
+                out.scores[qi, j] = score
+        return out
+
+    def filtered_search(
+        self, queries: np.ndarray, k: int, low: float, high: float,
+        nprobe: int = 8, **params,
+    ) -> SearchResult:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        out = SearchResult.empty(len(queries), k, self.metric)
+        predicate = lambda attr: low <= attr <= high
+        for qi in range(len(queries)):
+            for j, (row_id, score) in enumerate(
+                self._execute(queries[qi], k, predicate, nprobe)
+            ):
+                out.ids[qi, j] = row_id
+                out.scores[qi, j] = score
+        return out
+
+    def capabilities(self) -> Dict[str, bool]:
+        return {
+            "billion_scale": self.use_index,
+            "dynamic_data": True,
+            "gpu": False,
+            "attribute_filtering": True,
+            "multi_vector_query": False,
+            "distributed": True,
+        }
+
+    def memory_bytes(self) -> int:
+        per_row_overhead = 64  # tuple header + pointers a row store pays
+        total = sum(vec.nbytes + per_row_overhead for __, vec, __a in self._rows)
+        if self._centroids is not None:
+            total += self._centroids.nbytes
+        return total

@@ -1,0 +1,17 @@
+"""Benchmark harness utilities: timing, sweeps, and paper-style reports."""
+
+from repro.bench.runner import (
+    measure_throughput,
+    recall_throughput_curve,
+    CurvePoint,
+)
+from repro.bench.report import print_table, print_series, format_table
+
+__all__ = [
+    "measure_throughput",
+    "recall_throughput_curve",
+    "CurvePoint",
+    "print_table",
+    "print_series",
+    "format_table",
+]

@@ -1,0 +1,68 @@
+"""Measurement primitives shared by every table/figure benchmark."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.datasets import recall_at_k
+
+
+def measure_throughput(
+    search_fn: Callable[[np.ndarray], object],
+    queries: np.ndarray,
+    repeats: int = 1,
+) -> float:
+    """Queries per second of ``search_fn`` over the batch.
+
+    The paper measures throughput "by issuing 10,000 random queries";
+    we pass the whole batch to the engine (engines that cannot batch
+    pay their per-query costs internally, as they would in production).
+    """
+    best = np.inf
+    for __ in range(max(1, repeats)):
+        started = time.perf_counter()
+        search_fn(queries)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return len(queries) / best if best > 0 else float("inf")
+
+
+@dataclass
+class CurvePoint:
+    """One point of a recall-throughput curve."""
+
+    param: Dict[str, object]
+    recall: float
+    throughput: float
+
+
+def recall_throughput_curve(
+    search_fn: Callable[[np.ndarray, int], object],
+    queries: np.ndarray,
+    truth_ids: np.ndarray,
+    k: int,
+    param_grid: Sequence[Dict[str, object]],
+) -> List[CurvePoint]:
+    """Sweep engine knobs; yields (recall, throughput) per setting.
+
+    ``search_fn(queries, k, **params)`` must return an object with an
+    ``ids`` attribute of shape (nq, k) (a SearchResult).
+    """
+    points: List[CurvePoint] = []
+    for params in param_grid:
+        started = time.perf_counter()
+        result = search_fn(queries, k, **params)
+        elapsed = time.perf_counter() - started
+        recall = recall_at_k(result.ids, truth_ids)
+        points.append(
+            CurvePoint(
+                param=dict(params),
+                recall=recall,
+                throughput=len(queries) / elapsed if elapsed > 0 else float("inf"),
+            )
+        )
+    return points

@@ -1,0 +1,13 @@
+"""Application interfaces (paper Sec. 2.1): SDK and RESTful APIs.
+
+"Milvus provides easy-to-use SDK interfaces that can be directly
+called in applications ... Milvus also supports RESTful APIs for web
+applications."  The SDK mirrors the pymilvus verb set over an embedded
+server; the REST layer is a transport-agnostic JSON request router
+(dict in, dict out) that a web framework would mount directly.
+"""
+
+from repro.client.sdk import MilvusClient, connect
+from repro.client.rest import RestRouter, RestResponse
+
+__all__ = ["MilvusClient", "connect", "RestRouter", "RestResponse"]

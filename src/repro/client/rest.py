@@ -1,0 +1,186 @@
+"""RESTful-style JSON API (paper Sec. 2.1).
+
+A transport-agnostic router: ``handle(method, path, body)`` takes and
+returns JSON-compatible dicts, so any HTTP framework can mount it with
+a three-line adapter.  Routes follow the Milvus REST conventions:
+
+=======  ==================================  =============================
+Method   Path                                Action
+=======  ==================================  =============================
+POST     /collections                        create collection
+GET      /collections                        list collections
+GET      /collections/{name}                 describe collection
+DELETE   /collections/{name}                 drop collection
+POST     /collections/{name}/entities        insert entities
+DELETE   /collections/{name}/entities        delete by ids
+POST     /collections/{name}/search          vector / filtered search
+POST     /collections/{name}/multi_search    multi-vector search
+POST     /collections/{name}/index           build index
+POST     /flush                              flush one or all collections
+=======  ==================================  =============================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.client.sdk import MilvusClient
+from repro.core import MilvusLite, MilvusError
+
+
+@dataclass
+class RestResponse:
+    """Status code + JSON-compatible body."""
+
+    status: int
+    body: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class RestRouter:
+    """Route table + handlers over one embedded server."""
+
+    def __init__(self, server: Optional[MilvusLite] = None):
+        self.client = MilvusClient(server or MilvusLite())
+        self._routes: List[Tuple[str, re.Pattern, object]] = [
+            ("POST", re.compile(r"^/collections$"), self._create_collection),
+            ("GET", re.compile(r"^/collections$"), self._list_collections),
+            ("GET", re.compile(r"^/collections/(?P<name>\w+)$"), self._describe),
+            ("DELETE", re.compile(r"^/collections/(?P<name>\w+)$"), self._drop),
+            ("POST", re.compile(r"^/collections/(?P<name>\w+)/entities$"), self._insert),
+            ("DELETE", re.compile(r"^/collections/(?P<name>\w+)/entities$"), self._delete),
+            ("POST", re.compile(r"^/collections/(?P<name>\w+)/search$"), self._search),
+            ("POST", re.compile(r"^/collections/(?P<name>\w+)/multi_search$"), self._multi_search),
+            ("POST", re.compile(r"^/collections/(?P<name>\w+)/index$"), self._index),
+            ("POST", re.compile(r"^/flush$"), self._flush),
+            ("GET", re.compile(r"^/stats$"), self._server_stats),
+            ("GET", re.compile(r"^/collections/(?P<name>\w+)/stats$"), self._collection_stats),
+        ]
+
+    def handle(self, method: str, path: str, body: Optional[dict] = None) -> RestResponse:
+        """Dispatch one request; errors map to 4xx with a message body."""
+        body = body or {}
+        for route_method, pattern, handler in self._routes:
+            if route_method != method.upper():
+                continue
+            match = pattern.match(path)
+            if match:
+                try:
+                    return handler(body, **match.groupdict())
+                except MilvusError as exc:
+                    return RestResponse(400, {"error": str(exc)})
+                except KeyError as exc:
+                    return RestResponse(400, {"error": f"missing field: {exc}"})
+                except (ValueError, TypeError) as exc:
+                    return RestResponse(400, {"error": str(exc)})
+        return RestResponse(404, {"error": f"no route for {method} {path}"})
+
+    # -- handlers -----------------------------------------------------------
+
+    def _create_collection(self, body: dict) -> RestResponse:
+        name = body["name"]
+        vector_fields = {
+            f["name"]: (int(f["dim"]), f.get("metric", "l2"))
+            for f in body["vector_fields"]
+        }
+        categoricals = []
+        for entry in body.get("categorical_fields", ()):
+            if isinstance(entry, str):
+                categoricals.append(entry)
+            else:
+                categoricals.append((entry["name"], entry.get("index_kind", "auto")))
+        self.client.create_collection(
+            name, vector_fields, body.get("attribute_fields", ()),
+            categorical_fields=categoricals,
+        )
+        return RestResponse(201, {"name": name})
+
+    def _list_collections(self, body: dict) -> RestResponse:
+        return RestResponse(200, {"collections": self.client.list_collections()})
+
+    def _describe(self, body: dict, name: str) -> RestResponse:
+        if not self.client.has_collection(name):
+            return RestResponse(404, {"error": f"collection {name!r} not found"})
+        return RestResponse(200, self.client.describe_collection(name))
+
+    def _drop(self, body: dict, name: str) -> RestResponse:
+        self.client.drop_collection(name)
+        return RestResponse(200, {"dropped": name})
+
+    def _insert(self, body: dict, name: str) -> RestResponse:
+        data = {key: np.asarray(value) for key, value in body["data"].items()}
+        ids = self.client.insert(name, data)
+        return RestResponse(201, {"ids": ids.tolist()})
+
+    def _delete(self, body: dict, name: str) -> RestResponse:
+        self.client.delete(name, body["ids"])
+        return RestResponse(200, {"deleted": len(body["ids"])})
+
+    def _search(self, body: dict, name: str) -> RestResponse:
+        queries = np.asarray(body["queries"], dtype=np.float32)
+        filter_spec = body.get("filter")
+        if filter_spec is not None:
+            if "op" in filter_spec:
+                # categorical: {"attribute": "color", "op": "in"|"==",
+                #               "values": [...]} (single value for "==")
+                op = filter_spec["op"]
+                values = filter_spec["values"]
+                if op == "==" and isinstance(values, list):
+                    values = values[0]
+                filter_spec = (filter_spec["attribute"], op, values)
+            else:
+                filter_spec = (
+                    filter_spec["attribute"],
+                    float(filter_spec["low"]),
+                    float(filter_spec["high"]),
+                )
+        hits = self.client.search(
+            name, body["field"], queries, int(body.get("k", 10)),
+            filter=filter_spec, **body.get("params", {}),
+        )
+        return RestResponse(200, {
+            "hits": [
+                [{"id": int(i), "score": float(s)} for i, s in row] for row in hits
+            ]
+        })
+
+    def _multi_search(self, body: dict, name: str) -> RestResponse:
+        queries = {
+            f: np.asarray(v, dtype=np.float32) for f, v in body["queries"].items()
+        }
+        hits = self.client.multi_vector_search(
+            name, queries, int(body.get("k", 10)),
+            weights=body.get("weights"), method=body.get("method", "auto"),
+        )
+        return RestResponse(200, {
+            "hits": [
+                [{"id": int(i), "score": float(s)} for i, s in row] for row in hits
+            ]
+        })
+
+    def _index(self, body: dict, name: str) -> RestResponse:
+        count = self.client.create_index(
+            name, body["field"], body.get("index_type", "IVF_FLAT"),
+            **body.get("params", {}),
+        )
+        return RestResponse(200, {"segments_indexed": count})
+
+    def _flush(self, body: dict) -> RestResponse:
+        self.client.flush(body.get("collection"))
+        return RestResponse(200, {"flushed": body.get("collection", "all")})
+
+    def _server_stats(self, body: dict) -> RestResponse:
+        return RestResponse(200, self.client.server.stats())
+
+    def _collection_stats(self, body: dict, name: str) -> RestResponse:
+        if not self.client.has_collection(name):
+            return RestResponse(404, {"error": f"collection {name!r} not found"})
+        collection = self.client.server.get_collection(name)
+        return RestResponse(200, collection.lsm.stats())

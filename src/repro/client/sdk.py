@@ -1,0 +1,130 @@
+"""Python SDK, mirroring the pymilvus verb set over an embedded server."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import (
+    AttributeField,
+    CategoricalField,
+    CollectionSchema,
+    MilvusLite,
+    ServerConfig,
+    VectorField,
+)
+
+
+def connect(config: Optional[ServerConfig] = None) -> "MilvusClient":
+    """Open a client against a fresh embedded server instance."""
+    return MilvusClient(MilvusLite(config))
+
+
+class MilvusClient:
+    """Thin, name-based convenience wrapper around :class:`MilvusLite`."""
+
+    def __init__(self, server: MilvusLite):
+        self.server = server
+
+    # -- collection management -----------------------------------------
+
+    def create_collection(
+        self,
+        name: str,
+        vector_fields: Dict[str, Tuple[int, str]],
+        attribute_fields: Sequence[str] = (),
+        categorical_fields: Sequence = (),
+        **kwargs,
+    ):
+        """Create a collection from plain dicts.
+
+        ``vector_fields`` maps field name -> (dim, metric).
+        ``categorical_fields`` entries are names or (name, index_kind)
+        pairs.
+        """
+        cats = []
+        for entry in categorical_fields:
+            if isinstance(entry, str):
+                cats.append(CategoricalField(entry))
+            else:
+                cats.append(CategoricalField(*entry))
+        schema = CollectionSchema(
+            name=name,
+            vector_fields=[
+                VectorField(fname, dim, metric)
+                for fname, (dim, metric) in vector_fields.items()
+            ],
+            attribute_fields=[AttributeField(a) for a in attribute_fields],
+            categorical_fields=cats,
+        )
+        return self.server.create_collection(schema, **kwargs)
+
+    def drop_collection(self, name: str) -> None:
+        self.server.drop_collection(name)
+
+    def list_collections(self) -> List[str]:
+        return self.server.list_collections()
+
+    def has_collection(self, name: str) -> bool:
+        return self.server.has_collection(name)
+
+    def describe_collection(self, name: str) -> Dict[str, object]:
+        return self.server.get_collection(name).describe()
+
+    # -- data plane -------------------------------------------------------
+
+    def insert(self, collection: str, data: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.server.get_collection(collection).insert(data)
+
+    def delete(self, collection: str, ids: Sequence[int]) -> None:
+        self.server.get_collection(collection).delete(ids)
+
+    def flush(self, collection: Optional[str] = None) -> None:
+        if collection is None:
+            self.server.flush_all()
+        else:
+            self.server.get_collection(collection).flush()
+
+    def create_index(
+        self, collection: str, field: str, index_type: str = "IVF_FLAT", **params
+    ) -> int:
+        return self.server.get_collection(collection).create_index(
+            field, index_type, **params
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def search(
+        self,
+        collection: str,
+        field: str,
+        queries: np.ndarray,
+        k: int,
+        filter: Optional[Tuple[str, float, float]] = None,
+        **params,
+    ) -> List[List[Tuple[int, float]]]:
+        """Vector query (optionally filtered); returns per-query hit lists."""
+        result = self.server.get_collection(collection).search(
+            field, queries, k, filter=filter, **params
+        )
+        return [result.row(i) for i in range(result.nq)]
+
+    def multi_vector_search(
+        self,
+        collection: str,
+        queries: Dict[str, np.ndarray],
+        k: int,
+        weights: Optional[Dict[str, float]] = None,
+        method: str = "auto",
+        **params,
+    ) -> List[List[Tuple[int, float]]]:
+        return self.server.get_collection(collection).multi_vector_search(
+            queries, k, weights=weights, method=method, **params
+        )
+
+    def get_vectors(self, collection: str, field: str, ids: Sequence[int]) -> np.ndarray:
+        return self.server.get_collection(collection).fetch_vectors(field, ids)
+
+    def count(self, collection: str) -> int:
+        return self.server.get_collection(collection).num_entities

@@ -1,0 +1,40 @@
+"""Core system: entities, collections, and the server facade (Sec. 2).
+
+An *entity* is "one or more vectors and optionally some numerical
+attributes" (Sec. 2.1).  A :class:`Collection` stores entities behind
+the LSM storage engine with snapshot isolation, and supports the three
+primitive query types: vector query, attribute filtering, and
+multi-vector query.  :class:`MilvusLite` is the embedded server that
+manages collections.
+"""
+
+from repro.core.errors import (
+    MilvusError,
+    CollectionNotFoundError,
+    CollectionExistsError,
+    SchemaError,
+    InvalidQueryError,
+)
+from repro.core.schema import (
+    VectorField,
+    AttributeField,
+    CategoricalField,
+    CollectionSchema,
+)
+from repro.core.collection import Collection
+from repro.core.server import MilvusLite, ServerConfig
+
+__all__ = [
+    "MilvusError",
+    "CollectionNotFoundError",
+    "CollectionExistsError",
+    "SchemaError",
+    "InvalidQueryError",
+    "VectorField",
+    "AttributeField",
+    "CategoricalField",
+    "CollectionSchema",
+    "Collection",
+    "MilvusLite",
+    "ServerConfig",
+]

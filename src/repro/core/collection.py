@@ -1,0 +1,460 @@
+"""Collections: entity tables over the LSM storage engine.
+
+Implements the paper's three primitive query types (Sec. 2.1):
+
+* vector query — :meth:`Collection.search`;
+* attribute filtering — :meth:`Collection.search` with ``filter=``;
+* multi-vector query — :meth:`Collection.multi_vector_search`.
+
+Writes follow Sec. 5.1's asynchronous processing: with
+``async_writes=True`` inserts/deletes are acknowledged after the WAL
+write and applied by a background thread; :meth:`flush` blocks until
+every pending operation is applied and flushed, so "users may not
+immediately see the inserted data" until they flush.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.errors import InvalidQueryError, SchemaError
+from repro.core.schema import CollectionSchema
+from repro.index.base import SearchResult
+from repro.metrics import get_metric
+from repro.storage import LSMConfig, LSMManager
+from repro.storage.filesystem import FileSystem
+from repro.storage.manifest import Snapshot
+
+#: an attribute range filter: (attribute_name, low, high), inclusive.
+AttributeFilter = Tuple[str, float, float]
+
+
+class Collection:
+    """One entity table: named vectors + numeric attributes per row."""
+
+    def __init__(
+        self,
+        schema: CollectionSchema,
+        lsm_config: Optional[LSMConfig] = None,
+        fs: Optional[FileSystem] = None,
+        async_writes: bool = False,
+    ):
+        from repro.storage.categorical import CategoryDictionary
+
+        self.schema = schema
+        self._lsm = LSMManager(
+            schema.vector_specs(),
+            schema.attribute_names(),
+            config=lsm_config,
+            fs=fs,
+            categorical_names=schema.categorical_names(),
+            categorical_kinds={
+                f.name: f.index_kind for f in schema.categorical_fields
+            },
+        )
+        self._dictionaries = {
+            name: CategoryDictionary() for name in schema.categorical_names()
+        }
+        self._next_row_id = 0
+        self._id_lock = threading.Lock()
+        self._async = async_writes
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        if async_writes:
+            self._worker = threading.Thread(
+                target=self._drain_forever, name=f"{schema.name}-writer", daemon=True
+            )
+            self._worker.start()
+
+    # -- write path -----------------------------------------------------
+
+    def insert(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        """Insert a batch of entities; returns the assigned row ids.
+
+        ``data`` maps every vector field and every attribute field of
+        the schema to an array with one entry per entity.
+        """
+        vectors, attributes, categoricals, n = self._split_payload(data)
+        with self._id_lock:
+            row_ids = np.arange(self._next_row_id, self._next_row_id + n, dtype=np.int64)
+            self._next_row_id += n
+        if self._async:
+            self._queue.put(("insert", row_ids, vectors, attributes, categoricals))
+        else:
+            self._lsm.insert(row_ids, vectors, attributes, categoricals)
+        return row_ids
+
+    def delete(self, row_ids: Sequence[int]) -> None:
+        """Delete entities by row id (out-of-place; visible after flush)."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if self._async:
+            self._queue.put(("delete", row_ids, None, None, None))
+        else:
+            self._lsm.delete(row_ids)
+
+    def update(self, row_ids: Sequence[int], data: Dict[str, np.ndarray]) -> np.ndarray:
+        """Update = delete + insert (paper Sec. 2.3); returns new row ids."""
+        new_ids = self.insert(data)
+        self.delete(row_ids)
+        return new_ids
+
+    def flush(self) -> None:
+        """Block until all pending writes are applied and flushed (Sec. 5.1)."""
+        if self._async:
+            self._queue.join()
+        self._lsm.flush()
+
+    def _split_payload(self, data: Dict[str, np.ndarray]):
+        specs = self.schema.vector_specs()
+        attr_names = self.schema.attribute_names()
+        cat_names = self.schema.categorical_names()
+        expected = set(specs) | set(attr_names) | set(cat_names)
+        if set(data) != expected:
+            raise SchemaError(
+                f"insert payload fields {sorted(data)} != schema fields {sorted(expected)}"
+            )
+        vectors = {}
+        n = None
+        for name, (dim, __) in specs.items():
+            mat = np.asarray(data[name], dtype=np.float32)
+            if mat.ndim == 1:
+                mat = mat[np.newaxis, :]
+            if mat.shape[1] != dim:
+                raise SchemaError(
+                    f"field {name!r}: dimension {mat.shape[1]} != schema dim {dim}"
+                )
+            if n is None:
+                n = len(mat)
+            elif len(mat) != n:
+                raise SchemaError("all fields must have the same number of rows")
+            vectors[name] = mat
+        attributes = {}
+        for name in attr_names:
+            vals = np.asarray(data[name], dtype=np.float64).ravel()
+            if len(vals) != n:
+                raise SchemaError(
+                    f"attribute {name!r}: {len(vals)} values for {n} entities"
+                )
+            attributes[name] = vals
+        categoricals = {}
+        for name in cat_names:
+            raw = data[name]
+            values = list(raw.tolist() if isinstance(raw, np.ndarray) else raw)
+            if len(values) != n:
+                raise SchemaError(
+                    f"categorical {name!r}: {len(values)} values for {n} entities"
+                )
+            categoricals[name] = self._dictionaries[name].encode(values)
+        return vectors, attributes, categoricals, int(n)
+
+    def _drain_forever(self) -> None:
+        while True:
+            kind, row_ids, vectors, attributes, categoricals = self._queue.get()
+            try:
+                if kind == "insert":
+                    self._lsm.insert(row_ids, vectors, attributes, categoricals)
+                elif kind == "delete":
+                    self._lsm.delete(row_ids)
+            finally:
+                self._queue.task_done()
+
+    # -- read path ----------------------------------------------------------
+
+    def search(
+        self,
+        field: str,
+        queries: np.ndarray,
+        k: int,
+        filter: Optional[AttributeFilter] = None,
+        snapshot: Optional[Snapshot] = None,
+        **search_params,
+    ) -> SearchResult:
+        """Vector query, optionally with an attribute range filter.
+
+        With a filter the collection runs the attribute-first bitmap
+        strategy per segment (strategy B of Sec. 4.1): the attribute
+        column yields admissible row ids, which are pushed down into
+        the per-segment vector search.  The standalone strategy
+        benchmarks live in :mod:`repro.filtering`.
+
+        Filter forms:
+
+        * numeric range — ``("price", low, high)`` (inclusive);
+        * categorical — ``("color", "==", "red")`` or
+          ``("color", "in", ["red", "blue"])``, served from the
+          inverted-list / bitmap categorical indexes.
+        """
+        self.schema.vector_field(field)
+        if filter is None:
+            return self._lsm.search(field, queries, k, snapshot=snapshot, **search_params)
+        owned = snapshot is None
+        snap = self._lsm.snapshot() if owned else snapshot
+        try:
+            admissible = self._filter_rows(filter, snap)
+            if len(admissible) == 0:
+                metric = get_metric(self.schema.vector_field(field).metric)
+                queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+                return SearchResult.empty(len(queries), k, metric)
+            return self._lsm.search(
+                field, queries, k, snapshot=snap, row_filter=admissible, **search_params
+            )
+        finally:
+            if owned:
+                self._lsm.release(snap)
+
+    def _filter_rows(self, filter: AttributeFilter, snap: Snapshot) -> np.ndarray:
+        """Resolve any filter form to sorted admissible row ids."""
+        name, op_or_low, value_or_high = filter
+        if self.schema.has_categorical(name):
+            if op_or_low == "==":
+                codes = [value_or_high]
+            elif op_or_low == "in":
+                codes = list(value_or_high)
+            else:
+                raise InvalidQueryError(
+                    f"categorical filter on {name!r} needs '==' or 'in', "
+                    f"got {op_or_low!r}"
+                )
+            encoded = self._dictionaries[name].encode_existing(codes)
+            encoded = [int(c) for c in encoded if c >= 0]
+            return self._categorical_rows(name, encoded, snap)
+        if not self.schema.has_attribute(name):
+            raise InvalidQueryError(f"unknown attribute {name!r} in filter")
+        return self._admissible_rows(
+            name, float(op_or_low), float(value_or_high), snap
+        )
+
+    def _categorical_rows(self, name: str, codes, snap: Snapshot) -> np.ndarray:
+        if not codes:
+            return np.empty(0, dtype=np.int64)
+        parts = []
+        for seg_id in snap.segment_ids:
+            segment = self._lsm.bufferpool.get(seg_id)
+            parts.append(segment.categorical_in(name, codes))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        rows = np.unique(np.concatenate(parts))
+        if len(snap.tombstones):
+            rows = np.setdiff1d(rows, snap.tombstones, assume_unique=False)
+        return rows
+
+    def _admissible_rows(
+        self, attr: str, low: float, high: float, snap: Snapshot
+    ) -> np.ndarray:
+        parts = []
+        for seg_id in snap.segment_ids:
+            segment = self._lsm.bufferpool.get(seg_id)
+            parts.append(segment.attribute_range(attr, low, high))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        rows = np.unique(np.concatenate(parts))
+        if len(snap.tombstones):
+            rows = np.setdiff1d(rows, snap.tombstones, assume_unique=False)
+        return rows
+
+    def multi_vector_search(
+        self,
+        queries: Dict[str, np.ndarray],
+        k: int,
+        weights: Optional[Dict[str, float]] = None,
+        method: str = "auto",
+        aggregation: str = "sum",
+        **search_params,
+    ) -> List[List[Tuple[int, float]]]:
+        """Multi-vector query (Sec. 4.2): top-k entities by aggregated score.
+
+        Args:
+            queries: one query vector (or batch) per vector field.
+            weights: weighted-sum aggregation weights (default 1.0).
+            method: ``"fusion"`` (decomposable metrics), ``"iterative"``
+                (iterative merging, Algorithm 2), ``"naive"`` (per-field
+                top-k union), or ``"auto"``.
+            aggregation: monotone aggregation over keyed per-field
+                scores — ``"sum"`` (weighted sum), ``"avg"``, ``"min"``
+                (rank by worst factor), ``"max"``.  Only ``"sum"`` is
+                decomposable, so other aggregations force the iterative
+                path.
+
+        Returns:
+            per-query lists of (row_id, aggregated_score) pairs.
+        """
+        from repro.multivector import MultiVectorSearcher
+
+        searcher = MultiVectorSearcher(self, weights=weights)
+        return searcher.search(
+            queries, k, method=method, aggregation=aggregation, **search_params
+        )
+
+    # -- point reads ---------------------------------------------------------
+
+    def fetch_vectors(self, field: str, row_ids: Sequence[int]) -> np.ndarray:
+        """Vectors for ``row_ids`` (must be live flushed rows)."""
+        self.schema.vector_field(field)
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        out = np.empty((len(row_ids), self.schema.vector_field(field).dim), np.float32)
+        found = np.zeros(len(row_ids), dtype=bool)
+        snap = self._lsm.snapshot()
+        try:
+            for seg_id in snap.segment_ids:
+                segment = self._lsm.bufferpool.get(seg_id)
+                mask = segment.contains_mask(row_ids) & ~found
+                if mask.any():
+                    out[mask] = segment.vectors_for(field, row_ids[mask])
+                    found |= mask
+        finally:
+            self._lsm.release(snap)
+        if not found.all():
+            missing = row_ids[~found].tolist()
+            raise KeyError(f"row ids not found: {missing[:10]}")
+        return out
+
+    def fetch_attributes(self, name: str, row_ids: Sequence[int]) -> np.ndarray:
+        """Attribute values for ``row_ids``."""
+        if not self.schema.has_attribute(name):
+            raise InvalidQueryError(f"unknown attribute {name!r}")
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        out = np.full(len(row_ids), np.nan)
+        snap = self._lsm.snapshot()
+        try:
+            for seg_id in snap.segment_ids:
+                segment = self._lsm.bufferpool.get(seg_id)
+                col = segment.attributes[name]
+                order = np.argsort(col.row_ids)
+                sorted_rows = col.row_ids[order]
+                pos = np.searchsorted(sorted_rows, row_ids)
+                pos_c = np.minimum(pos, max(len(sorted_rows) - 1, 0))
+                hit = (len(sorted_rows) > 0) & (sorted_rows[pos_c] == row_ids)
+                out[hit] = col.keys[order][pos_c[hit]]
+        finally:
+            self._lsm.release(snap)
+        if np.isnan(out).any():
+            raise KeyError("row ids not found in attribute column")
+        return out
+
+    def query(
+        self,
+        filter: AttributeFilter,
+        limit: Optional[int] = None,
+    ) -> np.ndarray:
+        """Scalar-only query: row ids matching ``filter`` (no vectors).
+
+        The classic "SELECT id WHERE price < 100" path, served entirely
+        from attribute/categorical indexes.
+        """
+        snap = self._lsm.snapshot()
+        try:
+            rows = self._filter_rows(filter, snap)
+        finally:
+            self._lsm.release(snap)
+        return rows[:limit] if limit is not None else rows
+
+    def range_search(
+        self,
+        field: str,
+        queries: np.ndarray,
+        radius: float,
+        **search_params,
+    ) -> List[List[Tuple[int, float]]]:
+        """All entities scoring within ``radius`` of each query.
+
+        Runs per segment (brute force, or the segment index's
+        range_search when available) and merges; tombstoned rows are
+        excluded.
+        """
+        self.schema.vector_field(field)
+        metric = get_metric(self.schema.vector_field(field).metric)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        snap = self._lsm.snapshot()
+        try:
+            out: List[List[Tuple[int, float]]] = [[] for __ in range(len(queries))]
+            tombs = set(snap.tombstones.tolist())
+            for seg_id in snap.segment_ids:
+                segment = self._lsm.bufferpool.get(seg_id)
+                index = segment.indexes.get(field)
+                if index is not None:
+                    try:
+                        parts = index.range_search(queries, radius, **search_params)
+                    except NotImplementedError:
+                        parts = self._brute_range(segment, field, queries, radius, metric)
+                else:
+                    parts = self._brute_range(segment, field, queries, radius, metric)
+                for qi in range(len(queries)):
+                    out[qi].extend(
+                        (i, s) for i, s in parts[qi] if i not in tombs
+                    )
+            for qi in range(len(queries)):
+                out[qi].sort(key=lambda p: p[1], reverse=metric.higher_is_better)
+            return out
+        finally:
+            self._lsm.release(snap)
+
+    @staticmethod
+    def _brute_range(segment, field, queries, radius, metric):
+        scores = metric.pairwise(queries, segment.vectors[field])
+        parts = []
+        for qi in range(len(queries)):
+            if metric.higher_is_better:
+                hits = np.flatnonzero(scores[qi] >= radius)
+            else:
+                hits = np.flatnonzero(scores[qi] <= radius)
+            parts.append([
+                (int(segment.row_ids[h]), float(scores[qi][h])) for h in hits
+            ])
+        return parts
+
+    def fetch_categoricals(self, name: str, row_ids: Sequence[int]) -> List[str]:
+        """Decoded categorical values for ``row_ids``."""
+        if not self.schema.has_categorical(name):
+            raise InvalidQueryError(f"unknown categorical field {name!r}")
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        codes = np.full(len(row_ids), -1, dtype=np.int64)
+        snap = self._lsm.snapshot()
+        try:
+            for seg_id in snap.segment_ids:
+                segment = self._lsm.bufferpool.get(seg_id)
+                mask = segment.contains_mask(row_ids) & (codes < 0)
+                if mask.any():
+                    codes[mask] = segment.categoricals[name].values_for(row_ids[mask])
+        finally:
+            self._lsm.release(snap)
+        if (codes < 0).any():
+            raise KeyError("row ids not found in categorical column")
+        return self._dictionaries[name].decode(codes)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def create_index(self, field: str, index_type: str = "IVF_FLAT", **params) -> int:
+        """Build indexes for ``field`` on every live segment."""
+        self.schema.vector_field(field)
+        return self._lsm.build_index(field, index_type, **params)
+
+    def compact(self) -> int:
+        """Force merges now; returns the number performed."""
+        return self._lsm.maybe_merge()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def num_entities(self) -> int:
+        """Visible (flushed, non-deleted) entity count."""
+        return self._lsm.num_live_rows
+
+    @property
+    def lsm(self) -> LSMManager:
+        """The underlying storage manager (advanced use / benchmarks)."""
+        return self._lsm
+
+    def describe(self) -> Dict[str, object]:
+        info = self.schema.describe()
+        info["num_entities"] = self.num_entities
+        info["num_segments"] = len(self._lsm.manifest.live_segment_ids())
+        info["unflushed_rows"] = self._lsm.unflushed_rows
+        return info

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the system's public API."""
+
+
+class MilvusError(Exception):
+    """Base class for every error raised by the system."""
+
+
+class CollectionNotFoundError(MilvusError, KeyError):
+    """The named collection does not exist."""
+
+
+class CollectionExistsError(MilvusError, ValueError):
+    """A collection with that name already exists."""
+
+
+class SchemaError(MilvusError, ValueError):
+    """Schema definition or data/schema mismatch."""
+
+
+class InvalidQueryError(MilvusError, ValueError):
+    """Malformed query (unknown field, bad parameters, bad filter)."""

@@ -1,0 +1,142 @@
+"""Collection schemas (paper Sec. 2.1).
+
+"Each entity in Milvus is described as one or more vectors and
+optionally some numerical attributes."  A schema names the vector
+fields (with dimension + metric) and the numeric attribute fields.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.errors import SchemaError
+from repro.metrics import get_metric
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _check_name(name: str, what: str) -> str:
+    if not _NAME_RE.match(name or ""):
+        raise SchemaError(f"invalid {what} name {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class VectorField:
+    """One vector field: a name, a dimensionality, and a metric."""
+
+    name: str
+    dim: int
+    metric: str = "l2"
+
+    def __post_init__(self):
+        _check_name(self.name, "vector field")
+        if self.dim <= 0:
+            raise SchemaError(f"vector field {self.name!r} needs positive dim")
+        try:
+            get_metric(self.metric)
+        except KeyError:
+            raise SchemaError(
+                f"vector field {self.name!r} uses unknown metric {self.metric!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class AttributeField:
+    """One numeric attribute field (the paper's current version)."""
+
+    name: str
+
+    def __post_init__(self):
+        _check_name(self.name, "attribute field")
+
+
+@dataclass(frozen=True)
+class CategoricalField:
+    """One categorical attribute field.
+
+    The paper's stated future work (Sec. 2.1): "we plan to support
+    categorical attributes with indexes like inverted lists or
+    bitmaps" — implemented here.  ``index_kind`` is "auto" (cardinality
+    heuristic), "inverted", or "bitmap".
+    """
+
+    name: str
+    index_kind: str = "auto"
+
+    def __post_init__(self):
+        _check_name(self.name, "categorical field")
+        if self.index_kind not in ("auto", "inverted", "bitmap"):
+            raise SchemaError(
+                f"categorical field {self.name!r}: unknown index kind "
+                f"{self.index_kind!r}"
+            )
+
+
+@dataclass
+class CollectionSchema:
+    """Schema: vector fields + numeric attributes + categorical attributes."""
+
+    name: str
+    vector_fields: List[VectorField]
+    attribute_fields: List[AttributeField] = field(default_factory=list)
+    categorical_fields: List[CategoricalField] = field(default_factory=list)
+
+    def __post_init__(self):
+        _check_name(self.name, "collection")
+        if not self.vector_fields:
+            raise SchemaError("a collection needs at least one vector field")
+        names = (
+            [f.name for f in self.vector_fields]
+            + [f.name for f in self.attribute_fields]
+            + [f.name for f in self.categorical_fields]
+        )
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise SchemaError(f"duplicate field names: {sorted(dupes)}")
+
+    # -- convenience views used by the storage layer -----------------------
+
+    def vector_specs(self) -> Dict[str, Tuple[int, str]]:
+        return {f.name: (f.dim, f.metric) for f in self.vector_fields}
+
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.attribute_fields)
+
+    def categorical_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.categorical_fields)
+
+    def categorical_field(self, name: str) -> CategoricalField:
+        for f in self.categorical_fields:
+            if f.name == name:
+                return f
+        raise SchemaError(f"unknown categorical field {name!r}")
+
+    def has_categorical(self, name: str) -> bool:
+        return any(f.name == name for f in self.categorical_fields)
+
+    def vector_field(self, name: str) -> VectorField:
+        for f in self.vector_fields:
+            if f.name == name:
+                return f
+        raise SchemaError(f"unknown vector field {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(f.name == name for f in self.attribute_fields)
+
+    @property
+    def is_multi_vector(self) -> bool:
+        return len(self.vector_fields) > 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "vector_fields": [
+                {"name": f.name, "dim": f.dim, "metric": f.metric}
+                for f in self.vector_fields
+            ],
+            "attribute_fields": [f.name for f in self.attribute_fields],
+            "categorical_fields": [f.name for f in self.categorical_fields],
+        }

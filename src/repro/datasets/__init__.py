@@ -1,0 +1,33 @@
+"""Synthetic dataset generators standing in for SIFT1B / Deep1B / Recipe1M.
+
+The paper evaluates on SIFT1B (128-d SIFT descriptors) and Deep1B
+(96-d normalized CNN descriptors), plus Recipe1M for multi-vector
+queries.  We cannot ship those corpora, so the generators here produce
+data with the same statistical character at configurable scale:
+Gaussian-mixture cluster structure (which is what makes IVF work),
+SIFT-like non-negative magnitudes, Deep-like unit-norm vectors, and
+Recipe-like correlated two-vector entities.
+"""
+
+from repro.datasets.synthetic import (
+    sift_like,
+    deep_like,
+    gaussian_mixture,
+    random_queries,
+    uniform_attributes,
+)
+from repro.datasets.fingerprints import chemical_fingerprints
+from repro.datasets.recipe import recipe_like
+from repro.datasets.groundtruth import exact_ground_truth, recall_at_k
+
+__all__ = [
+    "sift_like",
+    "deep_like",
+    "gaussian_mixture",
+    "random_queries",
+    "uniform_attributes",
+    "chemical_fingerprints",
+    "recipe_like",
+    "exact_ground_truth",
+    "recall_at_k",
+]

@@ -1,0 +1,69 @@
+"""Exact ground truth and the paper's recall metric.
+
+Paper Sec. 7.1: "let S be the ground-truth top-k result set and S' be
+the top-k results from a system, then the recall is defined as
+|S ∩ S'| / |S|".
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.metrics import Metric, get_metric
+from repro.utils import ensure_matrix, topk_from_scores
+
+_CHUNK = 4096
+
+
+def exact_ground_truth(
+    queries: np.ndarray,
+    data: np.ndarray,
+    k: int,
+    metric: Union[str, Metric] = "l2",
+) -> np.ndarray:
+    """Exact top-k ids per query via chunked brute force -> (nq, k)."""
+    metric = get_metric(metric)
+    queries = ensure_matrix(queries, "queries")
+    data = ensure_matrix(data, "data")
+    out = np.empty((len(queries), min(k, len(data))), dtype=np.int64)
+    for qi in range(len(queries)):
+        parts_ids = []
+        parts_scores = []
+        for start in range(0, len(data), _CHUNK):
+            stop = min(start + _CHUNK, len(data))
+            scores = metric.pairwise(queries[qi : qi + 1], data[start:stop])[0]
+            ids, top = topk_from_scores(
+                scores, k, metric.higher_is_better,
+                ids=np.arange(start, stop, dtype=np.int64),
+            )
+            parts_ids.append(ids)
+            parts_scores.append(top)
+        all_ids = np.concatenate(parts_ids)
+        all_scores = np.concatenate(parts_scores)
+        final_ids, __ = topk_from_scores(
+            all_scores, k, metric.higher_is_better, ids=all_ids
+        )
+        out[qi] = final_ids[: out.shape[1]]
+    return out
+
+
+def recall_at_k(found_ids: np.ndarray, truth_ids: np.ndarray) -> float:
+    """Mean |S ∩ S'| / |S| over queries; padding ids (-1) are ignored."""
+    found_ids = np.asarray(found_ids)
+    truth_ids = np.asarray(truth_ids)
+    if found_ids.ndim == 1:
+        found_ids = found_ids[np.newaxis, :]
+    if truth_ids.ndim == 1:
+        truth_ids = truth_ids[np.newaxis, :]
+    if len(found_ids) != len(truth_ids):
+        raise ValueError("found and truth must cover the same queries")
+    total = 0.0
+    for found, truth in zip(found_ids, truth_ids):
+        truth_set = set(int(t) for t in truth if t >= 0)
+        if not truth_set:
+            continue
+        hits = sum(1 for f in found if int(f) in truth_set)
+        total += hits / len(truth_set)
+    return total / len(found_ids)

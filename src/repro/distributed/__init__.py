@@ -1,0 +1,30 @@
+"""Distributed deployment (paper Sec. 5.3), simulated in-process.
+
+The architecture is the paper's Figure 5: a shared storage layer
+(simulated S3), a coordinator layer holding metadata (sharding, node
+registry, leader election stand-in), and a stateless compute layer
+with a single writer and many readers ("read/write separation,
+single-writer-multi-reader").  Data shards across readers with
+consistent hashing; the writer ships logs (not data) to shared
+storage, Aurora-style; readers are disposable and rebuild from shared
+storage on restart, K8s-style.
+
+Nodes run real query code; the cluster reports both wall-clock and
+*simulated parallel time* (per-node busy time, max over nodes), which
+is what the Fig. 10b scalability bench plots.
+"""
+
+from repro.distributed.hashing import ConsistentHashRing
+from repro.distributed.coordinator import Coordinator, ShardMap
+from repro.distributed.node import ReaderNode, WriterNode
+from repro.distributed.cluster import MilvusCluster, ClusterSearchResult
+
+__all__ = [
+    "ConsistentHashRing",
+    "Coordinator",
+    "ShardMap",
+    "ReaderNode",
+    "WriterNode",
+    "MilvusCluster",
+    "ClusterSearchResult",
+]

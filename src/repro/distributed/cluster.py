@@ -1,0 +1,150 @@
+"""The cluster facade: shared storage + coordinator + writer + readers.
+
+Queries fan out to every reader (each owns one shard) and merge.  Two
+timings are reported:
+
+* wall-clock — honest in-process measurement (nodes run serially in
+  one Python process);
+* simulated parallel seconds — the max of per-node busy time for the
+  batch, i.e. what an actual deployment with one node per machine
+  would take.  Fig. 10b plots throughput from this value, which is
+  where the near-linear scaling of the shared-storage design shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.node import ReaderNode, WriterNode
+from repro.index.base import SearchResult
+from repro.metrics import get_metric
+from repro.storage.filesystem import FileSystem, InMemoryObjectStore
+from repro.utils import merge_topk
+
+
+@dataclass
+class ClusterSearchResult:
+    """Merged results plus the two timings."""
+
+    result: SearchResult
+    wall_seconds: float
+    simulated_parallel_seconds: float
+
+
+class MilvusCluster:
+    """Single-writer / multi-reader shared-storage cluster."""
+
+    def __init__(
+        self,
+        n_readers: int,
+        dim: int,
+        metric: str = "l2",
+        index_type: str = "IVF_FLAT",
+        index_params: Optional[dict] = None,
+        shared: Optional[FileSystem] = None,
+    ):
+        if n_readers <= 0:
+            raise ValueError("need at least one reader")
+        self.shared = shared or InMemoryObjectStore()
+        self.coordinator = Coordinator()
+        self.writer = WriterNode(self.shared)
+        self.metric = get_metric(metric)
+        self.dim = dim
+        self.readers: Dict[str, ReaderNode] = {}
+        for i in range(n_readers):
+            self.add_reader(
+                ReaderNode(
+                    f"reader-{i}", self.shared, dim, self.metric.name,
+                    index_type, index_params,
+                )
+            )
+
+    # -- membership -------------------------------------------------------
+
+    def add_reader(self, reader: ReaderNode) -> None:
+        self.coordinator.register_reader(reader.node_id)
+        self.readers[reader.node_id] = reader
+
+    def crash_reader(self, node_id: str) -> None:
+        self.readers[node_id].crash()
+
+    def restart_reader(self, node_id: str) -> None:
+        """K8s-style replacement: same identity, state from shared storage."""
+        dead = self.readers[node_id]
+        self.readers[node_id] = ReaderNode.respawn(dead)
+
+    # -- write path -----------------------------------------------------------
+
+    def insert(self, row_ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Shard the batch by row id and ship per-shard logs."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.float32)
+        owners = np.array([self.coordinator.route(int(r)) for r in row_ids])
+        for shard in np.unique(owners):
+            mask = owners == shard
+            self.writer.append_shard_log(str(shard), row_ids[mask], vectors[mask])
+
+    def sync(self, build_indexes: bool = True) -> None:
+        """Have every reader consume pending logs (and index)."""
+        for reader in self.readers.values():
+            reader.refresh()
+            if build_indexes:
+                reader.build_index()
+
+    # -- read path ---------------------------------------------------------------
+
+    def search(
+        self, queries: np.ndarray, k: int, auto_refresh: bool = False, **search_params
+    ) -> ClusterSearchResult:
+        """Fan out to all live readers, merge, and report timings.
+
+        ``auto_refresh=True`` gives read-your-writes at the cluster
+        level: every reader consumes pending shard logs before serving
+        (at the cost of an extra shared-storage listing per query).
+        """
+        import time
+
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        live = [r for r in self.readers.values() if r.alive]
+        if not live:
+            raise RuntimeError("no live readers")
+        if auto_refresh:
+            for reader in live:
+                if reader.refresh():
+                    reader.build_index()
+        started = time.perf_counter()
+        before = {r.node_id: r.busy_seconds for r in live}
+        partials = [r.search(queries, k, **search_params) for r in live]
+        wall = time.perf_counter() - started
+        per_node = [r.busy_seconds - before[r.node_id] for r in live]
+
+        merged = SearchResult.empty(len(queries), k, self.metric)
+        for qi in range(len(queries)):
+            parts = [
+                (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
+                for p in partials
+            ]
+            ids, scores = merge_topk(parts, k, self.metric.higher_is_better)
+            merged.ids[qi, : len(ids)] = ids
+            merged.scores[qi, : len(scores)] = scores
+        return ClusterSearchResult(
+            result=merged,
+            wall_seconds=wall,
+            simulated_parallel_seconds=max(per_node) if per_node else 0.0,
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def num_readers(self) -> int:
+        return len(self.readers)
+
+    def total_rows(self) -> int:
+        return sum(r.num_rows for r in self.readers.values() if r.alive)
+
+    def shard_sizes(self) -> Dict[str, int]:
+        return {node_id: r.num_rows for node_id, r in self.readers.items()}

@@ -1,0 +1,93 @@
+"""Coordinator layer (paper Sec. 5.3).
+
+"There is a coordinator layer to maintain the metadata of the system
+such as sharding and load balancing information.  The coordinator
+layer is highly available with three instances managed by Zookeeper."
+
+The HA ensemble is simulated as three coordinator replicas sharing
+state; killing the leader promotes a follower, and metadata survives
+because it lives in the (shared) state object — the property that
+matters to the rest of the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.distributed.hashing import ConsistentHashRing
+
+
+@dataclass
+class ShardMap:
+    """Sharding metadata: the ring plus the registered reader set."""
+
+    ring: ConsistentHashRing
+    readers: List[str] = field(default_factory=list)
+
+    def owner_of(self, row_id: int) -> str:
+        return self.ring.route(row_id)
+
+
+class Coordinator:
+    """HA coordinator ensemble (three replicas, one leader)."""
+
+    ENSEMBLE_SIZE = 3
+
+    def __init__(self):
+        self._replicas = [f"coord-{i}" for i in range(self.ENSEMBLE_SIZE)]
+        self._alive = {name: True for name in self._replicas}
+        self._leader = self._replicas[0]
+        self.shard_map = ShardMap(ring=ConsistentHashRing())
+        self.metadata: Dict[str, object] = {}
+
+    # -- HA behaviour -----------------------------------------------------
+
+    @property
+    def leader(self) -> str:
+        return self._leader
+
+    def alive_replicas(self) -> List[str]:
+        return [name for name, alive in self._alive.items() if alive]
+
+    def kill_replica(self, name: str) -> None:
+        """Crash one replica; a follower takes over if it was leader."""
+        if name not in self._alive:
+            raise KeyError(name)
+        self._alive[name] = False
+        survivors = self.alive_replicas()
+        if not survivors:
+            raise RuntimeError("coordinator ensemble lost quorum entirely")
+        if self._leader == name:
+            self._leader = survivors[0]
+
+    def restart_replica(self, name: str) -> None:
+        self._alive[name] = True
+
+    def has_quorum(self) -> bool:
+        return len(self.alive_replicas()) > self.ENSEMBLE_SIZE // 2
+
+    # -- sharding metadata --------------------------------------------------
+
+    def register_reader(self, reader_id: str) -> None:
+        if not self.has_quorum():
+            raise RuntimeError("coordinator has no quorum; writes refused")
+        self.shard_map.ring.add_node(reader_id)
+        self.shard_map.readers.append(reader_id)
+
+    def deregister_reader(self, reader_id: str) -> None:
+        if not self.has_quorum():
+            raise RuntimeError("coordinator has no quorum; writes refused")
+        self.shard_map.ring.remove_node(reader_id)
+        self.shard_map.readers.remove(reader_id)
+
+    def route(self, row_id: int) -> str:
+        return self.shard_map.owner_of(row_id)
+
+    def set_metadata(self, key: str, value) -> None:
+        if not self.has_quorum():
+            raise RuntimeError("coordinator has no quorum; writes refused")
+        self.metadata[key] = value
+
+    def get_metadata(self, key: str):
+        return self.metadata.get(key)

@@ -1,0 +1,76 @@
+"""Consistent hashing for data sharding (paper Sec. 5.3).
+
+"Data is sharded among the reader instances with consistent hashing."
+Virtual nodes smooth the key distribution; adding or removing a node
+only remaps the keys adjacent to its virtual positions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.utils import ensure_positive
+
+
+def _hash64(value: str) -> int:
+    digest = hashlib.blake2b(value.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Hash ring with virtual nodes."""
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 64):
+        self.vnodes = ensure_positive(vnodes, "vnodes")
+        self._ring: List[int] = []
+        self._owner: Dict[int, str] = {}
+        self._nodes: Dict[str, List[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        positions = []
+        for v in range(self.vnodes):
+            pos = _hash64(f"{node}#{v}")
+            # Collisions across nodes are astronomically unlikely with
+            # 64-bit hashes but would silently corrupt ownership.
+            if pos in self._owner:
+                raise RuntimeError(f"hash collision at {pos}")
+            bisect.insort(self._ring, pos)
+            self._owner[pos] = node
+            positions.append(pos)
+        self._nodes[node] = positions
+
+    def remove_node(self, node: str) -> None:
+        positions = self._nodes.pop(node)
+        for pos in positions:
+            self._ring.remove(pos)
+            del self._owner[pos]
+
+    def route(self, key) -> str:
+        """Owner node of ``key`` (clockwise successor on the ring)."""
+        if not self._ring:
+            raise RuntimeError("ring has no nodes")
+        pos = _hash64(str(key))
+        idx = bisect.bisect_right(self._ring, pos)
+        if idx == len(self._ring):
+            idx = 0
+        return self._owner[self._ring[idx]]
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def load_distribution(self, keys) -> Dict[str, int]:
+        """Keys per node — used to test balance."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

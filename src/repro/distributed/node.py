@@ -1,0 +1,183 @@
+"""Compute-layer nodes (paper Sec. 5.3): one writer, many readers.
+
+"The computing layer ... is stateless to achieve elasticity.  It
+includes a single writer instance and multiple reader instances ...
+The computing layer only sends logs (rather than the actual data) to
+the storage layer, similar to Aurora."
+
+The writer ships per-shard insert logs to shared storage; each reader
+consumes the logs for its shard, materializes vectors, and serves
+searches with a local index.  Readers are disposable: a restarted
+reader rebuilds its entire state from shared storage.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.index import create_index
+from repro.index.base import SearchResult, VectorIndex
+from repro.metrics import get_metric
+from repro.storage.filesystem import FileSystem
+
+
+class WriterNode:
+    """The single writer: logs insert batches per shard to shared storage.
+
+    Atomicity on crash comes from the log objects themselves: a batch
+    is visible iff its log object was fully written (the WAL argument
+    of Sec. 5.3).
+    """
+
+    def __init__(self, shared: FileSystem, node_id: str = "writer-0"):
+        self.shared = shared
+        self.node_id = node_id
+        self._seq = self._recover_seq()
+
+    def _recover_seq(self) -> int:
+        seq = 0
+        for path in self.shared.listdir("shardlog/"):
+            try:
+                seq = max(seq, int(path.split("/")[-1].split("-")[0]) + 1)
+            except ValueError:
+                continue
+        return seq
+
+    def append_shard_log(
+        self, shard: str, row_ids: np.ndarray, vectors: np.ndarray
+    ) -> str:
+        """Write one insert-log object for ``shard``; returns its path."""
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            row_ids=np.asarray(row_ids, dtype=np.int64),
+            vectors=np.asarray(vectors, dtype=np.float32),
+        )
+        path = f"shardlog/{self._seq:012d}-{shard}.log"
+        self._seq += 1
+        self.shared.write(path, buf.getvalue())
+        return path
+
+
+class ReaderNode:
+    """One stateless reader: serves searches over its shard.
+
+    ``refresh()`` pulls any unseen log objects for this shard from
+    shared storage (read/write separation: the writer never talks to
+    readers directly).  ``busy_seconds`` accumulates the node's own
+    search compute time, which the cluster uses for simulated parallel
+    timing.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        shared: FileSystem,
+        dim: int,
+        metric: str = "l2",
+        index_type: str = "IVF_FLAT",
+        index_params: Optional[dict] = None,
+    ):
+        self.node_id = node_id
+        self.shared = shared
+        self.dim = dim
+        self.metric = get_metric(metric)
+        self.index_type = index_type
+        self.index_params = dict(index_params or {})
+        self._vectors: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._consumed: set = set()
+        self._index: Optional[VectorIndex] = None
+        self.busy_seconds = 0.0
+        self.queries_served = 0
+        self.alive = True
+
+    # -- log consumption -------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Consume unseen shard-log objects; returns rows ingested."""
+        self._check_alive()
+        ingested = 0
+        suffix = f"-{self.node_id}.log"
+        for path in self.shared.listdir("shardlog/"):
+            if not path.endswith(suffix) or path in self._consumed:
+                continue
+            with np.load(io.BytesIO(self.shared.read(path))) as archive:
+                row_ids = archive["row_ids"]
+                vectors = archive["vectors"]
+            if self._vectors is None:
+                self._vectors = vectors.copy()
+                self._ids = row_ids.copy()
+            else:
+                self._vectors = np.concatenate([self._vectors, vectors])
+                self._ids = np.concatenate([self._ids, row_ids])
+            self._consumed.add(path)
+            ingested += len(row_ids)
+        if ingested:
+            self._index = None  # invalidated; rebuilt lazily
+        return ingested
+
+    def build_index(self) -> None:
+        self._check_alive()
+        if self._vectors is None or not len(self._vectors):
+            return
+        params = dict(self.index_params)
+        if self.index_type.startswith("IVF") and "nlist" not in params:
+            params["nlist"] = max(4, int(np.sqrt(len(self._vectors))))
+        index = create_index(self.index_type, self.dim, metric=self.metric.name, **params)
+        if index.requires_training:
+            index.train(self._vectors)
+        index.add(self._vectors, ids=self._ids)
+        self._index = index
+
+    # -- query serving -----------------------------------------------------------
+
+    def search(self, queries: np.ndarray, k: int, **search_params) -> SearchResult:
+        """Shard-local top-k; accumulates this node's busy time."""
+        self._check_alive()
+        if self._index is None:
+            self.build_index()
+        started = time.perf_counter()
+        try:
+            if self._index is None:
+                queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+                return SearchResult.empty(len(queries), k, self.metric)
+            return self._index.search(queries, k, **search_params)
+        finally:
+            self.busy_seconds += time.perf_counter() - started
+            self.queries_served += int(np.atleast_2d(queries).shape[0])
+
+    # -- lifecycle (K8s-style) ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a crash: all local state is lost."""
+        self.alive = False
+        self._vectors = None
+        self._ids = None
+        self._index = None
+        self._consumed = set()
+
+    @classmethod
+    def respawn(cls, dead: "ReaderNode") -> "ReaderNode":
+        """K8s restart: a fresh instance with the same identity; state
+        rebuilds entirely from shared storage (statelessness)."""
+        node = cls(
+            dead.node_id, dead.shared, dead.dim, dead.metric.name,
+            dead.index_type, dead.index_params,
+        )
+        node.refresh()
+        node.build_index()
+        return node
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise RuntimeError(f"reader {self.node_id} has crashed")
+
+    @property
+    def num_rows(self) -> int:
+        return 0 if self._ids is None else len(self._ids)

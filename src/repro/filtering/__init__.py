@@ -1,0 +1,28 @@
+"""Attribute filtering (paper Sec. 4.1).
+
+A hybrid query combines an attribute range constraint ``C_A`` (``a >=
+p1 && a <= p2``) with a vector top-k constraint ``C_V``.  Five
+strategies, exactly as the paper lays out (Figure 4):
+
+* **A** — attribute-first, vector full scan (exact).
+* **B** — attribute-first bitmap, vector search with pushdown.
+* **C** — vector-first (search theta*k), attribute post-filter.
+* **D** — cost-based choice among A/B/C (the AnalyticDB-V approach).
+* **E** — partition-based: partition by the frequently-filtered
+  attribute, run D per overlapping partition, and skip the attribute
+  check entirely in partitions fully covered by the query range.
+"""
+
+from repro.filtering.cost import CostModel, StrategyCosts
+from repro.filtering.engine import AttributeFilterEngine, FilterResult
+from repro.filtering.partition import PartitionedFilterEngine
+from repro.filtering.frequency import AttributeUsageTracker
+
+__all__ = [
+    "CostModel",
+    "StrategyCosts",
+    "AttributeFilterEngine",
+    "FilterResult",
+    "PartitionedFilterEngine",
+    "AttributeUsageTracker",
+]

@@ -1,0 +1,212 @@
+"""Strategies A–D over one dataset (or one partition).
+
+The engine owns the vectors, one attribute column, and a vector index;
+each strategy is a method so benchmarks can time them head-to-head
+(Fig. 14) and strategy E can reuse D per partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.filtering.cost import CostModel
+from repro.index import create_index
+from repro.index.base import VectorIndex
+from repro.metrics import get_metric
+from repro.storage.attributes import AttributeColumn
+from repro.utils import topk_from_scores
+
+
+@dataclass
+class FilterResult:
+    """Outcome of one filtered query."""
+
+    ids: np.ndarray
+    scores: np.ndarray
+    strategy: str
+    exact: bool
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class AttributeFilterEngine:
+    """Strategies A, B, C, D over one vector dataset + one attribute."""
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        attr_values: np.ndarray,
+        metric: str = "l2",
+        ids: Optional[np.ndarray] = None,
+        index: Optional[VectorIndex] = None,
+        index_type: str = "IVF_FLAT",
+        nlist: Optional[int] = None,
+        theta: float = 1.1,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+    ):
+        self.vectors = np.asarray(vectors, dtype=np.float32)
+        self.metric = get_metric(metric)
+        n = len(self.vectors)
+        self.ids = (
+            np.arange(n, dtype=np.int64) if ids is None else np.asarray(ids, dtype=np.int64)
+        )
+        order = np.argsort(self.ids)
+        self.ids = self.ids[order]
+        self.vectors = self.vectors[order]
+        attr_values = np.asarray(attr_values, dtype=np.float64)[order]
+        self.column = AttributeColumn(attr_values, self.ids)
+        #: attribute values aligned with self.ids (row order) for O(1)
+        #: post-filter checks in strategy C.
+        self._attr_by_row = attr_values
+        self.theta = float(theta)
+        self.cost_model = cost_model or CostModel()
+
+        if index is not None:
+            self.index = index
+        else:
+            nlist = nlist or max(4, int(np.sqrt(max(n, 16))))
+            self.index = create_index(
+                index_type, self.vectors.shape[1], metric=self.metric.name,
+                nlist=min(nlist, max(n, 1)), seed=seed,
+            )
+            if self.index.requires_training:
+                self.index.train(self.vectors)
+            self.index.add(self.vectors, ids=self.ids)
+
+    # -- strategy A: attribute-first, vector full scan (exact) -------------
+
+    def strategy_a(self, query: np.ndarray, low: float, high: float, k: int) -> FilterResult:
+        candidates = self.column.range_query(low, high)
+        if len(candidates) == 0:
+            return self._empty("A", exact=True)
+        pos = np.searchsorted(self.ids, np.sort(candidates))
+        cand_vectors = self.vectors[pos]
+        scores = self.metric.pairwise(np.atleast_2d(query), cand_vectors)[0]
+        top_ids, top_scores = topk_from_scores(
+            scores, k, self.metric.higher_is_better, ids=self.ids[pos]
+        )
+        return FilterResult(top_ids, top_scores, "A", exact=True)
+
+    # -- strategy B: attribute-first bitmap + vector search -------------------
+
+    def strategy_b(
+        self, query: np.ndarray, low: float, high: float, k: int, **search_params
+    ) -> FilterResult:
+        candidates = np.sort(self.column.range_query(low, high))
+        if len(candidates) == 0:
+            return self._empty("B", exact=False)
+        result = self.index.search(
+            np.atleast_2d(query), k, row_filter=candidates, **search_params
+        )
+        mask = result.ids[0] >= 0
+        return FilterResult(result.ids[0][mask], result.scores[0][mask], "B", exact=False)
+
+    # -- strategy C: vector-first, attribute post-check ------------------------
+
+    def strategy_c(
+        self, query: np.ndarray, low: float, high: float, k: int,
+        max_rounds: int = 6, **search_params,
+    ) -> FilterResult:
+        """Search theta*k, keep passing rows; widen until k or exhausted.
+
+        The initial fetch is selectivity-aware: expecting a fraction
+        ``p`` of rows to pass, theta*k/p candidates are requested up
+        front so the common case finishes in one round (the widening
+        loop remains as the fallback for estimation error).
+        """
+        passing = max(self.column.selectivity(low, high), 1e-9)
+        fetch = max(int(np.ceil(self.theta * k / passing)), k)
+        for __ in range(max_rounds):
+            fetch_eff = min(fetch, self.index.ntotal)
+            result = self.index.search(np.atleast_2d(query), fetch_eff, **search_params)
+            found_ids = result.ids[0]
+            found_scores = result.scores[0]
+            valid = found_ids >= 0
+            found_ids, found_scores = found_ids[valid], found_scores[valid]
+            if len(found_ids):
+                pos = np.searchsorted(self.ids, found_ids)
+                values = self._attr_by_row[pos]
+                passing = (values >= low) & (values <= high)
+                found_ids, found_scores = found_ids[passing], found_scores[passing]
+            if len(found_ids) >= k or fetch_eff >= self.index.ntotal:
+                return FilterResult(
+                    found_ids[:k], found_scores[:k], "C", exact=False
+                )
+            fetch *= 2
+        return FilterResult(found_ids[:k], found_scores[:k], "C", exact=False)
+
+    # -- strategy D: cost-based --------------------------------------------------
+
+    def estimate_costs(self, low: float, high: float, k: int, nprobe: int = 8):
+        n = max(len(self.ids), 1)
+        passing_fraction = self.column.selectivity(low, high)
+        scanned_fraction = self._scanned_fraction(nprobe)
+        return self.cost_model.estimate(
+            n, passing_fraction, k, scanned_fraction, self.theta
+        )
+
+    def _scanned_fraction(self, nprobe: int) -> float:
+        nlist = getattr(self.index, "nlist", None)
+        if not nlist:
+            return 1.0
+        return min(1.0, nprobe / nlist)
+
+    def strategy_d(
+        self, query: np.ndarray, low: float, high: float, k: int, **search_params
+    ) -> FilterResult:
+        nprobe = int(search_params.get("nprobe", 8))
+        costs = self.estimate_costs(low, high, k, nprobe=nprobe)
+        choice = costs.best()
+        if choice == "A":
+            result = self.strategy_a(query, low, high, k)
+        elif choice == "B":
+            result = self.strategy_b(query, low, high, k, **search_params)
+        else:
+            result = self.strategy_c(query, low, high, k, **search_params)
+        return FilterResult(result.ids, result.scores, f"D->{result.strategy}", result.exact)
+
+    # -- uniform entry point ---------------------------------------------------------
+
+    def search(
+        self, query: np.ndarray, low: float, high: float, k: int,
+        strategy: str = "D", **search_params,
+    ) -> FilterResult:
+        strategy = strategy.upper()
+        if strategy == "A":
+            return self.strategy_a(query, low, high, k)
+        if strategy == "B":
+            return self.strategy_b(query, low, high, k, **search_params)
+        if strategy == "C":
+            return self.strategy_c(query, low, high, k, **search_params)
+        if strategy == "D":
+            return self.strategy_d(query, low, high, k, **search_params)
+        raise ValueError(f"unknown strategy {strategy!r} (A/B/C/D)")
+
+    def vector_only(self, query: np.ndarray, k: int, **search_params) -> FilterResult:
+        """Pure vector search — used by strategy E on covered partitions."""
+        result = self.index.search(np.atleast_2d(query), k, **search_params)
+        mask = result.ids[0] >= 0
+        return FilterResult(result.ids[0][mask], result.scores[0][mask], "V", exact=False)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _empty(self, strategy: str, exact: bool) -> FilterResult:
+        return FilterResult(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), strategy, exact
+        )
+
+    @property
+    def attr_min(self) -> float:
+        return self.column.min_value
+
+    @property
+    def attr_max(self) -> float:
+        return self.column.max_value
+
+    def __len__(self) -> int:
+        return len(self.ids)

@@ -1,0 +1,48 @@
+"""Attribute usage tracking for offline partitioning decisions.
+
+"We maintain the frequency of each searched attribute in a hash table
+and increase the counter whenever a query refers to that attribute."
+Strategy E partitions the data on the most frequently filtered
+attribute.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+
+class AttributeUsageTracker:
+    """Hash-table counters over filtered attribute names."""
+
+    def __init__(self):
+        self._counts: Counter = Counter()
+        #: recorded (low, high) ranges per attribute, for range-aware
+        #: partitioning heuristics.
+        self._ranges: Dict[str, List[Tuple[float, float]]] = {}
+
+    def record(self, attribute: str, low: Optional[float] = None, high: Optional[float] = None) -> None:
+        """Count one query touching ``attribute`` (optionally its range)."""
+        self._counts[attribute] += 1
+        if low is not None and high is not None:
+            self._ranges.setdefault(attribute, []).append((float(low), float(high)))
+
+    def count(self, attribute: str) -> int:
+        return self._counts[attribute]
+
+    def most_frequent(self) -> Optional[str]:
+        """The attribute to partition on; None before any query."""
+        if not self._counts:
+            return None
+        return self._counts.most_common(1)[0][0]
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def typical_range_width(self, attribute: str) -> Optional[float]:
+        """Median queried range width (informs partition sizing)."""
+        ranges = self._ranges.get(attribute)
+        if not ranges:
+            return None
+        widths = sorted(high - low for low, high in ranges)
+        return widths[len(widths) // 2]

@@ -1,0 +1,65 @@
+"""Bucket-major batched IVF execution — the cache-aware design applied
+to quantization indexes (paper Sec. 3.2.1).
+
+Per-query IVF search streams each probed bucket once *per query*.  The
+batched executor inverts the loop: for every bucket, gather all the
+queries probing it and scan the bucket once for the whole sub-batch —
+one GEMM per (bucket, query-group), maximal data reuse.  This is the
+fine-grained "threads own data, query blocks stay resident" idea in
+inverted-file form, and it is genuinely faster in this substrate
+because blocking maps onto BLAS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.index.base import SearchResult
+from repro.index.ivf_common import IVFIndexBase
+from repro.utils import merge_topk, topk_from_scores
+
+
+class BatchedIVFSearcher:
+    """Batch executor over any trained/populated IVF index."""
+
+    def __init__(self, index: IVFIndexBase):
+        if not isinstance(index, IVFIndexBase):
+            raise TypeError("BatchedIVFSearcher requires an IVF-family index")
+        self.index = index
+
+    def search(self, queries: np.ndarray, k: int, nprobe: int = 8) -> SearchResult:
+        """Same results as per-query IVF search, bucket-major execution."""
+        index = self.index
+        metric = index.metric
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        m = len(queries)
+        if index.ntotal == 0:
+            return SearchResult.empty(m, k, metric)
+
+        bucket_ids = index.select_buckets(queries, nprobe)  # (m, nprobe)
+        # Invert to bucket -> probing query indexes.
+        by_bucket: Dict[int, List[int]] = {}
+        for qi in range(m):
+            for b in bucket_ids[qi]:
+                by_bucket.setdefault(int(b), []).append(qi)
+
+        partials: List[List] = [[] for __ in range(m)]
+        for bucket, qidx in by_bucket.items():
+            ids, codes = index.lists.get(bucket)
+            if len(ids) == 0:
+                continue
+            sub = queries[np.array(qidx)]
+            scores = index._scan_list(sub, codes, bucket)
+            for row, qi in enumerate(qidx):
+                partials[qi].append(
+                    topk_from_scores(scores[row], k, metric.higher_is_better, ids=ids)
+                )
+
+        result = SearchResult.empty(m, k, metric)
+        for qi in range(m):
+            top_ids, top_scores = merge_topk(partials[qi], k, metric.higher_is_better)
+            result.ids[qi, : len(top_ids)] = top_ids
+            result.scores[qi, : len(top_scores)] = top_scores
+        return result

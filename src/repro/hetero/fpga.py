@@ -1,0 +1,107 @@
+"""FPGA acceleration of IVF_PQ (the paper's stated future work).
+
+Conclusion of the paper: "we plan to leverage FPGA to accelerate
+Milvus.  We have implemented the IVF_PQ indexing on FPGA and the
+initial results are encouraging."
+
+PQ's ADC scan is an ideal FPGA workload — per code it is ``m`` table
+lookups and adds, trivially pipelined at one code/cycle/lane with the
+LUTs in on-chip BRAM.  The executor models that offload: codes stream
+over PCIe once and stay resident in device DRAM; per batch only the
+tiny ADC tables cross the bus; the scan runs at the lookup-pipeline
+rate.  Real results come from the attached :class:`IVFPQIndex`; the
+model supplies CPU-vs-FPGA timing at arbitrary scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hetero.hardware import CPUSpec, XEON_PLATINUM_8269
+from repro.index.base import SearchResult
+from repro.index.ivf_pq import IVFPQIndex
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """Model parameters of one FPGA accelerator card.
+
+    ``lookup_rate`` counts (code, sub-quantizer) table lookups per
+    second across all pipeline lanes — the resource that bounds an
+    ADC scan.  Defaults approximate a mid-range PCIe card (e.g. an
+    Alveo-class part: 256 lanes at 300 MHz).
+    """
+
+    name: str = "alveo-class"
+    lookup_rate: float = 7.68e10  # lookups/s
+    dram_bytes: int = 32 * 1024 ** 3
+    pcie_bandwidth: float = 12e9
+    batch_setup_overhead_s: float = 50e-6
+
+
+class FPGAPQExecutor:
+    """IVF_PQ scans offloaded to an FPGA (modeled), results real."""
+
+    def __init__(
+        self,
+        index: Optional[IVFPQIndex] = None,
+        spec: FPGASpec = FPGASpec(),
+        cpu: CPUSpec = XEON_PLATINUM_8269,
+    ):
+        self.index = index
+        self.spec = spec
+        self.cpu = cpu
+        self._codes_resident = False
+
+    # -- real execution ---------------------------------------------------
+
+    def search(self, queries: np.ndarray, k: int, nprobe: int = 8) -> SearchResult:
+        """Real IVF_PQ search (the offload changes time, not results)."""
+        if self.index is None:
+            raise RuntimeError("FPGAPQExecutor has no attached index")
+        self._codes_resident = True  # codes ship on first use
+        return self.index.search(queries, k, nprobe=nprobe)
+
+    # -- timing model -----------------------------------------------------------
+
+    def _scan_lookups(self, m: int, n: int, msub: int, nprobe: int, nlist: int) -> float:
+        scanned = n * min(1.0, nprobe / nlist)
+        return m * scanned * msub
+
+    def model_fpga_seconds(
+        self, m: int, n: int, msub: int, nprobe: int, nlist: int,
+        tables_bytes_per_query: int = 8192, first_batch: bool = False,
+    ) -> float:
+        """Offloaded scan: table upload + pipelined lookups.
+
+        ``first_batch=True`` adds the one-time code upload (n * msub
+        bytes over PCIe); afterwards codes are DRAM-resident.
+        """
+        upload = 0.0
+        if first_batch:
+            upload = (n * msub) / self.spec.pcie_bandwidth
+        tables = m * tables_bytes_per_query / self.spec.pcie_bandwidth
+        scan = self._scan_lookups(m, n, msub, nprobe, nlist) / self.spec.lookup_rate
+        return upload + tables + scan + self.spec.batch_setup_overhead_s
+
+    def model_cpu_seconds(
+        self, m: int, n: int, msub: int, nprobe: int, nlist: int,
+        lookups_per_second: float = 2e9,
+    ) -> float:
+        """CPU ADC scan: gather-bound, a few lookups per cycle per core."""
+        effective = lookups_per_second * self.cpu.threads
+        return self._scan_lookups(m, n, msub, nprobe, nlist) / effective
+
+    def model_speedup(
+        self, m: int, n: int, msub: int = 8, nprobe: int = 64, nlist: int = 16384,
+    ) -> float:
+        cpu = self.model_cpu_seconds(m, n, msub, nprobe, nlist)
+        fpga = self.model_fpga_seconds(m, n, msub, nprobe, nlist)
+        return cpu / fpga
+
+    def fits(self, n: int, msub: int) -> bool:
+        """Whether the PQ codes fit in device DRAM (1 byte per code)."""
+        return n * msub <= self.spec.dram_bytes

@@ -1,0 +1,110 @@
+"""Hardware specifications for the analytical performance model.
+
+The two CPUs are the ones in Fig. 11 (Intel Core i7-8700, 12 MB L3;
+Xeon Platinum 8269, 35.75 MB L3) and the GPU is the Tesla T4 of
+Sec. 7.1.  ``scan_gflops`` (sustained in-cache distance throughput)
+and ``mem_bandwidth`` are *effective* values calibrated so the model
+reproduces the paper's measured cache-aware speedups (2.7x on the i7,
+1.5x on the Xeon) — real peak numbers overstate what a distance scan
+sustains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class SIMDLevel(enum.IntEnum):
+    """Supported SIMD instruction sets, in capability order."""
+
+    SSE = 1
+    AVX = 2
+    AVX2 = 3
+    AVX512 = 4
+
+    @property
+    def float_lanes(self) -> int:
+        """Parallel float32 lanes per instruction."""
+        return {self.SSE: 4, self.AVX: 8, self.AVX2: 8, self.AVX512: 16}[self]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One CPU's model parameters.
+
+    Attributes:
+        name: human-readable identifier.
+        l3_bytes: last-level cache size (drives Equation (1)).
+        threads: hardware threads the engine uses.
+        simd: highest SIMD level the CPU advertises.
+        scan_gflops: sustained distance-compute throughput when the
+            working set is cache-resident (GFLOP/s, all threads).
+        mem_bandwidth: sustained streaming bandwidth (bytes/s).
+    """
+
+    name: str
+    l3_bytes: int
+    threads: int
+    simd: SIMDLevel
+    scan_gflops: float
+    mem_bandwidth: float
+
+    @property
+    def simd_flags(self) -> Tuple[str, ...]:
+        """CPU flag strings, as runtime dispatch would read from cpuid."""
+        order = [SIMDLevel.SSE, SIMDLevel.AVX, SIMDLevel.AVX2, SIMDLevel.AVX512]
+        return tuple(level.name.lower() for level in order if level <= self.simd)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU's model parameters.
+
+    ``pcie_effective_single`` is the paper's measured 1-2 GB/s when
+    Faiss copies bucket-by-bucket; ``pcie_effective_batched`` is what
+    Milvus's multi-bucket copying achieves out of the 15.75 GB/s
+    PCIe 3.0 x16 peak.
+    """
+
+    name: str
+    memory_bytes: int
+    compute_gflops: float
+    pcie_peak: float
+    pcie_effective_single: float
+    pcie_effective_batched: float
+    kernel_launch_overhead_s: float = 20e-6
+    max_shared_memory_k: int = 1024
+
+
+#: Fig. 11(b)/Sec. 7.1 default CPU: Xeon Platinum 8269 Cascade 2.5 GHz,
+#: 16 vCPUs, 35.75 MB L3, AVX512.
+XEON_PLATINUM_8269 = CPUSpec(
+    name="Xeon Platinum 8269",
+    l3_bytes=int(35.75 * 1024 * 1024),
+    threads=16,
+    simd=SIMDLevel.AVX512,
+    scan_gflops=120.0,
+    mem_bandwidth=107e9,
+)
+
+#: Fig. 11(a) CPU: Intel Core i7-8700 3.2 GHz, 12 MB L3, AVX2.
+CORE_I7_8700 = CPUSpec(
+    name="Core i7-8700",
+    l3_bytes=12 * 1024 * 1024,
+    threads=6,
+    simd=SIMDLevel.AVX2,
+    scan_gflops=80.0,
+    mem_bandwidth=40e9,
+)
+
+#: Sec. 7.1 GPU: NVIDIA Tesla T4, 16 GB, PCIe 3.0 x16.
+TESLA_T4 = GPUSpec(
+    name="Tesla T4",
+    memory_bytes=16 * 1024 ** 3,
+    compute_gflops=4000.0,
+    pcie_peak=15.75e9,
+    pcie_effective_single=1.5e9,
+    pcie_effective_batched=12e9,
+)

@@ -1,0 +1,170 @@
+"""SQ8H: the CPU/GPU hybrid index (paper Sec. 3.4, Algorithm 1).
+
+The scenario: GPU memory cannot hold the data.  SQ8H decides per batch:
+
+* batch >= threshold — run everything on GPU, streaming buckets over
+  PCIe with *multi-bucket* copies (Milvus's fix for Faiss's 1-2 GB/s
+  effective bandwidth);
+* batch < threshold — hybrid: step 1 (find nprobe buckets) on GPU,
+  where only the K centroids live (always resident, high
+  compute-to-I/O), step 2 (scan buckets) on CPU, so no data segment
+  ever crosses PCIe.
+
+The executor can run *for real* over an :class:`IVFSQ8Index` (results
+are the index's results; the plan decides where steps notionally ran)
+and, independently, produce modeled times at arbitrary scale for
+Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hetero.gpu import GPUDevice
+from repro.hetero.hardware import CPUSpec, XEON_PLATINUM_8269
+from repro.index.base import SearchResult
+from repro.index.ivf_sq8 import IVFSQ8Index
+
+
+@dataclass
+class SQ8HConfig:
+    """Tunables for Algorithm 1."""
+
+    batch_threshold: int = 1000  # the paper's "e.g., 1000"
+    nprobe: int = 8
+    flops_per_pair: float = 3.0
+    #: CPU per-bucket scan overhead (seconds) — scattered accesses.
+    cpu_bucket_overhead_s: float = 5e-6
+    #: effective CPU rate for the coarse step, which the Faiss-style
+    #: baseline runs per query rather than as one batched GEMM — an
+    #: order of magnitude below the batched scan rate.
+    cpu_coarse_gflops: float = 15.0
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Where each step ran, with modeled timing breakdown (seconds)."""
+
+    mode: str  # "gpu" or "hybrid"
+    step1_device: str
+    step2_device: str
+    transfer_seconds: float
+    step1_seconds: float
+    step2_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.transfer_seconds + self.step1_seconds + self.step2_seconds
+
+
+class SQ8HExecutor:
+    """Algorithm 1 over one IVF_SQ8 index and one GPU device."""
+
+    def __init__(
+        self,
+        index: Optional[IVFSQ8Index] = None,
+        gpu: Optional[GPUDevice] = None,
+        cpu: CPUSpec = XEON_PLATINUM_8269,
+        config: Optional[SQ8HConfig] = None,
+    ):
+        self.index = index
+        self.gpu = gpu or GPUDevice()
+        self.cpu = cpu
+        self.config = config or SQ8HConfig()
+
+    # -- real execution over the attached index ---------------------------
+
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+        """Algorithm 1 for real: plan + the index's actual search."""
+        if self.index is None:
+            raise RuntimeError("SQ8HExecutor has no attached index")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        plan = self.plan(len(queries))
+        result = self.index.search(queries, k, nprobe=self.config.nprobe)
+        self.last_plan = plan
+        return result
+
+    def plan(self, batch_size: int) -> ExecutionPlan:
+        """Algorithm 1's branch, with modeled times from the real index."""
+        if self.index is None or self.index.ntotal == 0:
+            raise RuntimeError("plan() needs a populated index")
+        n = self.index.ntotal
+        dim = self.index.dim
+        nlist = self.index.nlist
+        return self.model_plan(
+            batch_size, n=n, dim=dim, nlist=nlist,
+        )
+
+    # -- pure model (paper-scale what-ifs, Fig. 13) -----------------------------
+
+    def model_plan(self, m: int, n: int, dim: int, nlist: int) -> ExecutionPlan:
+        """Algorithm 1 as a cost model (SQ8: 1 byte per dimension)."""
+        cfg = self.config
+        if m >= cfg.batch_threshold:
+            transfer = self._bucket_transfer_seconds(m, n, dim, nlist, batched=True)
+            step1 = self.gpu.kernel_seconds(m, nlist, dim, cfg.flops_per_pair)
+            step2 = self.gpu.kernel_seconds(
+                m, self._scanned_rows(n, nlist), dim, cfg.flops_per_pair
+            )
+            return ExecutionPlan("gpu", "gpu", "gpu", transfer, step1, step2)
+        # Hybrid: centroids are resident on GPU (tiny), buckets stay on CPU.
+        step1 = self.gpu.kernel_seconds(m, nlist, dim, cfg.flops_per_pair)
+        step2 = self._cpu_scan_seconds(m, n, dim, nlist)
+        return ExecutionPlan("hybrid", "gpu", "cpu", 0.0, step1, step2)
+
+    def model_pure_cpu(self, m: int, n: int, dim: int, nlist: int) -> float:
+        """Modeled seconds for SQ8 entirely on CPU (per-query coarse step)."""
+        step1_flops = self.config.flops_per_pair * m * nlist * dim
+        step1 = step1_flops / (self.config.cpu_coarse_gflops * 1e9)
+        return step1 + self._cpu_scan_seconds(m, n, dim, nlist)
+
+    def model_pure_gpu(self, m: int, n: int, dim: int, nlist: int) -> float:
+        """Modeled seconds for Faiss-style GPU SQ8: bucket-by-bucket copies."""
+        transfer = self._bucket_transfer_seconds(m, n, dim, nlist, batched=False)
+        step1 = self.gpu.kernel_seconds(m, nlist, dim, self.config.flops_per_pair)
+        step2 = self.gpu.kernel_seconds(
+            m, self._scanned_rows(n, nlist), dim, self.config.flops_per_pair
+        )
+        return transfer + step1 + step2
+
+    def model_sq8h(self, m: int, n: int, dim: int, nlist: int) -> float:
+        return self.model_plan(m, n, dim, nlist).total_seconds
+
+    def model_times(self, m: int, n: int, dim: int, nlist: int) -> Dict[str, float]:
+        """All three curves of Fig. 13 at one batch size."""
+        return {
+            "pure_cpu": self.model_pure_cpu(m, n, dim, nlist),
+            "pure_gpu": self.model_pure_gpu(m, n, dim, nlist),
+            "sq8h": self.model_sq8h(m, n, dim, nlist),
+        }
+
+    # -- internals ---------------------------------------------------------------
+
+    def _scanned_rows(self, n: int, nlist: int) -> int:
+        return int(n * min(1.0, self.config.nprobe / nlist))
+
+    def _touched_bucket_bytes(self, m: int, n: int, dim: int, nlist: int) -> float:
+        """Bytes of unique buckets the batch touches (SQ8: 1 B/dim).
+
+        Each query probes ``nprobe`` buckets; a batch of m queries
+        touches ``nlist * (1 - (1 - nprobe/nlist)^m)`` distinct buckets
+        in expectation.
+        """
+        p = min(1.0, self.config.nprobe / nlist)
+        distinct_fraction = 1.0 - (1.0 - p) ** m
+        return distinct_fraction * n * dim  # uint8 codes
+
+    def _bucket_transfer_seconds(
+        self, m: int, n: int, dim: int, nlist: int, batched: bool
+    ) -> float:
+        nbytes = self._touched_bucket_bytes(m, n, dim, nlist)
+        return self.gpu.transfer_seconds(nbytes, batched=batched)
+
+    def _cpu_scan_seconds(self, m: int, n: int, dim: int, nlist: int) -> float:
+        flops = self.config.flops_per_pair * m * self._scanned_rows(n, nlist) * dim
+        compute = flops / (self.cpu.scan_gflops * 1e9)
+        overhead = m * self.config.nprobe * self.config.cpu_bucket_overhead_s
+        return compute + overhead

@@ -1,0 +1,48 @@
+"""Vector index framework.
+
+The paper (Sec. 2.2) supports quantization-based indexes (IVF_FLAT,
+IVF_SQ8, IVF_PQ), graph-based indexes (HNSW, RNSG), and tree-based
+indexes (Annoy), behind a small extensible interface so that new
+indexes "only need to implement a few pre-defined interfaces".  That
+interface is :class:`VectorIndex`; the registry maps index-type names
+to constructors.
+"""
+
+from repro.index.base import VectorIndex, SearchResult
+from repro.index.kmeans import KMeans
+from repro.index.flat import FlatIndex
+from repro.index.ivf_flat import IVFFlatIndex
+from repro.index.ivf_sq8 import IVFSQ8Index, ScalarQuantizer
+from repro.index.ivf_pq import IVFPQIndex, ProductQuantizer
+from repro.index.hnsw import HNSWIndex
+from repro.index.nsg import NSGIndex
+from repro.index.annoy import AnnoyIndex
+from repro.index.binary_flat import BinaryFlatIndex
+from repro.index.registry import (
+    register_index,
+    create_index,
+    available_index_types,
+)
+from repro.index.io import index_to_bytes, index_from_bytes, SERIALIZABLE_TYPES
+
+__all__ = [
+    "VectorIndex",
+    "SearchResult",
+    "KMeans",
+    "FlatIndex",
+    "BinaryFlatIndex",
+    "IVFFlatIndex",
+    "IVFSQ8Index",
+    "IVFPQIndex",
+    "ScalarQuantizer",
+    "ProductQuantizer",
+    "HNSWIndex",
+    "NSGIndex",
+    "AnnoyIndex",
+    "register_index",
+    "create_index",
+    "available_index_types",
+    "index_to_bytes",
+    "index_from_bytes",
+    "SERIALIZABLE_TYPES",
+]

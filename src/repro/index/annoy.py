@@ -1,0 +1,201 @@
+"""Annoy-style tree index: a forest of random-projection trees.
+
+The paper's footnote 3: "Milvus also supports tree-based indexes,
+e.g., ANNOY."  Each tree recursively splits by the hyperplane that
+perpendicular-bisects two randomly sampled points (Annoy's split rule).
+Search descends all trees with a shared priority queue ordered by
+hyperplane margin, gathers ``search_k`` candidates, then reranks them
+exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.metrics.base import MetricKind
+from repro.utils import ensure_positive, topk_from_scores
+
+
+@dataclass
+class _Node:
+    """Internal split node or leaf of one RP tree."""
+
+    normal: Optional[np.ndarray] = None
+    offset: float = 0.0
+    left: int = -1
+    right: int = -1
+    items: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.normal is None
+
+
+class AnnoyIndex(VectorIndex):
+    """Random-projection tree forest with exact reranking.
+
+    Args:
+        n_trees: number of trees (more trees -> better recall).
+        leaf_size: max items per leaf.
+    """
+
+    index_type = "ANNOY"
+    requires_training = False
+
+    def __init__(
+        self,
+        dim: int,
+        metric="l2",
+        n_trees: int = 8,
+        leaf_size: int = 32,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__(dim, metric)
+        if self.metric.kind is not MetricKind.DENSE:
+            raise ValueError("ANNOY supports dense metrics only")
+        self.n_trees = ensure_positive(n_trees, "n_trees")
+        self.leaf_size = ensure_positive(leaf_size, "leaf_size")
+        self.seed = seed
+        self._vectors: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._trees: List[List[_Node]] = []
+        self._built = False
+
+    def _add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        if self._vectors is None:
+            self._vectors = vectors.copy()
+            self._ids = ids.copy()
+        else:
+            self._vectors = np.concatenate([self._vectors, vectors])
+            self._ids = np.concatenate([self._ids, ids])
+        self._built = False
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> None:
+        """(Re)build the forest over all currently added vectors."""
+        rng = np.random.default_rng(self.seed)
+        items = np.arange(self.ntotal, dtype=np.int64)
+        self._trees = [self._build_tree(items, rng) for __ in range(self.n_trees)]
+        self._built = True
+
+    def _build_tree(self, items: np.ndarray, rng: np.random.Generator) -> List[_Node]:
+        nodes: List[_Node] = []
+
+        def recurse(subset: np.ndarray) -> int:
+            idx = len(nodes)
+            nodes.append(_Node())
+            if len(subset) <= self.leaf_size:
+                nodes[idx].items = subset.copy()
+                return idx
+            normal, offset = self._pick_split(subset, rng)
+            if normal is None:
+                nodes[idx].items = subset.copy()
+                return idx
+            side = self._vectors[subset] @ normal - offset
+            left_mask = side <= 0
+            # Degenerate splits fall back to a random balanced cut.
+            if left_mask.all() or not left_mask.any():
+                left_mask = rng.random(len(subset)) < 0.5
+                if left_mask.all() or not left_mask.any():
+                    nodes[idx].items = subset.copy()
+                    return idx
+            nodes[idx].normal = normal
+            nodes[idx].offset = float(offset)
+            nodes[idx].left = recurse(subset[left_mask])
+            nodes[idx].right = recurse(subset[~left_mask])
+            return idx
+
+        recurse(items)
+        return nodes
+
+    def _pick_split(self, subset: np.ndarray, rng: np.random.Generator):
+        """Annoy split: hyperplane bisecting two sampled points."""
+        for __ in range(5):
+            a, b = rng.choice(subset, size=2, replace=False)
+            va, vb = self._vectors[a], self._vectors[b]
+            normal = va - vb
+            norm = np.linalg.norm(normal)
+            if norm > 1e-12:
+                normal = normal / norm
+                midpoint = (va + vb) / 2.0
+                return normal.astype(np.float32), float(normal @ midpoint)
+        return None, 0.0
+
+    # -- query -----------------------------------------------------------------
+
+    def _search(
+        self, queries: np.ndarray, k: int, search_k: Optional[int] = None, **params
+    ) -> SearchResult:
+        if params:
+            raise TypeError(f"unknown search params: {sorted(params)}")
+        if not self._built:
+            self.build()
+        budget = search_k if search_k is not None else self.n_trees * self.leaf_size * 2
+        budget = max(budget, k)
+        result = SearchResult.empty(len(queries), k, self.metric)
+        for qi, vec in enumerate(queries):
+            candidates = self._collect_candidates(vec, budget)
+            if len(candidates) == 0:
+                continue
+            scores = self.metric.pairwise(
+                vec[np.newaxis, :], self._vectors[candidates]
+            )[0]
+            top_ids, top_scores = topk_from_scores(
+                scores, k, self.metric.higher_is_better, ids=self._ids[candidates]
+            )
+            result.ids[qi, : len(top_ids)] = top_ids
+            result.scores[qi, : len(top_scores)] = top_scores
+        return result
+
+    def _collect_candidates(self, vec: np.ndarray, budget: int) -> np.ndarray:
+        # Priority queue over (negative margin, tree, node): explore the
+        # branch whose splitting plane the query is farthest inside
+        # first, spilling to the other side as budget allows.
+        heap = []
+        for tree_no, tree in enumerate(self._trees):
+            if tree:
+                heap.append((-np.inf, tree_no, 0))
+        heapq.heapify(heap)
+        seen = set()
+        collected: List[np.ndarray] = []
+        count = 0
+        while heap and count < budget:
+            neg_margin, tree_no, node_idx = heapq.heappop(heap)
+            node = self._trees[tree_no][node_idx]
+            if node.is_leaf:
+                fresh = [i for i in node.items if i not in seen]
+                if fresh:
+                    seen.update(fresh)
+                    collected.append(np.array(fresh, dtype=np.int64))
+                    count += len(fresh)
+                continue
+            side = float(vec @ node.normal - node.offset)
+            near, far = (node.left, node.right) if side <= 0 else (node.right, node.left)
+            heapq.heappush(heap, (neg_margin, tree_no, near))
+            heapq.heappush(heap, (max(neg_margin, -abs(side)), tree_no, far))
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(collected)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def ntotal(self) -> int:
+        return 0 if self._vectors is None else len(self._vectors)
+
+    def memory_bytes(self) -> int:
+        total = 0
+        if self._vectors is not None:
+            total += self._vectors.nbytes + self._ids.nbytes
+        for tree in self._trees:
+            for node in tree:
+                total += node.items.nbytes
+                if node.normal is not None:
+                    total += node.normal.nbytes
+        return total

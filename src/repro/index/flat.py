@@ -1,0 +1,114 @@
+"""FLAT index: exact brute-force search, the recall=1 reference point."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.utils import topk_from_scores
+
+_SCAN_CHUNK = 16384
+
+
+class FlatIndex(VectorIndex):
+    """Exact search by full scan.
+
+    Vectors are kept in append-only blocks and compacted lazily so that
+    repeated small ``add`` calls stay O(1) amortized.
+    """
+
+    index_type = "FLAT"
+    requires_training = False
+
+    def __init__(self, dim: int, metric="l2"):
+        super().__init__(dim, metric)
+        self._blocks: List[np.ndarray] = []
+        self._id_blocks: List[np.ndarray] = []
+        self._count = 0
+
+    def _add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        self._blocks.append(vectors.copy())
+        self._id_blocks.append(ids.copy())
+        self._count += len(vectors)
+
+    def _compacted(self):
+        if len(self._blocks) > 1:
+            self._blocks = [np.concatenate(self._blocks)]
+            self._id_blocks = [np.concatenate(self._id_blocks)]
+        return self._blocks[0], self._id_blocks[0]
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """All indexed vectors in insertion order."""
+        if not self._blocks:
+            return np.empty((0, self.dim), dtype=np.float32)
+        return self._compacted()[0]
+
+    @property
+    def ids(self) -> np.ndarray:
+        if not self._id_blocks:
+            return np.empty(0, dtype=np.int64)
+        return self._compacted()[1]
+
+    def _search(self, queries: np.ndarray, k: int, **params) -> SearchResult:
+        if params:
+            raise TypeError(f"FLAT takes no search params, got {sorted(params)}")
+        data, ids = self._compacted()
+        result = SearchResult.empty(len(queries), k, self.metric)
+        # Chunk over data so the (m, chunk) score matrix stays bounded.
+        partials = [[] for __ in range(len(queries))]
+        for start in range(0, len(data), _SCAN_CHUNK):
+            stop = min(start + _SCAN_CHUNK, len(data))
+            scores = self.metric.pairwise(queries, data[start:stop])
+            for qi in range(len(queries)):
+                part_ids, part_scores = topk_from_scores(
+                    scores[qi], k, self.metric.higher_is_better, ids=ids[start:stop]
+                )
+                partials[qi].append((part_ids, part_scores))
+        from repro.utils import merge_topk
+
+        for qi, parts in enumerate(partials):
+            top_ids, top_scores = merge_topk(parts, k, self.metric.higher_is_better)
+            result.ids[qi, : len(top_ids)] = top_ids
+            result.scores[qi, : len(top_scores)] = top_scores
+        return result
+
+    def _range_search(self, queries: np.ndarray, radius: float, **params):
+        if params:
+            raise TypeError(f"FLAT takes no range params, got {sorted(params)}")
+        data, ids = self._compacted()
+        out = [[] for __ in range(len(queries))]
+        for start in range(0, len(data), _SCAN_CHUNK):
+            stop = min(start + _SCAN_CHUNK, len(data))
+            scores = self.metric.pairwise(queries, data[start:stop])
+            for qi in range(len(queries)):
+                if self.metric.higher_is_better:
+                    hits = np.flatnonzero(scores[qi] >= radius)
+                else:
+                    hits = np.flatnonzero(scores[qi] <= radius)
+                out[qi].extend(
+                    (int(ids[start + h]), float(scores[qi][h])) for h in hits
+                )
+        for qi in range(len(queries)):
+            out[qi].sort(key=lambda p: p[1], reverse=self.metric.higher_is_better)
+        return out
+
+    @property
+    def ntotal(self) -> int:
+        return self._count
+
+    def memory_bytes(self) -> int:
+        return sum(b.nbytes for b in self._blocks) + sum(
+            b.nbytes for b in self._id_blocks
+        )
+
+    def reconstruct(self, row_ids: np.ndarray) -> np.ndarray:
+        """Return the stored vectors for ``row_ids`` (exact lookup)."""
+        data, ids = self._compacted()
+        order = np.argsort(ids)
+        pos = np.searchsorted(ids[order], row_ids)
+        if np.any(pos >= len(ids)) or np.any(ids[order][pos] != row_ids):
+            raise KeyError("unknown row id in reconstruct()")
+        return data[order[pos]]

@@ -1,0 +1,243 @@
+"""HNSW: Hierarchical Navigable Small World graphs (Malkov & Yashunin).
+
+The graph-based index family of the paper (Sec. 2.2).  Implements the
+standard construction (exponentially-distributed levels, greedy descent
+through upper layers, ``ef_construction``-wide beam at the insertion
+layers, neighbor-selection heuristic with bidirectional links and
+pruning) and beam search with the ``ef`` knob at query time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import heapq
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.metrics.base import MetricKind
+from repro.utils import ensure_positive
+
+
+class HNSWIndex(VectorIndex):
+    """Hierarchical navigable small-world graph index.
+
+    Args:
+        M: max out-degree at upper layers (level 0 allows ``2*M``).
+        ef_construction: beam width during insertion.
+        seed: RNG seed for level assignment.
+    """
+
+    index_type = "HNSW"
+    requires_training = False
+
+    def __init__(
+        self,
+        dim: int,
+        metric="l2",
+        M: int = 16,
+        ef_construction: int = 100,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__(dim, metric)
+        if self.metric.kind is not MetricKind.DENSE:
+            raise ValueError("HNSW supports dense metrics only")
+        self.M = ensure_positive(M, "M")
+        self.M0 = 2 * self.M
+        self.ef_construction = ensure_positive(ef_construction, "ef_construction")
+        self._mult = 1.0 / math.log(self.M)
+        self._rng = np.random.default_rng(seed)
+        # Vectors live in one growable matrix so distance kernels can use
+        # fancy indexing instead of stacking Python lists per hop.
+        self._data = np.empty((0, dim), dtype=np.float32)
+        self._size = 0
+        self._ids: List[int] = []
+        #: _neighbors[level][node] -> list of node indexes
+        self._neighbors: List[List[List[int]]] = []
+        self._levels: List[int] = []
+        self._entry: int = -1
+        self._max_level: int = -1
+
+    # -- distances (always lower-is-better internally) ---------------------
+
+    def _dist(self, query: np.ndarray, nodes) -> np.ndarray:
+        data = self._data[np.asarray(nodes, dtype=np.int64)]
+        scores = self.metric.pairwise(query[np.newaxis, :], data)[0]
+        return -scores if self.metric.higher_is_better else scores
+
+    def _vector(self, node: int) -> np.ndarray:
+        return self._data[node]
+
+    def _append_vector(self, vec: np.ndarray) -> int:
+        if self._size == len(self._data):
+            grown = np.empty(
+                (max(1024, 2 * len(self._data)), self.dim), dtype=np.float32
+            )
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size] = vec
+        self._size += 1
+        return self._size - 1
+
+    # -- construction ---------------------------------------------------------
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._mult)
+
+    def _add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        for vec, ext_id in zip(vectors, ids):
+            self._insert_one(vec.astype(np.float32), int(ext_id))
+
+    def _insert_one(self, vec: np.ndarray, ext_id: int) -> None:
+        node = self._append_vector(vec)
+        self._ids.append(ext_id)
+        level = self._random_level()
+        self._levels.append(level)
+        while len(self._neighbors) <= level:
+            self._neighbors.append([])
+        for lvl in range(level + 1):
+            while len(self._neighbors[lvl]) <= node:
+                self._neighbors[lvl].append([])
+
+        if self._entry == -1:
+            self._entry = node
+            self._max_level = level
+            return
+
+        curr = self._entry
+        # Greedy descent above the insertion level.
+        for lvl in range(self._max_level, level, -1):
+            curr = self._greedy_closest(vec, curr, lvl)
+        # Beam insertion at each level from min(level, max) down to 0.
+        for lvl in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(vec, [curr], self.ef_construction, lvl)
+            m_max = self.M0 if lvl == 0 else self.M
+            selected = self._select_neighbors(vec, candidates, self.M)
+            self._neighbors[lvl][node] = [n for __, n in selected]
+            for __, neigh in selected:
+                links = self._neighbors[lvl][neigh]
+                links.append(node)
+                if len(links) > m_max:
+                    self._prune(neigh, lvl, m_max)
+            curr = candidates[0][1]
+
+        if level > self._max_level:
+            self._max_level = level
+            self._entry = node
+
+    def _greedy_closest(self, vec: np.ndarray, start: int, level: int) -> int:
+        curr = start
+        curr_dist = float(self._dist(vec, [curr])[0])
+        improved = True
+        while improved:
+            improved = False
+            neighbors = self._neighbors[level][curr]
+            if not neighbors:
+                break
+            dists = self._dist(vec, neighbors)
+            best = int(dists.argmin())
+            if dists[best] < curr_dist:
+                curr = neighbors[best]
+                curr_dist = float(dists[best])
+                improved = True
+        return curr
+
+    def _search_layer(
+        self, vec: np.ndarray, entries: List[int], ef: int, level: int
+    ) -> List[Tuple[float, int]]:
+        """Beam search within one layer -> sorted (dist, node) list."""
+        dists = self._dist(vec, entries)
+        visited = set(entries)
+        candidates = [(float(d), n) for d, n in zip(dists, entries)]
+        heapq.heapify(candidates)
+        # results: max-heap by distance via negation.
+        results = [(-float(d), n) for d, n in zip(dists, entries)]
+        heapq.heapify(results)
+        while len(results) > ef:
+            heapq.heappop(results)
+
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            worst = -results[0][0]
+            if dist > worst and len(results) >= ef:
+                break
+            unvisited = [n for n in self._neighbors[level][node] if n not in visited]
+            if not unvisited:
+                continue
+            visited.update(unvisited)
+            ndists = self._dist(vec, unvisited)
+            for nd, nn in zip(ndists, unvisited):
+                nd = float(nd)
+                if len(results) < ef or nd < -results[0][0]:
+                    heapq.heappush(candidates, (nd, nn))
+                    heapq.heappush(results, (-nd, nn))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        out = sorted(((-d, n) for d, n in results))
+        return out
+
+    def _select_neighbors(
+        self, vec: np.ndarray, candidates: List[Tuple[float, int]], m: int
+    ) -> List[Tuple[float, int]]:
+        """Heuristic neighbor selection (Malkov Alg. 4, no extension)."""
+        selected: List[Tuple[float, int]] = []
+        chosen_nodes: List[int] = []
+        for dist, node in sorted(candidates):
+            if len(selected) >= m:
+                break
+            keep = True
+            if chosen_nodes:
+                between = self._dist(self._vector(node), chosen_nodes)
+                keep = not bool((between < dist).any())
+            if keep:
+                selected.append((dist, node))
+                chosen_nodes.append(node)
+        if not selected and candidates:
+            selected = sorted(candidates)[:m]
+        return selected
+
+    def _prune(self, node: int, level: int, m_max: int) -> None:
+        links = self._neighbors[level][node]
+        dists = self._dist(self._vector(node), links)
+        candidates = sorted(zip(dists.tolist(), links))
+        selected = self._select_neighbors(self._vector(node), candidates, m_max)
+        self._neighbors[level][node] = [n for __, n in selected]
+
+    # -- query -----------------------------------------------------------------
+
+    def _search(self, queries: np.ndarray, k: int, ef: int = 64, **params) -> SearchResult:
+        if params:
+            raise TypeError(f"unknown search params: {sorted(params)}")
+        ef = max(ensure_positive(ef, "ef"), k)
+        result = SearchResult.empty(len(queries), k, self.metric)
+        for qi, vec in enumerate(queries):
+            curr = self._entry
+            for lvl in range(self._max_level, 0, -1):
+                curr = self._greedy_closest(vec, curr, lvl)
+            found = self._search_layer(vec, [curr], ef, 0)[:k]
+            for j, (dist, node) in enumerate(found):
+                result.ids[qi, j] = self._ids[node]
+                result.scores[qi, j] = -dist if self.metric.higher_is_better else dist
+        return result
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def ntotal(self) -> int:
+        return self._size
+
+    def memory_bytes(self) -> int:
+        vec_bytes = self._size * self.dim * 4
+        link_bytes = sum(
+            8 * len(links) for layer in self._neighbors for links in layer
+        )
+        return vec_bytes + link_bytes
+
+    def graph_degree_stats(self) -> dict:
+        """Mean/max out-degree at level 0 (diagnostics)."""
+        if not self._neighbors:
+            return {"mean": 0.0, "max": 0}
+        degrees = [len(links) for links in self._neighbors[0][: self.ntotal]]
+        return {"mean": float(np.mean(degrees)), "max": int(max(degrees))}

@@ -1,0 +1,244 @@
+"""Shared machinery for quantization-based (IVF) indexes.
+
+Paper Sec. 3.1: "The coarse quantizer applies the K-means algorithm
+... to cluster vectors into K buckets. And the fine quantizer encodes
+the vectors within each bucket."  Query processing takes two steps:
+(1) find the closest ``nprobe`` buckets by centroid distance; (2) scan
+each relevant bucket with the fine quantizer.
+
+:class:`IVFIndexBase` implements the coarse step, inverted-list
+bookkeeping, bucket selection, and the two-step search loop; fine
+quantizers only implement ``_encode`` and ``_scan_list``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.kmeans import KMeans, assign_to_centroids
+from repro.metrics.base import MetricKind
+from repro.metrics.dense import l2_squared_pairwise
+from repro.utils import ensure_positive, merge_topk, topk_from_scores
+
+DEFAULT_NLIST = 128
+DEFAULT_NPROBE = 8
+
+
+class InvertedLists:
+    """Per-bucket row ids and fine-quantizer codes.
+
+    Codes are stored as one ndarray per bucket with an index-specific
+    dtype/shape chosen by the fine quantizer; this class is agnostic.
+    """
+
+    def __init__(self, nlist: int):
+        self.nlist = nlist
+        self.ids: List[List[np.ndarray]] = [[] for __ in range(nlist)]
+        self.codes: List[List[np.ndarray]] = [[] for __ in range(nlist)]
+        self._sizes = np.zeros(nlist, dtype=np.int64)
+
+    def append(self, list_no: int, ids: np.ndarray, codes: np.ndarray) -> None:
+        if len(ids) == 0:
+            return
+        self.ids[list_no].append(np.asarray(ids, dtype=np.int64))
+        self.codes[list_no].append(codes)
+        self._sizes[list_no] += len(ids)
+
+    def get(self, list_no: int):
+        """Return (ids, codes) for one bucket, compacting lazily."""
+        if len(self.ids[list_no]) > 1:
+            self.ids[list_no] = [np.concatenate(self.ids[list_no])]
+            self.codes[list_no] = [np.concatenate(self.codes[list_no])]
+        if not self.ids[list_no]:
+            return np.empty(0, dtype=np.int64), None
+        return self.ids[list_no][0], self.codes[list_no][0]
+
+    def size(self, list_no: int) -> int:
+        return int(self._sizes[list_no])
+
+    @property
+    def total(self) -> int:
+        return int(self._sizes.sum())
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for blocks in self.ids:
+            total += sum(b.nbytes for b in blocks)
+        for blocks in self.codes:
+            total += sum(b.nbytes for b in blocks)
+        return total
+
+
+class IVFIndexBase(VectorIndex):
+    """Coarse-quantized inverted-file index base class."""
+
+    requires_training = True
+
+    def __init__(
+        self,
+        dim: int,
+        metric="l2",
+        nlist: int = DEFAULT_NLIST,
+        kmeans_iters: int = 20,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__(dim, metric)
+        if self.metric.kind is not MetricKind.DENSE:
+            raise ValueError("IVF indexes support dense metrics only")
+        self.nlist = ensure_positive(nlist, "nlist")
+        self.kmeans_iters = kmeans_iters
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+        self.lists = InvertedLists(self.nlist)
+        self._ntotal = 0
+
+    # -- training --------------------------------------------------------
+
+    def _train(self, vectors: np.ndarray) -> None:
+        if len(vectors) < self.nlist:
+            raise ValueError(
+                f"training needs at least nlist={self.nlist} vectors, got {len(vectors)}"
+            )
+        km = KMeans(self.nlist, max_iter=self.kmeans_iters, seed=self.seed)
+        km.fit(vectors)
+        self.centroids = km.centroids
+        self._train_fine(vectors)
+
+    def _train_fine(self, vectors: np.ndarray) -> None:
+        """Hook: fine quantizers learn their codebooks here."""
+
+    # -- ingest ------------------------------------------------------------
+
+    def _add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        labels, __ = assign_to_centroids(vectors, self.centroids)
+        for list_no in np.unique(labels):
+            mask = labels == list_no
+            codes = self._encode(vectors[mask], int(list_no))
+            self.lists.append(int(list_no), ids[mask], codes)
+        self._ntotal += len(vectors)
+
+    # -- search --------------------------------------------------------------
+
+    def select_buckets(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """Step 1: the ``nprobe`` closest buckets per query, best-first."""
+        nprobe = min(ensure_positive(nprobe, "nprobe"), self.nlist)
+        coarse = l2_squared_pairwise(queries, self.centroids)
+        part = np.argpartition(coarse, nprobe - 1, axis=1)[:, :nprobe]
+        row_scores = np.take_along_axis(coarse, part, axis=1)
+        order = np.argsort(row_scores, axis=1, kind="stable")
+        return np.take_along_axis(part, order, axis=1)
+
+    def _search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int = DEFAULT_NPROBE,
+        row_filter: Optional[np.ndarray] = None,
+        **params,
+    ) -> SearchResult:
+        """Two-step IVF search.
+
+        Args:
+            nprobe: number of buckets to probe (accuracy/speed knob).
+            row_filter: optional sorted int64 array of admissible row
+                ids (used by attribute-filtering strategy B).
+        """
+        if params:
+            raise TypeError(f"unknown search params: {sorted(params)}")
+        bucket_ids = self.select_buckets(queries, nprobe)
+        result = SearchResult.empty(len(queries), k, self.metric)
+        for qi in range(len(queries)):
+            parts = []
+            for list_no in bucket_ids[qi]:
+                ids, codes = self.lists.get(int(list_no))
+                if len(ids) == 0:
+                    continue
+                if row_filter is not None:
+                    keep = _sorted_membership(ids, row_filter)
+                    if not keep.any():
+                        continue
+                    ids = ids[keep]
+                    codes = codes[keep]
+                scores = self._scan_list(queries[qi : qi + 1], codes, int(list_no))[0]
+                parts.append(topk_from_scores(
+                    scores, k, self.metric.higher_is_better, ids=ids
+                ))
+            top_ids, top_scores = merge_topk(parts, k, self.metric.higher_is_better)
+            result.ids[qi, : len(top_ids)] = top_ids
+            result.scores[qi, : len(top_scores)] = top_scores
+        return result
+
+    def _range_search(
+        self, queries: np.ndarray, radius: float, nprobe: int = DEFAULT_NPROBE,
+        **params,
+    ):
+        """Approximate range search: scan the ``nprobe`` nearest buckets
+        and keep every row passing the radius (recall bounded by bucket
+        coverage, like top-k IVF search)."""
+        if params:
+            raise TypeError(f"unknown range params: {sorted(params)}")
+        bucket_ids = self.select_buckets(queries, nprobe)
+        out = [[] for __ in range(len(queries))]
+        for qi in range(len(queries)):
+            for list_no in bucket_ids[qi]:
+                ids, codes = self.lists.get(int(list_no))
+                if len(ids) == 0:
+                    continue
+                scores = self._scan_list(queries[qi : qi + 1], codes, int(list_no))[0]
+                if self.metric.higher_is_better:
+                    hits = np.flatnonzero(scores >= radius)
+                else:
+                    hits = np.flatnonzero(scores <= radius)
+                out[qi].extend((int(ids[h]), float(scores[h])) for h in hits)
+            out[qi].sort(key=lambda p: p[1], reverse=self.metric.higher_is_better)
+        return out
+
+    # -- fine quantizer hooks ---------------------------------------------
+
+    @abc.abstractmethod
+    def _encode(self, vectors: np.ndarray, list_no: int) -> np.ndarray:
+        """Encode raw vectors into this index's code format."""
+
+    @abc.abstractmethod
+    def _scan_list(
+        self, queries: np.ndarray, codes: np.ndarray, list_no: int
+    ) -> np.ndarray:
+        """Score queries against one bucket's codes -> (m, len(codes))."""
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def ntotal(self) -> int:
+        return self._ntotal
+
+    def memory_bytes(self) -> int:
+        total = self.lists.memory_bytes()
+        if self.centroids is not None:
+            total += self.centroids.nbytes
+        return total
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Occupancy per bucket (diagnostics / scheduler input)."""
+        return np.array([self.lists.size(i) for i in range(self.nlist)])
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base["nlist"] = self.nlist
+        if self._ntotal:
+            sizes = self.bucket_sizes()
+            base["bucket_min"] = int(sizes.min())
+            base["bucket_max"] = int(sizes.max())
+        return base
+
+
+def _sorted_membership(ids: np.ndarray, sorted_filter: np.ndarray) -> np.ndarray:
+    """Boolean mask of ``ids`` present in the sorted ``sorted_filter``."""
+    pos = np.searchsorted(sorted_filter, ids)
+    pos = np.minimum(pos, len(sorted_filter) - 1)
+    if len(sorted_filter) == 0:
+        return np.zeros(len(ids), dtype=bool)
+    return sorted_filter[pos] == ids

@@ -1,0 +1,21 @@
+"""IVF_FLAT: coarse quantizer + raw vectors as the "fine quantizer"."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.ivf_common import IVFIndexBase
+
+
+class IVFFlatIndex(IVFIndexBase):
+    """IVF with uncompressed residents — best recall of the IVF family."""
+
+    index_type = "IVF_FLAT"
+
+    def _encode(self, vectors: np.ndarray, list_no: int) -> np.ndarray:
+        return vectors.astype(np.float32, copy=True)
+
+    def _scan_list(
+        self, queries: np.ndarray, codes: np.ndarray, list_no: int
+    ) -> np.ndarray:
+        return self.metric.pairwise(queries, codes)

@@ -1,0 +1,136 @@
+"""K-means clustering — the coarse quantizer of every IVF index.
+
+The paper (Sec. 3.1): "The K-means clustering algorithm is commonly
+used to construct the codebook C where each codeword is the centroid."
+This is a vectorized Lloyd's algorithm with k-means++ seeding, chunked
+assignment (so memory stays bounded on large n), and empty-cluster
+repair by splitting the largest cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.dense import l2_squared_pairwise
+from repro.utils import ensure_matrix, ensure_positive
+
+_ASSIGN_CHUNK = 8192
+
+
+def _kmeans_pp_init(
+    vectors: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = len(vectors)
+    centroids = np.empty((n_clusters, vectors.shape[1]), dtype=np.float32)
+    first = int(rng.integers(n))
+    centroids[0] = vectors[first]
+    closest = l2_squared_pairwise(vectors, centroids[0:1])[:, 0]
+    for i in range(1, n_clusters):
+        total = float(closest.sum())
+        if total <= 0:
+            # All points coincide with chosen centroids; sample uniformly.
+            pick = int(rng.integers(n))
+        else:
+            pick = int(rng.choice(n, p=closest / total))
+        centroids[i] = vectors[pick]
+        dist_new = l2_squared_pairwise(vectors, centroids[i : i + 1])[:, 0]
+        np.minimum(closest, dist_new, out=closest)
+    return centroids
+
+
+def assign_to_centroids(
+    vectors: np.ndarray, centroids: np.ndarray, chunk: int = _ASSIGN_CHUNK
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment, chunked to bound peak memory.
+
+    Returns ``(labels, distances)`` with squared L2 distances.
+    """
+    n = len(vectors)
+    labels = np.empty(n, dtype=np.int64)
+    dists = np.empty(n, dtype=np.float32)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = l2_squared_pairwise(vectors[start:stop], centroids)
+        labels[start:stop] = block.argmin(axis=1)
+        dists[start:stop] = block[np.arange(stop - start), labels[start:stop]]
+    return labels, dists
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ init.
+
+    Args:
+        n_clusters: number of centroids (the paper uses K=16384 at
+            billion scale; tests use much smaller K).
+        max_iter: Lloyd iterations.
+        tol: relative shift threshold for early stopping.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 25,
+        tol: float = 1e-4,
+        seed: Optional[int] = 0,
+    ):
+        self.n_clusters = ensure_positive(n_clusters, "n_clusters")
+        self.max_iter = ensure_positive(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    def fit(self, vectors: np.ndarray) -> "KMeans":
+        """Cluster ``vectors``; stores ``self.centroids``."""
+        vectors = ensure_matrix(vectors, "vectors")
+        n = len(vectors)
+        if n < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} vectors, got {n}"
+            )
+        rng = np.random.default_rng(self.seed)
+        centroids = _kmeans_pp_init(vectors, self.n_clusters, rng)
+
+        for iteration in range(self.max_iter):
+            labels, dists = assign_to_centroids(vectors, centroids)
+            new_centroids = np.zeros_like(centroids)
+            counts = np.bincount(labels, minlength=self.n_clusters)
+            np.add.at(new_centroids, labels, vectors)
+            nonempty = counts > 0
+            new_centroids[nonempty] /= counts[nonempty, np.newaxis]
+            self._repair_empty(new_centroids, counts, vectors, labels, dists, rng)
+
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            scale = float(np.linalg.norm(centroids)) or 1.0
+            centroids = new_centroids
+            self.n_iter_ = iteration + 1
+            if shift / scale < self.tol:
+                break
+
+        self.centroids = centroids
+        _, final_dists = assign_to_centroids(vectors, centroids)
+        self.inertia_ = float(final_dists.sum())
+        return self
+
+    def predict(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-centroid label per vector."""
+        if self.centroids is None:
+            raise RuntimeError("KMeans is not fitted")
+        vectors = ensure_matrix(vectors, "vectors")
+        labels, __ = assign_to_centroids(vectors, self.centroids)
+        return labels
+
+    @staticmethod
+    def _repair_empty(centroids, counts, vectors, labels, dists, rng) -> None:
+        """Reseed empty clusters with the points farthest from their centroid."""
+        empty = np.flatnonzero(counts == 0)
+        if len(empty) == 0:
+            return
+        farthest = np.argsort(dists)[::-1]
+        for slot, point_idx in zip(empty, farthest):
+            centroids[slot] = vectors[point_idx]

@@ -1,0 +1,280 @@
+"""NSG (Navigating Spreading-out Graph), the paper's "RNSG" (Fu et al.).
+
+Construction: build an exact kNN graph (chunked brute force — our
+datasets are laptop-scale), then apply the MRNG edge-selection rule
+from the NSG paper to sparsify, rooted at the dataset medoid, and
+finally patch connectivity with a spanning pass so greedy search from
+the medoid can reach every node.  Search is best-first beam search
+with pool size ``search_l``.
+
+Unlike HNSW, NSG is built once over a static segment — matching how
+Milvus builds indexes only for sealed segments (Sec. 2.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.metrics.base import MetricKind
+from repro.utils import ensure_positive
+
+_KNN_CHUNK = 2048
+
+
+class NSGIndex(VectorIndex):
+    """Navigating Spreading-out Graph index (build-once, search-many).
+
+    Args:
+        knn: size of the base kNN graph used for candidate generation.
+        out_degree: maximum out-degree after MRNG pruning.
+        search_l: default search pool width.
+    """
+
+    index_type = "NSG"
+    requires_training = False
+
+    def __init__(
+        self,
+        dim: int,
+        metric="l2",
+        knn: int = 32,
+        out_degree: int = 24,
+        search_l: int = 64,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__(dim, metric)
+        if self.metric.kind is not MetricKind.DENSE:
+            raise ValueError("NSG supports dense metrics only")
+        self.knn = ensure_positive(knn, "knn")
+        self.out_degree = ensure_positive(out_degree, "out_degree")
+        self.search_l = ensure_positive(search_l, "search_l")
+        self.seed = seed
+        self._vectors: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._graph: List[np.ndarray] = []
+        self._medoid: int = -1
+        self._built = False
+
+    # -- ingest -------------------------------------------------------------
+
+    def _add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        if self._vectors is None:
+            self._vectors = vectors.copy()
+            self._ids = ids.copy()
+        else:
+            self._vectors = np.concatenate([self._vectors, vectors])
+            self._ids = np.concatenate([self._ids, ids])
+        self._built = False
+
+    def build(self) -> None:
+        """Construct the graph; called lazily on first search."""
+        n = self.ntotal
+        if n == 0:
+            return
+        data = self._vectors
+        self._medoid = self._find_medoid(data)
+        knn_graph = self._build_knn_graph(data, min(self.knn, n - 1)) if n > 1 else [
+            np.empty(0, dtype=np.int64)
+        ]
+        # NSG candidate generation: for every node, search the kNN graph
+        # from the medoid toward that node and pool the *visited* nodes
+        # with its kNN list.  The visited nodes contribute the long
+        # cross-region edges that make the pruned graph navigable.
+        self._graph = knn_graph
+        pruned: List[np.ndarray] = []
+        for i in range(n):
+            visited = self._visited_along_search(data[i], pool=self.knn)
+            candidates = np.unique(np.concatenate([knn_graph[i], visited]))
+            candidates = candidates[candidates != i]
+            pruned.append(self._mrng_prune(i, candidates, data))
+        self._graph = pruned
+        self._add_reverse_edges(data)
+        self._ensure_reachable(data)
+        self._built = True
+
+    def _visited_along_search(self, target: np.ndarray, pool: int) -> np.ndarray:
+        """Nodes visited while beam-searching the current graph for ``target``."""
+        entry = self._medoid
+        d0 = float(self._dist(target, np.array([entry]))[0])
+        visited = {entry}
+        candidates = [(d0, entry)]
+        results = [(-d0, entry)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if len(results) >= pool and dist > -results[0][0]:
+                break
+            unvisited = [int(x) for x in self._graph[node] if int(x) not in visited]
+            if not unvisited:
+                continue
+            visited.update(unvisited)
+            dists = self._dist(target, np.array(unvisited))
+            for nd, nn in zip(dists, unvisited):
+                nd = float(nd)
+                if len(results) < pool or nd < -results[0][0]:
+                    heapq.heappush(candidates, (nd, nn))
+                    heapq.heappush(results, (-nd, nn))
+                    if len(results) > pool:
+                        heapq.heappop(results)
+        return np.fromiter(visited, dtype=np.int64)
+
+    def _add_reverse_edges(self, data: np.ndarray) -> None:
+        """Insert reverse edges (NSG construction detail) for navigability.
+
+        A directed edge u->v also proposes v->u; the target re-prunes
+        with the MRNG rule when its out-degree overflows.
+        """
+        proposals: List[List[int]] = [[] for __ in range(len(self._graph))]
+        for u, neighbors in enumerate(self._graph):
+            for v in neighbors:
+                proposals[int(v)].append(u)
+        for v, extra in enumerate(proposals):
+            if not extra:
+                continue
+            merged = np.unique(
+                np.concatenate([self._graph[v], np.array(extra, dtype=np.int64)])
+            )
+            merged = merged[merged != v]
+            if len(merged) > self.out_degree:
+                self._graph[v] = self._mrng_prune(v, merged, data)
+            else:
+                self._graph[v] = merged
+
+    def _find_medoid(self, data: np.ndarray) -> int:
+        center = data.mean(axis=0, keepdims=True)
+        dists = self.metric.pairwise(center, data)[0]
+        order = self.metric.sort_order(dists)
+        return int(order[0])
+
+    def _build_knn_graph(self, data: np.ndarray, k: int) -> List[np.ndarray]:
+        n = len(data)
+        graph: List[np.ndarray] = []
+        for start in range(0, n, _KNN_CHUNK):
+            stop = min(start + _KNN_CHUNK, n)
+            scores = self.metric.pairwise(data[start:stop], data)
+            keyed = -scores if self.metric.higher_is_better else scores
+            # Exclude self by inflating own entry.
+            rows = np.arange(start, stop)
+            keyed[np.arange(stop - start), rows] = np.inf
+            part = np.argpartition(keyed, k - 1, axis=1)[:, :k]
+            row_scores = np.take_along_axis(keyed, part, axis=1)
+            order = np.argsort(row_scores, axis=1, kind="stable")
+            neighbors = np.take_along_axis(part, order, axis=1)
+            graph.extend(neighbors[i].astype(np.int64) for i in range(stop - start))
+        return graph
+
+    def _mrng_prune(
+        self, node: int, candidates: np.ndarray, data: np.ndarray
+    ) -> np.ndarray:
+        """MRNG rule: keep candidate c unless a kept neighbor is closer to c."""
+        if len(candidates) == 0:
+            return candidates
+        cand_scores = self.metric.pairwise(data[node : node + 1], data[candidates])[0]
+        order = self.metric.sort_order(cand_scores)
+        selected: List[int] = []
+        for idx in order:
+            cand = int(candidates[idx])
+            if len(selected) >= self.out_degree:
+                break
+            cand_dist = cand_scores[idx]
+            dominated = False
+            if selected:
+                between = self.metric.pairwise(
+                    data[cand : cand + 1], data[np.array(selected)]
+                )[0]
+                if self.metric.higher_is_better:
+                    dominated = bool((between > cand_dist).any())
+                else:
+                    dominated = bool((between < cand_dist).any())
+            if not dominated:
+                selected.append(cand)
+        return np.array(selected, dtype=np.int64)
+
+    def _ensure_reachable(self, data: np.ndarray) -> None:
+        """DFS from medoid; attach any unreachable node to its nearest reached node."""
+        n = len(data)
+        reached = np.zeros(n, dtype=bool)
+        stack = [self._medoid]
+        reached[self._medoid] = True
+        while stack:
+            node = stack.pop()
+            for nb in self._graph[node]:
+                if not reached[nb]:
+                    reached[nb] = True
+                    stack.append(int(nb))
+        missing = np.flatnonzero(~reached)
+        if len(missing) == 0:
+            return
+        reached_nodes = np.flatnonzero(reached)
+        for node in missing:
+            scores = self.metric.pairwise(
+                data[node : node + 1], data[reached_nodes]
+            )[0]
+            order = self.metric.sort_order(scores)
+            anchor = int(reached_nodes[order[0]])
+            self._graph[anchor] = np.append(self._graph[anchor], node)
+            reached[node] = True
+            reached_nodes = np.append(reached_nodes, node)
+
+    # -- query -------------------------------------------------------------------
+
+    def _dist(self, query: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        scores = self.metric.pairwise(query[np.newaxis, :], self._vectors[nodes])[0]
+        return -scores if self.metric.higher_is_better else scores
+
+    def _search(
+        self, queries: np.ndarray, k: int, search_l: Optional[int] = None, **params
+    ) -> SearchResult:
+        if params:
+            raise TypeError(f"unknown search params: {sorted(params)}")
+        if not self._built:
+            self.build()
+        pool = max(search_l or self.search_l, k)
+        result = SearchResult.empty(len(queries), k, self.metric)
+        for qi, vec in enumerate(queries):
+            found = self._beam_search(vec, pool)[:k]
+            for j, (dist, node) in enumerate(found):
+                result.ids[qi, j] = self._ids[node]
+                result.scores[qi, j] = -dist if self.metric.higher_is_better else dist
+        return result
+
+    def _beam_search(self, vec: np.ndarray, pool: int) -> List[Tuple[float, int]]:
+        entry = self._medoid
+        start = np.array([entry])
+        d0 = float(self._dist(vec, start)[0])
+        visited = {entry}
+        candidates = [(d0, entry)]
+        results = [(-d0, entry)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if len(results) >= pool and dist > -results[0][0]:
+                break
+            unvisited = [int(n) for n in self._graph[node] if int(n) not in visited]
+            if not unvisited:
+                continue
+            visited.update(unvisited)
+            dists = self._dist(vec, np.array(unvisited))
+            for nd, nn in zip(dists, unvisited):
+                nd = float(nd)
+                if len(results) < pool or nd < -results[0][0]:
+                    heapq.heappush(candidates, (nd, nn))
+                    heapq.heappush(results, (-nd, nn))
+                    if len(results) > pool:
+                        heapq.heappop(results)
+        return sorted((-d, n) for d, n in results)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def ntotal(self) -> int:
+        return 0 if self._vectors is None else len(self._vectors)
+
+    def memory_bytes(self) -> int:
+        total = 0
+        if self._vectors is not None:
+            total += self._vectors.nbytes + self._ids.nbytes
+        total += sum(g.nbytes for g in self._graph)
+        return total

@@ -1,0 +1,54 @@
+"""Similarity metrics for vector search.
+
+The paper (Sec. 2.1) lists the similarity functions Milvus offers:
+Euclidean distance, inner product, cosine similarity, Hamming distance,
+and Jaccard distance; Tanimoto distance is used by the chemical
+structure analysis application (Sec. 6.2).
+
+Every metric is exposed as a :class:`Metric` object with a vectorized
+``pairwise`` kernel and a ``higher_is_better`` flag so that query
+processing code never special-cases metric direction.
+"""
+
+from repro.metrics.base import Metric, MetricKind
+from repro.metrics.dense import (
+    EuclideanMetric,
+    InnerProductMetric,
+    CosineMetric,
+    l2_squared_pairwise,
+    inner_product_pairwise,
+    cosine_pairwise,
+)
+from repro.metrics.binary import (
+    HammingMetric,
+    JaccardMetric,
+    TanimotoMetric,
+    pack_bits,
+    unpack_bits,
+    hamming_pairwise,
+    jaccard_pairwise,
+    tanimoto_pairwise,
+)
+from repro.metrics.registry import get_metric, register_metric, available_metrics
+
+__all__ = [
+    "Metric",
+    "MetricKind",
+    "EuclideanMetric",
+    "InnerProductMetric",
+    "CosineMetric",
+    "HammingMetric",
+    "JaccardMetric",
+    "TanimotoMetric",
+    "l2_squared_pairwise",
+    "inner_product_pairwise",
+    "cosine_pairwise",
+    "hamming_pairwise",
+    "jaccard_pairwise",
+    "tanimoto_pairwise",
+    "pack_bits",
+    "unpack_bits",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+]

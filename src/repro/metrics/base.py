@@ -1,0 +1,58 @@
+"""Metric abstraction shared by every index and query path."""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+
+class MetricKind(enum.Enum):
+    """Broad family of a metric, used by indexes to validate support."""
+
+    DENSE = "dense"
+    BINARY = "binary"
+
+
+class Metric(abc.ABC):
+    """A similarity or distance function over batches of vectors.
+
+    Subclasses implement :meth:`pairwise` as a fully vectorized kernel.
+    Query processing code orders candidates with ``higher_is_better``;
+    it must never assume a particular direction.
+    """
+
+    #: canonical registry name, e.g. ``"l2"``.
+    name: str = ""
+    #: True when a larger pairwise value means a closer match.
+    higher_is_better: bool = False
+    kind: MetricKind = MetricKind.DENSE
+
+    @abc.abstractmethod
+    def pairwise(self, queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Return an ``(m, n)`` matrix of scores for ``m`` queries and ``n`` rows."""
+
+    def single(self, query: np.ndarray, vector: np.ndarray) -> float:
+        """Score one query against one vector."""
+        query = np.atleast_2d(query)
+        vector = np.atleast_2d(vector)
+        return float(self.pairwise(query, vector)[0, 0])
+
+    def worst_value(self) -> float:
+        """The sentinel score that loses against any real score."""
+        return -np.inf if self.higher_is_better else np.inf
+
+    def is_better(self, a: float, b: float) -> bool:
+        """True when score ``a`` beats score ``b``."""
+        return a > b if self.higher_is_better else a < b
+
+    def sort_order(self, scores: np.ndarray) -> np.ndarray:
+        """Indices that sort ``scores`` from best to worst."""
+        order = np.argsort(scores, kind="stable")
+        if self.higher_is_better:
+            order = order[::-1]
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,62 @@
+"""Metric registry: name -> Metric instance.
+
+Mirrors the extensibility story of the index framework (Sec. 2.2): new
+metrics plug in through :func:`register_metric` without touching query
+processing code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.metrics.base import Metric
+from repro.metrics.binary import HammingMetric, JaccardMetric, TanimotoMetric
+from repro.metrics.dense import CosineMetric, EuclideanMetric, InnerProductMetric
+
+_REGISTRY: Dict[str, Metric] = {}
+
+_ALIASES = {
+    "euclidean": "l2",
+    "l2_squared": "l2",
+    "inner_product": "ip",
+    "dot": "ip",
+    "cos": "cosine",
+}
+
+
+def register_metric(metric: Metric, overwrite: bool = False) -> None:
+    """Add ``metric`` to the registry under ``metric.name``."""
+    if not metric.name:
+        raise ValueError("metric must define a non-empty name")
+    if metric.name in _REGISTRY and not overwrite:
+        raise ValueError(f"metric {metric.name!r} already registered")
+    _REGISTRY[metric.name] = metric
+
+
+def get_metric(metric: Union[str, Metric]) -> Metric:
+    """Resolve a metric by name (or pass a Metric instance through)."""
+    if isinstance(metric, Metric):
+        return metric
+    key = _ALIASES.get(metric.lower(), metric.lower())
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {metric!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_metrics() -> List[str]:
+    """Names of every registered metric."""
+    return sorted(_REGISTRY)
+
+
+for _metric in (
+    EuclideanMetric(),
+    InnerProductMetric(),
+    CosineMetric(),
+    HammingMetric(),
+    JaccardMetric(),
+    TanimotoMetric(),
+):
+    register_metric(_metric)

@@ -1,0 +1,38 @@
+"""Multi-vector query processing (paper Sec. 4.2).
+
+Entities described by ``mu`` vectors are ranked by a monotonic
+aggregation (weighted sum here) of per-vector similarities.  Three
+algorithms:
+
+* **naive** — per-field top-k union, then exact rerank (the widely
+  used ML-style baseline; can miss many true results);
+* **vector fusion** — concatenate per-entity vectors, aggregate the
+  query, answer with a single search (needs a decomposable metric:
+  inner product, or squared L2);
+* **iterative merging** — Algorithm 2: per-field top-k' queries with
+  doubling k', checked by Fagin's NRA termination rule.
+"""
+
+from repro.multivector.aggregate import WeightedSum
+from repro.multivector.nra import (
+    RankedList,
+    nra_determined_topk,
+    nra_best_effort_topk,
+    streaming_nra,
+)
+from repro.multivector.fusion import VectorFusion
+from repro.multivector.iterative import IterativeMerging
+from repro.multivector.naive import naive_multi_vector_search
+from repro.multivector.searcher import MultiVectorSearcher
+
+__all__ = [
+    "WeightedSum",
+    "RankedList",
+    "nra_determined_topk",
+    "nra_best_effort_topk",
+    "streaming_nra",
+    "VectorFusion",
+    "IterativeMerging",
+    "naive_multi_vector_search",
+    "MultiVectorSearcher",
+]

@@ -1,0 +1,59 @@
+"""Monotonic aggregation functions for multi-vector scoring.
+
+The paper assumes the aggregation ``g`` is monotonic (non-decreasing in
+every per-field similarity) — weighted sum, average, min/max all
+qualify.  Weighted sum is the one used in the evaluation (Sec. 7.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics import Metric, get_metric
+
+
+class WeightedSum:
+    """g(f_0, ..., f_{mu-1}) = sum_i w_i * f_i with non-negative weights."""
+
+    def __init__(self, fields: Sequence[str], weights: Optional[Dict[str, float]] = None):
+        self.fields = tuple(fields)
+        if not self.fields:
+            raise ValueError("aggregation needs at least one field")
+        weights = weights or {}
+        self.weights = {f: float(weights.get(f, 1.0)) for f in self.fields}
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("weighted-sum weights must be non-negative")
+
+    def combine(self, per_field: Dict[str, np.ndarray]) -> np.ndarray:
+        """Aggregate aligned per-field score arrays."""
+        total = None
+        for f in self.fields:
+            contrib = self.weights[f] * np.asarray(per_field[f], dtype=np.float64)
+            total = contrib if total is None else total + contrib
+        return total
+
+    def exact_scores(
+        self,
+        queries: Dict[str, np.ndarray],
+        field_vectors: Dict[str, np.ndarray],
+        metric: Metric,
+    ) -> np.ndarray:
+        """Aggregated scores of one query entity vs candidate entities.
+
+        ``queries[f]`` is one vector; ``field_vectors[f]`` is the (n, d_f)
+        matrix of candidate vectors, aligned across fields.
+        """
+        per_field = {}
+        for f in self.fields:
+            q = np.asarray(queries[f], dtype=np.float32)
+            if q.ndim == 1:
+                q = q[np.newaxis, :]
+            per_field[f] = metric.pairwise(q, field_vectors[f])[0]
+        return self.combine(per_field)
+
+
+def resolve_metric(metric) -> Metric:
+    """Shared helper so every multi-vector path validates the same way."""
+    return get_metric(metric)

@@ -1,0 +1,51 @@
+"""Storage engine: LSM-based dynamic data management (paper Sec. 2.3/2.4).
+
+Components:
+
+* :mod:`repro.storage.filesystem` — multi-storage abstraction (local
+  filesystem, simulated S3 object store, simulated HDFS).
+* :mod:`repro.storage.wal` — write-ahead log for durability.
+* :mod:`repro.storage.attributes` — sorted (key, row-id) attribute
+  columns with page min/max skip pointers (Snowflake-style).
+* :mod:`repro.storage.segment` — immutable columnar segments, the unit
+  of searching, scheduling, and buffering.
+* :mod:`repro.storage.memtable` — the mutable in-memory write buffer.
+* :mod:`repro.storage.merge` — Lucene-style tiered merge policy.
+* :mod:`repro.storage.manifest` — MVCC snapshots and garbage collection.
+* :mod:`repro.storage.lsm` — the LSM manager tying it all together.
+* :mod:`repro.storage.bufferpool` — segment-granular LRU buffer manager.
+"""
+
+from repro.storage.filesystem import (
+    FileSystem,
+    LocalFileSystem,
+    InMemoryObjectStore,
+    SimulatedHDFS,
+)
+from repro.storage.attributes import AttributeColumn
+from repro.storage.segment import Segment
+from repro.storage.memtable import MemTable
+from repro.storage.merge import TieredMergePolicy, MergeTask
+from repro.storage.manifest import Manifest, Snapshot
+from repro.storage.wal import WriteAheadLog, WalRecord
+from repro.storage.lsm import LSMManager, LSMConfig
+from repro.storage.bufferpool import BufferPool
+
+__all__ = [
+    "FileSystem",
+    "LocalFileSystem",
+    "InMemoryObjectStore",
+    "SimulatedHDFS",
+    "AttributeColumn",
+    "Segment",
+    "MemTable",
+    "TieredMergePolicy",
+    "MergeTask",
+    "Manifest",
+    "Snapshot",
+    "WriteAheadLog",
+    "WalRecord",
+    "LSMManager",
+    "LSMConfig",
+    "BufferPool",
+]

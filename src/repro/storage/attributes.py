@@ -1,0 +1,146 @@
+"""Attribute column storage (paper Sec. 2.4).
+
+"Each attribute column is stored as an array of (key, value) pairs
+where the key is the attribute value and value is the row ID, sorted
+by the key.  Besides that, we build skip pointers (i.e., min/max
+values) following Snowflake as indexing for the data pages on disk.
+This allows efficient point query and range query in that column."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils import ensure_positive
+
+DEFAULT_PAGE_ROWS = 1024
+
+
+class AttributeColumn:
+    """Sorted (key, row-id) pairs with per-page min/max skip pointers.
+
+    Immutable once constructed — attribute columns live inside sealed
+    segments.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        row_ids: np.ndarray,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+    ):
+        values = np.asarray(values, dtype=np.float64)
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if values.ndim != 1 or values.shape != row_ids.shape:
+            raise ValueError("values and row_ids must be equal-length 1-D arrays")
+        self.page_rows = ensure_positive(page_rows, "page_rows")
+        order = np.argsort(values, kind="stable")
+        self.keys = values[order]
+        self.row_ids = row_ids[order]
+        self._build_skip_pointers()
+
+    def _build_skip_pointers(self) -> None:
+        n = len(self.keys)
+        n_pages = max(1, (n + self.page_rows - 1) // self.page_rows)
+        mins = np.empty(n_pages, dtype=np.float64)
+        maxs = np.empty(n_pages, dtype=np.float64)
+        for page in range(n_pages):
+            start = page * self.page_rows
+            stop = min(start + self.page_rows, n)
+            if start >= n:
+                mins[page] = np.inf
+                maxs[page] = -np.inf
+            else:
+                mins[page] = self.keys[start]
+                maxs[page] = self.keys[stop - 1]
+        self.page_mins = mins
+        self.page_maxs = maxs
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def min_value(self) -> float:
+        return float(self.keys[0]) if len(self.keys) else np.inf
+
+    @property
+    def max_value(self) -> float:
+        return float(self.keys[-1]) if len(self.keys) else -np.inf
+
+    # -- queries ---------------------------------------------------------
+
+    def range_query(self, low: float, high: float) -> np.ndarray:
+        """Row ids with ``low <= value <= high`` via binary search."""
+        if high < low or len(self.keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        lo = int(np.searchsorted(self.keys, low, side="left"))
+        hi = int(np.searchsorted(self.keys, high, side="right"))
+        return self.row_ids[lo:hi].copy()
+
+    def point_query(self, value: float) -> np.ndarray:
+        """Row ids whose attribute equals ``value`` exactly."""
+        return self.range_query(value, value)
+
+    def count_in_range(self, low: float, high: float) -> int:
+        """Cardinality of :meth:`range_query` without materializing ids."""
+        if high < low or len(self.keys) == 0:
+            return 0
+        lo = int(np.searchsorted(self.keys, low, side="left"))
+        hi = int(np.searchsorted(self.keys, high, side="right"))
+        return hi - lo
+
+    def pages_overlapping(self, low: float, high: float) -> np.ndarray:
+        """Page indexes whose [min, max] overlaps [low, high].
+
+        This is the skip-pointer pruning path used when the column is
+        paged out to disk: only overlapping pages need to be fetched.
+        """
+        mask = (self.page_maxs >= low) & (self.page_mins <= high)
+        return np.flatnonzero(mask)
+
+    def selectivity(self, low: float, high: float) -> float:
+        """Fraction of rows *passing* the range predicate."""
+        if len(self.keys) == 0:
+            return 0.0
+        return self.count_in_range(low, high) / len(self.keys)
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.keys, self.row_ids
+
+    def memory_bytes(self) -> int:
+        return (
+            self.keys.nbytes
+            + self.row_ids.nbytes
+            + self.page_mins.nbytes
+            + self.page_maxs.nbytes
+        )
+
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: np.ndarray,
+        row_ids: np.ndarray,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+    ) -> "AttributeColumn":
+        """Rebuild from already-sorted arrays (deserialization path)."""
+        col = cls.__new__(cls)
+        col.page_rows = ensure_positive(page_rows, "page_rows")
+        col.keys = np.asarray(keys, dtype=np.float64)
+        col.row_ids = np.asarray(row_ids, dtype=np.int64)
+        col._build_skip_pointers()
+        return col
+
+
+def merge_columns(columns, page_rows: int = DEFAULT_PAGE_ROWS) -> AttributeColumn:
+    """k-way merge of sorted attribute columns (used by segment merge)."""
+    columns = [c for c in columns if len(c)]
+    if not columns:
+        return AttributeColumn(np.empty(0), np.empty(0, dtype=np.int64), page_rows)
+    keys = np.concatenate([c.keys for c in columns])
+    row_ids = np.concatenate([c.row_ids for c in columns])
+    order = np.argsort(keys, kind="stable")
+    return AttributeColumn.from_sorted(keys[order], row_ids[order], page_rows)

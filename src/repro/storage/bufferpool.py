@@ -1,0 +1,125 @@
+"""Segment-granular LRU buffer manager (paper Sec. 2.4).
+
+"Milvus assumes that most (if not all) data and index are resident in
+memory for high performance.  If not, it relies on an LRU-based
+buffer manager.  In particular, the caching unit is a segment."
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.storage.segment import Segment
+from repro.utils import ensure_positive
+
+
+class BufferPool:
+    """LRU cache of segments with pin counting.
+
+    ``loader(segment_id) -> Segment`` is invoked on a miss; pinned
+    segments are never evicted (a search holds a pin while scanning).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        loader: Callable[[int], Segment],
+    ):
+        self.capacity_bytes = ensure_positive(capacity_bytes, "capacity_bytes")
+        self._loader = loader
+        self._cache: "OrderedDict[int, Segment]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core ops ----------------------------------------------------------
+
+    def get(self, segment_id: int, pin: bool = False) -> Segment:
+        """Fetch a segment, loading it on a miss (possibly evicting)."""
+        if segment_id in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(segment_id)
+            segment = self._cache[segment_id]
+        else:
+            self.misses += 1
+            segment = self._loader(segment_id)
+            self._insert(segment_id, segment)
+        if pin:
+            self._pins[segment_id] = self._pins.get(segment_id, 0) + 1
+        return segment
+
+    def put(self, segment: Segment, pin: bool = False) -> None:
+        """Install a freshly created segment (e.g. right after flush)."""
+        if segment.segment_id in self._cache:
+            self._bytes -= self._cache[segment.segment_id].memory_bytes()
+            self._cache[segment.segment_id] = segment
+            self._bytes += segment.memory_bytes()
+            self._cache.move_to_end(segment.segment_id)
+        else:
+            self._insert(segment.segment_id, segment)
+        if pin:
+            self._pins[segment.segment_id] = self._pins.get(segment.segment_id, 0) + 1
+
+    def unpin(self, segment_id: int) -> None:
+        count = self._pins.get(segment_id, 0)
+        if count <= 0:
+            raise RuntimeError(f"segment {segment_id} is not pinned")
+        if count == 1:
+            del self._pins[segment_id]
+        else:
+            self._pins[segment_id] = count - 1
+
+    def invalidate(self, segment_id: int) -> None:
+        """Drop a dead segment (after GC); pinned segments raise."""
+        if self._pins.get(segment_id, 0) > 0:
+            raise RuntimeError(f"cannot invalidate pinned segment {segment_id}")
+        segment = self._cache.pop(segment_id, None)
+        if segment is not None:
+            self._bytes -= segment.memory_bytes()
+
+    # -- internals ----------------------------------------------------------
+
+    def _insert(self, segment_id: int, segment: Segment) -> None:
+        needed = segment.memory_bytes()
+        self._evict_until(needed)
+        self._cache[segment_id] = segment
+        self._bytes += needed
+
+    def _evict_until(self, incoming_bytes: int) -> None:
+        """Evict LRU unpinned segments until the incoming one fits.
+
+        If everything remaining is pinned, the pool is allowed to
+        overflow — correctness over strict capacity, like a real
+        buffer manager under pin pressure.
+        """
+        while self._bytes + incoming_bytes > self.capacity_bytes and self._cache:
+            victim = None
+            for seg_id in self._cache:  # OrderedDict: LRU first
+                if self._pins.get(seg_id, 0) == 0:
+                    victim = seg_id
+                    break
+            if victim is None:
+                break
+            segment = self._cache.pop(victim)
+            self._bytes -= segment.memory_bytes()
+            self.evictions += 1
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def resident_segments(self) -> int:
+        return len(self._cache)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, segment_id: int) -> bool:
+        return segment_id in self._cache

@@ -1,0 +1,199 @@
+"""Categorical attribute indexes: inverted lists and bitmaps.
+
+Paper Sec. 2.1: "In the current version of Milvus, we only support
+numerical attributes ... in the future, we plan to support categorical
+attributes with indexes like inverted lists or bitmaps."  This module
+implements that future work.
+
+Categorical values are stored as int64 *codes* (the collection keeps
+the string dictionary).  Two interchangeable index structures:
+
+* :class:`InvertedIndex` — code -> sorted row-id array; best for high
+  cardinality.
+* :class:`BitmapIndex` — code -> packed bitset over segment positions;
+  best for low cardinality, supports bitwise AND/OR composition.
+
+:func:`choose_index` applies the classic cardinality heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils import ensure_positive
+
+
+class CategoricalColumn:
+    """Per-segment categorical storage: codes in row order + an index."""
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        row_ids: np.ndarray,
+        index_kind: str = "auto",
+    ):
+        self.codes = np.asarray(codes, dtype=np.int64)
+        self.row_ids = np.asarray(row_ids, dtype=np.int64)
+        if self.codes.shape != self.row_ids.shape or self.codes.ndim != 1:
+            raise ValueError("codes and row_ids must be matching 1-D arrays")
+        self.index = choose_index(self.codes, self.row_ids, index_kind)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def rows_equal(self, code: int) -> np.ndarray:
+        return self.index.rows_equal(int(code))
+
+    def rows_in(self, codes: Iterable[int]) -> np.ndarray:
+        return self.index.rows_in([int(c) for c in codes])
+
+    def values_for(self, row_ids: np.ndarray) -> np.ndarray:
+        """Codes for specific rows (rows must exist in this column)."""
+        order = np.argsort(self.row_ids)
+        sorted_rows = self.row_ids[order]
+        pos = np.searchsorted(sorted_rows, row_ids)
+        pos = np.minimum(pos, len(sorted_rows) - 1)
+        if len(sorted_rows) == 0 or not (sorted_rows[pos] == row_ids).all():
+            raise KeyError("row id not present in categorical column")
+        return self.codes[order][pos]
+
+    def memory_bytes(self) -> int:
+        return self.codes.nbytes + self.row_ids.nbytes + self.index.memory_bytes()
+
+
+class InvertedIndex:
+    """code -> sorted row ids."""
+
+    kind = "inverted"
+
+    def __init__(self, codes: np.ndarray, row_ids: np.ndarray):
+        self._lists: Dict[int, np.ndarray] = {}
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_rows = row_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [len(sorted_codes)]])
+        for start, stop in zip(starts, stops):
+            if stop > start:
+                self._lists[int(sorted_codes[start])] = np.sort(
+                    sorted_rows[start:stop]
+                )
+
+    def rows_equal(self, code: int) -> np.ndarray:
+        return self._lists.get(code, np.empty(0, dtype=np.int64)).copy()
+
+    def rows_in(self, codes: Sequence[int]) -> np.ndarray:
+        parts = [self._lists[c] for c in set(codes) if c in self._lists]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def cardinality(self) -> int:
+        return len(self._lists)
+
+    def memory_bytes(self) -> int:
+        return sum(arr.nbytes for arr in self._lists.values())
+
+
+class BitmapIndex:
+    """code -> packed bitset over segment positions.
+
+    Positions map back to row ids through the stored ``row_ids``
+    array; bitsets compose with numpy bitwise ops, which is the whole
+    point of bitmaps for multi-value predicates.
+    """
+
+    kind = "bitmap"
+
+    def __init__(self, codes: np.ndarray, row_ids: np.ndarray):
+        self.row_ids = row_ids
+        n = len(codes)
+        self._nbits = n
+        self._bitmaps: Dict[int, np.ndarray] = {}
+        for code in np.unique(codes):
+            mask = np.zeros(n, dtype=np.uint8)
+            mask[codes == code] = 1
+            self._bitmaps[int(code)] = np.packbits(mask)
+
+    def _to_rows(self, packed: np.ndarray) -> np.ndarray:
+        mask = np.unpackbits(packed)[: self._nbits].astype(bool)
+        return np.sort(self.row_ids[mask])
+
+    def rows_equal(self, code: int) -> np.ndarray:
+        packed = self._bitmaps.get(code)
+        if packed is None:
+            return np.empty(0, dtype=np.int64)
+        return self._to_rows(packed)
+
+    def rows_in(self, codes: Sequence[int]) -> np.ndarray:
+        combined: Optional[np.ndarray] = None
+        for code in set(codes):
+            packed = self._bitmaps.get(code)
+            if packed is None:
+                continue
+            combined = packed.copy() if combined is None else (combined | packed)
+        if combined is None:
+            return np.empty(0, dtype=np.int64)
+        return self._to_rows(combined)
+
+    def cardinality(self) -> int:
+        return len(self._bitmaps)
+
+    def memory_bytes(self) -> int:
+        return self.row_ids.nbytes + sum(b.nbytes for b in self._bitmaps.values())
+
+
+#: cardinality at or below which bitmaps win (bitset bytes < id lists).
+BITMAP_CARDINALITY_LIMIT = 64
+
+
+def choose_index(codes: np.ndarray, row_ids: np.ndarray, kind: str = "auto"):
+    """Pick the index structure (or honor an explicit choice)."""
+    if kind == "inverted":
+        return InvertedIndex(codes, row_ids)
+    if kind == "bitmap":
+        return BitmapIndex(codes, row_ids)
+    if kind != "auto":
+        raise ValueError(f"unknown categorical index kind {kind!r}")
+    cardinality = len(np.unique(codes)) if len(codes) else 0
+    if cardinality and cardinality <= BITMAP_CARDINALITY_LIMIT:
+        return BitmapIndex(codes, row_ids)
+    return InvertedIndex(codes, row_ids)
+
+
+class CategoryDictionary:
+    """Collection-level string <-> code dictionary."""
+
+    def __init__(self):
+        self._code_of: Dict[str, int] = {}
+        self._value_of: List[str] = []
+
+    def encode(self, values: Iterable) -> np.ndarray:
+        out: List[int] = []
+        for value in values:
+            key = str(value)
+            code = self._code_of.get(key)
+            if code is None:
+                code = len(self._value_of)
+                self._code_of[key] = code
+                self._value_of.append(key)
+            out.append(code)
+        return np.array(out, dtype=np.int64)
+
+    def encode_existing(self, values: Iterable) -> np.ndarray:
+        """Encode without creating new codes; unknown values -> -1."""
+        return np.array(
+            [self._code_of.get(str(v), -1) for v in values], dtype=np.int64
+        )
+
+    def decode(self, codes: Iterable[int]) -> List[str]:
+        return [self._value_of[int(c)] for c in codes]
+
+    def __len__(self) -> int:
+        return len(self._value_of)
+
+    def __contains__(self, value) -> bool:
+        return str(value) in self._code_of

@@ -1,0 +1,165 @@
+"""Multi-storage abstraction (paper Sec. 2.4).
+
+"Milvus supports multiple file systems including local file systems,
+Amazon S3, and HDFS for the underlying data storage."  The S3 and HDFS
+backends here are in-process simulations: dictionary-backed object
+stores with the semantics that matter to the engine (whole-object
+put/get, no partial update for S3; block-oriented accounting for
+HDFS), plus byte counters so benches can report I/O volume.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import threading
+from typing import Dict, List
+
+
+class FileSystem(abc.ABC):
+    """Minimal object-storage interface the engine depends on."""
+
+    @abc.abstractmethod
+    def write(self, path: str, data: bytes) -> None:
+        """Store ``data`` at ``path``, replacing any previous object."""
+
+    @abc.abstractmethod
+    def read(self, path: str) -> bytes:
+        """Fetch the object at ``path``; raises ``FileNotFoundError``."""
+
+    @abc.abstractmethod
+    def exists(self, path: str) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def delete(self, path: str) -> None:
+        """Remove the object; missing objects are a no-op (idempotent)."""
+
+    @abc.abstractmethod
+    def listdir(self, prefix: str) -> List[str]:
+        """Paths starting with ``prefix``, sorted."""
+
+    # I/O accounting shared by all backends.
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def reset_counters(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+
+class LocalFileSystem(FileSystem):
+    """Real on-disk backend rooted at ``root``."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def _full(self, path: str) -> str:
+        full = os.path.normpath(os.path.join(self.root, path))
+        if not full.startswith(os.path.normpath(self.root)):
+            raise ValueError(f"path {path!r} escapes the filesystem root")
+        return full
+
+    def write(self, path: str, data: bytes) -> None:
+        full = self._full(path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        tmp = full + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, full)
+        self.bytes_written += len(data)
+
+    def read(self, path: str) -> bytes:
+        with open(self._full(path), "rb") as fh:
+            data = fh.read()
+        self.bytes_read += len(data)
+        return data
+
+    def exists(self, path: str) -> bool:
+        return os.path.isfile(self._full(path))
+
+    def delete(self, path: str) -> None:
+        try:
+            os.remove(self._full(path))
+        except FileNotFoundError:
+            pass
+
+    def listdir(self, prefix: str) -> List[str]:
+        found = []
+        for dirpath, __, filenames in os.walk(self.root):
+            for name in filenames:
+                rel = os.path.relpath(os.path.join(dirpath, name), self.root)
+                rel = rel.replace(os.sep, "/")
+                if rel.startswith(prefix):
+                    found.append(rel)
+        return sorted(found)
+
+
+class InMemoryObjectStore(FileSystem):
+    """Simulated Amazon S3: flat key space, whole-object semantics.
+
+    Thread-safe because the distributed layer shares one store across
+    simulated nodes, exactly as Milvus's compute nodes share S3.
+    """
+
+    def __init__(self):
+        self._objects: Dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.put_count = 0
+        self.get_count = 0
+
+    def write(self, path: str, data: bytes) -> None:
+        with self._lock:
+            self._objects[path] = bytes(data)
+            self.bytes_written += len(data)
+            self.put_count += 1
+
+    def read(self, path: str) -> bytes:
+        with self._lock:
+            try:
+                data = self._objects[path]
+            except KeyError:
+                raise FileNotFoundError(path) from None
+            self.bytes_read += len(data)
+            self.get_count += 1
+            return data
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._objects
+
+    def delete(self, path: str) -> None:
+        with self._lock:
+            self._objects.pop(path, None)
+
+    def listdir(self, prefix: str) -> List[str]:
+        with self._lock:
+            return sorted(key for key in self._objects if key.startswith(prefix))
+
+
+class SimulatedHDFS(InMemoryObjectStore):
+    """Simulated HDFS: object store with block-size storage accounting.
+
+    HDFS allocates in fixed blocks; :meth:`stored_bytes` reports the
+    block-rounded footprint, which tests use to verify the abstraction
+    actually differs from S3 in the way that matters.
+    """
+
+    def __init__(self, block_size: int = 64 * 1024):
+        super().__init__()
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+
+    def stored_bytes(self) -> int:
+        with self._lock:
+            total = 0
+            for data in self._objects.values():
+                blocks = (len(data) + self.block_size - 1) // self.block_size
+                total += max(blocks, 1) * self.block_size
+            return total

@@ -1,0 +1,491 @@
+"""LSM manager: the write path of the storage engine (paper Sec. 2.3).
+
+Ties together the WAL, MemTable, segments, tiered merging, the
+manifest (snapshot isolation), and the bufferpool:
+
+* inserts/deletes land in the WAL, then the MemTable / tombstone set;
+* the MemTable seals into an immutable segment on size threshold or
+  explicit flush (the paper also seals once per second; callers drive
+  that clock via :meth:`tick`);
+* a tiered policy merges small segments, physically dropping deleted
+  rows ("the obsoleted vectors are removed during segment merge");
+* segments above a row threshold get vector indexes built
+  ("by default, Milvus builds indexes only for large segments");
+* every search runs against an acquired snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.base import SearchResult
+from repro.metrics import get_metric
+from repro.storage.bufferpool import BufferPool
+from repro.storage.filesystem import FileSystem, InMemoryObjectStore
+from repro.storage.manifest import Manifest, Snapshot
+from repro.storage.memtable import MemTable
+from repro.storage.merge import TieredMergePolicy
+from repro.storage.segment import Segment, VectorSpecs
+from repro.storage.wal import WriteAheadLog
+from repro.utils import merge_topk
+
+
+@dataclass
+class LSMConfig:
+    """Tunables for the LSM write path."""
+
+    memtable_flush_bytes: int = 8 << 20
+    flush_interval_seconds: float = 1.0
+    index_build_min_rows: int = 4096
+    index_type: str = "IVF_FLAT"
+    index_params: Dict[str, object] = field(default_factory=dict)
+    auto_merge: bool = True
+    merge_policy: TieredMergePolicy = field(default_factory=TieredMergePolicy)
+    bufferpool_bytes: int = 1 << 30
+    enable_wal: bool = True
+    #: build indexes on a background thread ("Milvus builds indexes
+    #: asynchronously", Sec. 5.1); searches fall back to brute force on
+    #: a segment until its index is attached.
+    async_index_build: bool = False
+
+
+class LSMManager:
+    """Dynamic data management for one collection's worth of rows."""
+
+    def __init__(
+        self,
+        vector_specs: VectorSpecs,
+        attribute_names: Sequence[str] = (),
+        config: Optional[LSMConfig] = None,
+        fs: Optional[FileSystem] = None,
+        categorical_names: Sequence[str] = (),
+        categorical_kinds: Optional[Dict[str, str]] = None,
+    ):
+        self.vector_specs = dict(vector_specs)
+        self.attribute_names = tuple(attribute_names)
+        self.categorical_names = tuple(categorical_names)
+        self.categorical_kinds = dict(categorical_kinds or {})
+        self.config = config or LSMConfig()
+        self.fs = fs if fs is not None else InMemoryObjectStore()
+        self.wal = WriteAheadLog(self.fs) if self.config.enable_wal else None
+        self.manifest = Manifest(on_segment_dead=self._segment_dead)
+        self.bufferpool = BufferPool(self.config.bufferpool_bytes, self._load_segment)
+        self._memtable = self._new_memtable()
+        self._pending_deletes: List[np.ndarray] = []
+        self._next_segment_id = 0
+        self._last_flush_time = 0.0
+        self._flushed_lsn = -1
+        self.flush_count = 0
+        self.merge_count = 0
+        #: segment id -> {field: (index_type, params)} for segments
+        #: whose indexes must be rebuilt after bufferpool eviction
+        #: (indexes are not serialized; Milvus also rebuilds them
+        #: asynchronously).
+        self._index_specs: Dict[int, Dict[str, tuple]] = {}
+        self._index_queue: Optional["queue.Queue"] = None
+        if self.config.async_index_build:
+            import queue
+            import threading
+
+            self._index_queue = queue.Queue()
+            worker = threading.Thread(
+                target=self._index_builder_loop, name="index-builder", daemon=True
+            )
+            worker.start()
+
+    def _new_memtable(self) -> MemTable:
+        return MemTable(
+            self.vector_specs, self.attribute_names, self.categorical_names,
+            self.categorical_kinds,
+        )
+
+    # -- write path ------------------------------------------------------
+
+    def insert(
+        self,
+        row_ids: np.ndarray,
+        vectors: Dict[str, np.ndarray],
+        attributes: Optional[Dict[str, np.ndarray]] = None,
+        categoricals: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        """Log and buffer an insert batch; may trigger an auto-flush."""
+        if self.wal is not None:
+            self.wal.append_insert(row_ids, vectors, attributes, categoricals)
+        self._memtable.insert(row_ids, vectors, attributes, categoricals)
+        if self._memtable.approx_bytes >= self.config.memtable_flush_bytes:
+            self.flush()
+
+    def delete(self, row_ids: np.ndarray) -> None:
+        """Log and buffer deletes (out-of-place: tombstones only)."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0:
+            return
+        if self.wal is not None:
+            self.wal.append_delete(row_ids)
+        self._pending_deletes.append(row_ids)
+
+    def tick(self, now_seconds: float) -> bool:
+        """Time-based flush driver ("once every second"); returns True on flush."""
+        if (
+            now_seconds - self._last_flush_time >= self.config.flush_interval_seconds
+            and (len(self._memtable) or self._pending_deletes)
+        ):
+            self.flush(now_seconds=now_seconds)
+            return True
+        return False
+
+    def flush(self, now_seconds: Optional[float] = None) -> Optional[int]:
+        """Seal the MemTable into a segment and commit a new version.
+
+        Returns the new segment id, or None when only deletes (or
+        nothing) were pending.
+        """
+        new_tombstones = (
+            np.unique(np.concatenate(self._pending_deletes))
+            if self._pending_deletes
+            else None
+        )
+        self._pending_deletes = []
+        new_segment_id: Optional[int] = None
+
+        if len(self._memtable):
+            self._memtable.seal()
+            seg_id = self._next_segment_id
+            self._next_segment_id += 1
+            segment = self._memtable.to_segment(seg_id)
+            self._persist_segment(segment)
+            self.bufferpool.put(segment)
+            self.manifest.commit(add=[seg_id], new_tombstones=new_tombstones)
+            new_segment_id = seg_id
+        elif new_tombstones is not None:
+            self.manifest.commit(new_tombstones=new_tombstones)
+        else:
+            return None
+        self._persist_manifest()
+
+        self._memtable = self._new_memtable()
+        self.flush_count += 1
+        if now_seconds is not None:
+            self._last_flush_time = now_seconds
+        if self.wal is not None:
+            self.wal.truncate_through(self.wal.next_lsn - 1)
+        if self.config.auto_merge:
+            self.maybe_merge()
+        self._maybe_build_indexes()
+        return new_segment_id
+
+    # -- merging -----------------------------------------------------------
+
+    def maybe_merge(self) -> int:
+        """Run all merge tasks the tiered policy proposes; returns count."""
+        merged = 0
+        while True:
+            live = self.manifest.live_segment_ids()
+            sizes = []
+            for seg_id in live:
+                segment = self.bufferpool.get(seg_id)
+                sizes.append((seg_id, segment.memory_bytes()))
+            tasks = self.config.merge_policy.plan(sizes)
+            if not tasks:
+                return merged
+            for task in tasks:
+                self._execute_merge(task.segment_ids)
+                merged += 1
+
+    def _execute_merge(self, segment_ids: Tuple[int, ...]) -> int:
+        tombstones = self.manifest.current_tombstones()
+        segments = [self.bufferpool.get(s, pin=True) for s in segment_ids]
+        try:
+            new_id = self._next_segment_id
+            self._next_segment_id += 1
+            merged = Segment.merge(new_id, segments, drop_ids=tombstones)
+            self._persist_segment(merged)
+            self.bufferpool.put(merged)
+            # Tombstones covered by the merged inputs are now physical.
+            covered = np.concatenate([s.row_ids for s in segments])
+            cleared = np.intersect1d(tombstones, covered)
+            self.manifest.commit(
+                add=[new_id], remove=list(segment_ids), clear_tombstones=cleared
+            )
+            self._persist_manifest()
+            self.merge_count += 1
+            return new_id
+        finally:
+            for seg_id in segment_ids:
+                self.bufferpool.unpin(seg_id)
+
+    # -- index building --------------------------------------------------------
+
+    def _maybe_build_indexes(self) -> None:
+        for seg_id in self.manifest.live_segment_ids():
+            segment = self.bufferpool.get(seg_id)
+            if segment.num_rows < self.config.index_build_min_rows:
+                continue
+            for fieldname in self.vector_specs:
+                if segment.has_index(fieldname):
+                    continue
+                if self._index_queue is not None:
+                    self._index_queue.put((seg_id, fieldname))
+                else:
+                    segment.build_index(
+                        fieldname, self.config.index_type, **self.config.index_params
+                    )
+                    self._record_index(
+                        seg_id, fieldname, self.config.index_type,
+                        self.config.index_params,
+                    )
+
+    def _index_builder_loop(self) -> None:
+        """Background index builder: attach indexes as they complete.
+
+        Attaching is a single dict assignment on the live segment, so
+        in-flight searches either see the index or brute-force — both
+        correct (Sec. 5.1's asynchronous index building).
+        """
+        while True:
+            seg_id, fieldname = self._index_queue.get()
+            try:
+                if seg_id not in self.manifest.live_segment_ids():
+                    continue  # segment merged away while queued
+                segment = self.bufferpool.get(seg_id)
+                if segment.has_index(fieldname):
+                    continue
+                segment.build_index(
+                    fieldname, self.config.index_type, **self.config.index_params
+                )
+                self._record_index(
+                    seg_id, fieldname, self.config.index_type,
+                    self.config.index_params,
+                )
+            finally:
+                self._index_queue.task_done()
+
+    def wait_for_index_builds(self) -> None:
+        """Block until the async builder drains (no-op when sync)."""
+        if self._index_queue is not None:
+            self._index_queue.join()
+
+    def build_index(self, field: str, index_type: Optional[str] = None, **params) -> int:
+        """Manually build indexes on every live segment (any size).
+
+        The paper: "users are allowed to manually build indexes for
+        segments of any size if necessary."  Returns segments indexed.
+        """
+        count = 0
+        itype = index_type or self.config.index_type
+        # Config defaults only apply to the config's own index type —
+        # nlist would be a TypeError for, say, HNSW.
+        if itype == self.config.index_type:
+            merged_params = dict(self.config.index_params)
+            merged_params.update(params)
+        else:
+            merged_params = dict(params)
+        for seg_id in self.manifest.live_segment_ids():
+            segment = self.bufferpool.get(seg_id)
+            if segment.num_rows == 0:
+                continue
+            segment.build_index(field, itype, **merged_params)
+            self._record_index(seg_id, field, itype, merged_params)
+            count += 1
+        return count
+
+    def _record_index(self, seg_id: int, field: str, itype: str, params: dict) -> None:
+        self._index_specs.setdefault(seg_id, {})[field] = (itype, dict(params))
+        # Persist serializable indexes so a reload skips the rebuild.
+        from repro.index import SERIALIZABLE_TYPES, index_to_bytes
+
+        if itype.upper() in SERIALIZABLE_TYPES:
+            segment = self.bufferpool.get(seg_id)
+            self.fs.write(
+                self._index_path(seg_id, field),
+                index_to_bytes(segment.indexes[field]),
+            )
+
+    def _index_path(self, seg_id: int, field: str) -> str:
+        return f"indexes/{seg_id:012d}__{field}.idx"
+
+    # -- read path ---------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        return self.manifest.acquire()
+
+    def release(self, snapshot: Snapshot) -> None:
+        self.manifest.release(snapshot)
+
+    def search(
+        self,
+        field: str,
+        queries: np.ndarray,
+        k: int,
+        snapshot: Optional[Snapshot] = None,
+        row_filter: Optional[np.ndarray] = None,
+        **search_params,
+    ) -> SearchResult:
+        """Top-k over all segments visible in ``snapshot``.
+
+        Acquires (and releases) a fresh snapshot when none is given.
+        """
+        metric = get_metric(self.vector_specs[field][1])
+        owned = snapshot is None
+        snap = self.snapshot() if owned else snapshot
+        try:
+            queries = np.asarray(queries, dtype=np.float32)
+            if queries.ndim == 1:
+                queries = queries[np.newaxis, :]
+            partials = []
+            for seg_id in snap.segment_ids:
+                segment = self.bufferpool.get(seg_id, pin=True)
+                try:
+                    partials.append(
+                        segment.search(
+                            field, queries, k,
+                            exclude=snap.tombstones,
+                            row_filter=row_filter,
+                            **search_params,
+                        )
+                    )
+                finally:
+                    self.bufferpool.unpin(seg_id)
+            result = SearchResult.empty(len(queries), k, metric)
+            for qi in range(len(queries)):
+                parts = [
+                    (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
+                    for p in partials
+                ]
+                ids, scores = merge_topk(parts, k, metric.higher_is_better)
+                result.ids[qi, : len(ids)] = ids
+                result.scores[qi, : len(scores)] = scores
+            return result
+        finally:
+            if owned:
+                self.release(snap)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def num_live_rows(self) -> int:
+        """Rows visible to a fresh snapshot (flushed minus tombstoned)."""
+        snap = self.snapshot()
+        try:
+            total = 0
+            for seg_id in snap.segment_ids:
+                segment = self.bufferpool.get(seg_id)
+                total += segment.num_rows - int(
+                    segment.contains_mask(snap.tombstones).sum()
+                )
+            return total
+        finally:
+            self.release(snap)
+
+    @property
+    def unflushed_rows(self) -> int:
+        return len(self._memtable)
+
+    def live_segments(self) -> List[Segment]:
+        return [self.bufferpool.get(s) for s in self.manifest.live_segment_ids()]
+
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot for monitoring."""
+        segments = self.live_segments()
+        return {
+            "live_segments": len(segments),
+            "live_rows": self.num_live_rows,
+            "unflushed_rows": self.unflushed_rows,
+            "tombstones": int(len(self.manifest.current_tombstones())),
+            "flush_count": self.flush_count,
+            "merge_count": self.merge_count,
+            "manifest_version": self.manifest.current_version,
+            "indexed_segments": sum(
+                1 for s in segments if any(s.has_index(f) for f in self.vector_specs)
+            ),
+            "bufferpool": {
+                "resident_bytes": self.bufferpool.resident_bytes,
+                "resident_segments": self.bufferpool.resident_segments,
+                "hit_rate": self.bufferpool.hit_rate(),
+                "evictions": self.bufferpool.evictions,
+            },
+            "gc_count": self.manifest.gc_count,
+        }
+
+    # -- persistence helpers -----------------------------------------------------------
+
+    def _segment_path(self, segment_id: int) -> str:
+        return f"segments/{segment_id:012d}.seg"
+
+    def _persist_segment(self, segment: Segment) -> None:
+        self.fs.write(self._segment_path(segment.segment_id), segment.to_bytes())
+
+    def _load_segment(self, segment_id: int) -> Segment:
+        from repro.index import index_from_bytes
+
+        blob = self.fs.read(self._segment_path(segment_id))
+        segment = Segment.from_bytes(blob)
+        # Restore this segment's indexes: load the persisted blob when
+        # one exists (quantization indexes serialize), else rebuild
+        # (graph/tree indexes reconstruct, as Milvus does).
+        for field, (itype, params) in self._index_specs.get(segment_id, {}).items():
+            path = self._index_path(segment_id, field)
+            if self.fs.exists(path):
+                segment.indexes[field] = index_from_bytes(self.fs.read(path))
+            else:
+                segment.build_index(field, itype, **params)
+        return segment
+
+    def _segment_dead(self, segment_id: int) -> None:
+        try:
+            self.bufferpool.invalidate(segment_id)
+        except RuntimeError:
+            # Pinned by an in-flight search; the file is still deleted
+            # and the cache entry ages out naturally.
+            pass
+        self.fs.delete(self._segment_path(segment_id))
+        for field in self._index_specs.pop(segment_id, {}):
+            self.fs.delete(self._index_path(segment_id, field))
+
+    def _persist_manifest(self) -> None:
+        """Write the durable catalog: live segments + tombstones + counters."""
+        import json
+
+        state = {
+            "live_segments": list(self.manifest.live_segment_ids()),
+            "tombstones": self.manifest.current_tombstones().tolist(),
+            "next_segment_id": self._next_segment_id,
+        }
+        self.fs.write("MANIFEST", json.dumps(state).encode())
+
+    def recover(self) -> int:
+        """Rebuild state from the filesystem after a crash.
+
+        Re-registers persisted segments and tombstones from the durable
+        MANIFEST, then replays the WAL tail into the MemTable.  Returns
+        the number of WAL records replayed.  Only meaningful on a
+        freshly constructed manager pointed at an existing filesystem.
+        """
+        import json
+
+        if self.manifest.current_version != 0 or len(self._memtable):
+            raise RuntimeError("recover() must run on a freshly constructed manager")
+        if self.fs.exists("MANIFEST"):
+            state = json.loads(self.fs.read("MANIFEST").decode())
+            self._next_segment_id = state["next_segment_id"]
+            tombs = np.array(state["tombstones"], dtype=np.int64)
+            self.manifest.commit(
+                add=state["live_segments"],
+                new_tombstones=tombs if len(tombs) else None,
+            )
+        if self.wal is None:
+            return 0
+        replayed = 0
+        for record in self.wal.replay():
+            if record.kind == "insert":
+                self._memtable.insert(
+                    record.row_ids, record.vectors, record.attributes,
+                    record.categoricals,
+                )
+            elif record.kind == "delete":
+                self._pending_deletes.append(np.asarray(record.row_ids, dtype=np.int64))
+            replayed += 1
+        return replayed

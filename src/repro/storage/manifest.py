@@ -1,0 +1,162 @@
+"""Manifest: MVCC segment versions, snapshot isolation, and GC.
+
+Paper Sec. 5.2: "Each segment has multiple versions and a new version
+is generated whenever the data or index in that segment is changed
+... All the latest segments at any time form a snapshot.  Each
+segment can be referenced by one or more snapshots ... There is a
+background thread to garbage collect the obsolete segments if they
+are not referenced."
+
+Queries acquire a :class:`Snapshot` (the set of live segment ids plus
+the delete-tombstone array at that instant) and release it when done;
+writers commit new versions without blocking readers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable view: segment ids + tombstones as of one version."""
+
+    version: int
+    segment_ids: Tuple[int, ...]
+    tombstones: np.ndarray  # sorted int64 row ids deleted as of this version
+
+    def __contains__(self, segment_id: int) -> bool:
+        return segment_id in self.segment_ids
+
+
+class Manifest:
+    """Versioned segment catalog with reference-counted snapshots."""
+
+    def __init__(self, on_segment_dead: Optional[Callable[[int], None]] = None):
+        self._lock = threading.Lock()
+        self._version = 0
+        self._segments: Tuple[int, ...] = ()
+        self._tombstones = np.empty(0, dtype=np.int64)
+        #: version -> (segment id tuple, tombstones, refcount)
+        self._history: Dict[int, Tuple[Tuple[int, ...], np.ndarray, int]] = {
+            0: ((), self._tombstones, 0)
+        }
+        self._on_segment_dead = on_segment_dead
+        self.gc_count = 0
+
+    # -- write path -------------------------------------------------------
+
+    def commit(
+        self,
+        add: Sequence[int] = (),
+        remove: Sequence[int] = (),
+        new_tombstones: Optional[np.ndarray] = None,
+        clear_tombstones: Optional[np.ndarray] = None,
+    ) -> int:
+        """Atomically install a new version; returns its number.
+
+        Args:
+            add: segment ids becoming live.
+            remove: segment ids leaving the live set (merged away).
+            new_tombstones: row ids to add to the delete set.
+            clear_tombstones: row ids physically removed by a merge,
+                so their tombstones can be dropped.
+        """
+        with self._lock:
+            live = [s for s in self._segments if s not in set(remove)]
+            for seg in add:
+                if seg in live:
+                    raise ValueError(f"segment {seg} already live")
+                live.append(seg)
+            tombs = self._tombstones
+            if new_tombstones is not None and len(new_tombstones):
+                tombs = np.union1d(tombs, np.asarray(new_tombstones, dtype=np.int64))
+            if clear_tombstones is not None and len(clear_tombstones):
+                tombs = np.setdiff1d(
+                    tombs, np.asarray(clear_tombstones, dtype=np.int64),
+                    assume_unique=False,
+                )
+            self._version += 1
+            self._segments = tuple(live)
+            self._tombstones = tombs
+            self._history[self._version] = (self._segments, tombs, 0)
+            self._collect_locked()
+            return self._version
+
+    # -- read path -----------------------------------------------------------
+
+    def acquire(self) -> Snapshot:
+        """Pin the current version and return its snapshot."""
+        with self._lock:
+            segs, tombs, refs = self._history[self._version]
+            self._history[self._version] = (segs, tombs, refs + 1)
+            return Snapshot(self._version, segs, tombs)
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Unpin a snapshot; may trigger GC of obsolete segments."""
+        with self._lock:
+            entry = self._history.get(snapshot.version)
+            if entry is None:
+                return
+            segs, tombs, refs = entry
+            if refs <= 0:
+                raise RuntimeError(
+                    f"snapshot version {snapshot.version} released more times than acquired"
+                )
+            self._history[snapshot.version] = (segs, tombs, refs - 1)
+            self._collect_locked()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def current_version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def live_segment_ids(self) -> Tuple[int, ...]:
+        with self._lock:
+            return self._segments
+
+    def current_tombstones(self) -> np.ndarray:
+        with self._lock:
+            return self._tombstones
+
+    def referenced_segment_ids(self) -> Set[int]:
+        """Segments reachable from the current version or any pinned snapshot."""
+        with self._lock:
+            return self._referenced_locked()
+
+    def _referenced_locked(self) -> Set[int]:
+        referenced: Set[int] = set(self._segments)
+        for version, (segs, __, refs) in self._history.items():
+            if refs > 0:
+                referenced.update(segs)
+        return referenced
+
+    # -- GC -----------------------------------------------------------------------
+
+    def _history_segments_locked(self) -> Set[int]:
+        """Segments reachable from *any* still-recorded version."""
+        segments: Set[int] = set()
+        for segs, __, ___ in self._history.values():
+            segments.update(segs)
+        return segments
+
+    def _collect_locked(self) -> None:
+        """Drop unpinned historical versions and report dead segments."""
+        before = self._history_segments_locked()
+        dead_versions = [
+            v for v, (__, ___, refs) in self._history.items()
+            if refs == 0 and v != self._version
+        ]
+        for v in dead_versions:
+            del self._history[v]
+        after = self._history_segments_locked()
+        for seg in before - after:
+            self.gc_count += 1
+            if self._on_segment_dead is not None:
+                self._on_segment_dead(seg)

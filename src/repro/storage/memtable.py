@@ -1,0 +1,170 @@
+"""MemTable: the mutable in-memory write buffer (paper Sec. 2.3).
+
+"Newly inserted entities are stored in memory first as MemTable.
+Once the accumulated size reaches a threshold, or once every second,
+the MemTable becomes immutable and then gets flushed to disk as a new
+segment."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.storage.attributes import AttributeColumn
+from repro.storage.categorical import CategoricalColumn
+from repro.storage.segment import Segment, VectorSpecs
+
+
+class MemTable:
+    """Row-oriented write buffer sealed into a columnar :class:`Segment`."""
+
+    def __init__(
+        self,
+        vector_specs: VectorSpecs,
+        attribute_names: Tuple[str, ...],
+        categorical_names: Tuple[str, ...] = (),
+        categorical_kinds: Optional[Dict[str, str]] = None,
+    ):
+        self.vector_specs = dict(vector_specs)
+        self.attribute_names = tuple(attribute_names)
+        self.categorical_names = tuple(categorical_names)
+        self.categorical_kinds = dict(categorical_kinds or {})
+        self._row_ids: List[int] = []
+        self._vectors: Dict[str, List[np.ndarray]] = {n: [] for n in vector_specs}
+        self._attributes: Dict[str, List[float]] = {n: [] for n in attribute_names}
+        self._categoricals: Dict[str, List[int]] = {n: [] for n in categorical_names}
+        self._bytes = 0
+        self.sealed = False
+
+    def __len__(self) -> int:
+        return len(self._row_ids)
+
+    @property
+    def approx_bytes(self) -> int:
+        return self._bytes
+
+    def insert(
+        self,
+        row_ids: np.ndarray,
+        vectors: Dict[str, np.ndarray],
+        attributes: Optional[Dict[str, np.ndarray]] = None,
+        categoricals: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        """Append a batch of rows (validated against the specs).
+
+        ``categoricals`` maps categorical field names to int64 *code*
+        arrays (the collection owns the string dictionary).
+        """
+        if self.sealed:
+            raise RuntimeError("cannot insert into a sealed MemTable")
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        n = len(row_ids)
+        if set(vectors) != set(self.vector_specs):
+            raise ValueError(
+                f"expected vector fields {sorted(self.vector_specs)}, got {sorted(vectors)}"
+            )
+        attributes = attributes or {}
+        if set(attributes) != set(self.attribute_names):
+            raise ValueError(
+                f"expected attributes {sorted(self.attribute_names)}, got {sorted(attributes)}"
+            )
+        categoricals = categoricals or {}
+        if set(categoricals) != set(self.categorical_names):
+            raise ValueError(
+                f"expected categoricals {sorted(self.categorical_names)}, "
+                f"got {sorted(categoricals)}"
+            )
+        staged_cats = {}
+        for name in self.categorical_names:
+            codes = np.asarray(categoricals[name], dtype=np.int64).ravel()
+            if len(codes) != n:
+                raise ValueError(
+                    f"categorical {name!r}: expected {n} codes, got {len(codes)}"
+                )
+            staged_cats[name] = codes
+        staged = {}
+        for name, (dim, __) in self.vector_specs.items():
+            mat = np.asarray(vectors[name], dtype=np.float32)
+            if mat.ndim == 1:
+                mat = mat[np.newaxis, :]
+            if mat.shape != (n, dim):
+                raise ValueError(
+                    f"vector field {name!r}: expected shape ({n}, {dim}), got {mat.shape}"
+                )
+            staged[name] = mat
+        staged_attrs = {}
+        for name in self.attribute_names:
+            vals = np.asarray(attributes[name], dtype=np.float64).ravel()
+            if len(vals) != n:
+                raise ValueError(
+                    f"attribute {name!r}: expected {n} values, got {len(vals)}"
+                )
+            staged_attrs[name] = vals
+
+        self._row_ids.extend(int(r) for r in row_ids)
+        for name, mat in staged.items():
+            self._vectors[name].append(mat)
+            self._bytes += mat.nbytes
+        for name, vals in staged_attrs.items():
+            self._attributes[name].extend(vals.tolist())
+            self._bytes += vals.nbytes
+        for name, codes in staged_cats.items():
+            self._categoricals[name].extend(codes.tolist())
+            self._bytes += codes.nbytes
+        self._bytes += row_ids.nbytes
+
+    def seal(self) -> None:
+        """Mark immutable; subsequent inserts raise."""
+        self.sealed = True
+
+    def to_segment(self, segment_id: int, version: int = 0) -> Segment:
+        """Convert to a sealed columnar segment (rows sorted by id)."""
+        row_ids = np.array(self._row_ids, dtype=np.int64)
+        order = np.argsort(row_ids, kind="stable")
+        vectors = {}
+        for name in self.vector_specs:
+            if self._vectors[name]:
+                mat = np.concatenate(self._vectors[name])
+            else:
+                mat = np.empty((0, self.vector_specs[name][0]), dtype=np.float32)
+            vectors[name] = mat[order]
+        attributes = {
+            name: AttributeColumn(
+                np.array(self._attributes[name], dtype=np.float64)[order],
+                row_ids[order],
+            )
+            for name in self.attribute_names
+        }
+        categoricals = {
+            name: CategoricalColumn(
+                np.array(self._categoricals[name], dtype=np.int64)[order],
+                row_ids[order],
+                index_kind=self.categorical_kinds.get(name, "auto"),
+            )
+            for name in self.categorical_names
+        }
+        return Segment(
+            segment_id, row_ids[order], vectors, attributes,
+            self.vector_specs, version=version, categoricals=categoricals,
+        )
+
+    # -- read-your-writes support (optional memtable visibility) ---------
+
+    def raw_rows(self):
+        """Current rows as (row_ids, vectors dict, attributes dict)."""
+        row_ids = np.array(self._row_ids, dtype=np.int64)
+        vectors = {}
+        for name in self.vector_specs:
+            if self._vectors[name]:
+                vectors[name] = np.concatenate(self._vectors[name])
+            else:
+                vectors[name] = np.empty(
+                    (0, self.vector_specs[name][0]), dtype=np.float32
+                )
+        attributes = {
+            name: np.array(vals, dtype=np.float64)
+            for name, vals in self._attributes.items()
+        }
+        return row_ids, vectors, attributes

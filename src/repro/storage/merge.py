@@ -1,0 +1,82 @@
+"""Tiered merge policy (paper Sec. 2.3).
+
+"Milvus implements a tiered merge policy (also used in Apache Lucene)
+that aims to merge segments of approximately equal sizes until a
+configurable size limit (e.g., 1GB) is reached."
+
+Segments are bucketed into size tiers (powers of ``tier_factor``); when
+a tier accumulates ``merge_factor`` segments, they merge into one
+segment of the next tier, unless the combined size would exceed
+``max_segment_bytes``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MergeTask:
+    """One planned merge: the segment ids to combine."""
+
+    segment_ids: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.segment_ids)
+
+
+@dataclass
+class TieredMergePolicy:
+    """Plans merges over (segment_id, byte_size) descriptors.
+
+    Attributes:
+        merge_factor: segments per tier that trigger a merge.
+        tier_factor: size ratio between adjacent tiers.
+        min_segment_bytes: floor so tiny flushes share tier 0.
+        max_segment_bytes: segments at/above this size never merge
+            (the paper's "configurable size limit, e.g., 1GB").
+    """
+
+    merge_factor: int = 4
+    tier_factor: float = 4.0
+    min_segment_bytes: int = 1 << 12
+    max_segment_bytes: int = 1 << 30
+
+    def __post_init__(self):
+        if self.merge_factor < 2:
+            raise ValueError("merge_factor must be >= 2")
+        if self.tier_factor <= 1.0:
+            raise ValueError("tier_factor must be > 1")
+
+    def tier_of(self, size_bytes: int) -> int:
+        """Tier index for a segment of ``size_bytes``."""
+        if size_bytes <= self.min_segment_bytes:
+            return 0
+        ratio = size_bytes / self.min_segment_bytes
+        return int(math.floor(math.log(ratio, self.tier_factor))) + 1
+
+    def plan(self, segments: Sequence[Tuple[int, int]]) -> List[MergeTask]:
+        """Given (segment_id, bytes) pairs, return merge tasks.
+
+        Segments at or above ``max_segment_bytes`` are left alone.
+        Within a tier, the oldest (lowest id) segments merge first.
+        """
+        tiers: Dict[int, List[Tuple[int, int]]] = {}
+        for seg_id, size in segments:
+            if size >= self.max_segment_bytes:
+                continue
+            tiers.setdefault(self.tier_of(size), []).append((seg_id, size))
+
+        tasks: List[MergeTask] = []
+        for tier in sorted(tiers):
+            members = sorted(tiers[tier])
+            while len(members) >= self.merge_factor:
+                group = members[: self.merge_factor]
+                members = members[self.merge_factor :]
+                combined = sum(size for __, size in group)
+                if combined > self.max_segment_bytes:
+                    break
+                tasks.append(MergeTask(tuple(seg_id for seg_id, __ in group)))
+        return tasks

@@ -1,0 +1,23 @@
+"""Shared utilities: bounded top-k heaps, result merging, validation."""
+
+from repro.utils.topk import (
+    TopKHeap,
+    topk_from_scores,
+    merge_topk,
+    merge_result_lists,
+)
+from repro.utils.validation import (
+    ensure_matrix,
+    ensure_positive,
+    ensure_vector_dim,
+)
+
+__all__ = [
+    "TopKHeap",
+    "topk_from_scores",
+    "merge_topk",
+    "merge_result_lists",
+    "ensure_matrix",
+    "ensure_positive",
+    "ensure_vector_dim",
+]

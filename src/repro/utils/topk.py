@@ -1,0 +1,138 @@
+"""Top-k machinery used across the query engine.
+
+The paper's cache-aware design (Sec. 3.2.1) keeps one bounded heap per
+(query, thread) pair and merges them at the end; :class:`TopKHeap` and
+:func:`merge_topk` are those two primitives.  For fully vectorized
+paths, :func:`topk_from_scores` extracts top-k directly from a score
+array with ``argpartition``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.base import Metric
+
+
+class TopKHeap:
+    """Bounded heap keeping the ``k`` best (id, score) pairs.
+
+    Direction-agnostic: pass ``higher_is_better`` to match the metric.
+    Internally a heap of ``(keyed_score, id)`` where ``keyed_score`` is
+    negated for distance metrics so the root is always the current
+    *worst* retained entry.
+    """
+
+    def __init__(self, k: int, higher_is_better: bool = False):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.higher_is_better = higher_is_better
+        self._heap: List[Tuple[float, int]] = []
+
+    def _key(self, score: float) -> float:
+        return score if self.higher_is_better else -score
+
+    def push(self, item_id: int, score: float) -> bool:
+        """Offer one candidate; returns True when it was retained."""
+        keyed = self._key(score)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (keyed, item_id))
+            return True
+        if keyed > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (keyed, item_id))
+            return True
+        return False
+
+    def push_many(self, ids: Sequence[int], scores: Sequence[float]) -> None:
+        """Offer a batch of candidates."""
+        for item_id, score in zip(ids, scores):
+            self.push(int(item_id), float(score))
+
+    def worst_score(self) -> float:
+        """Score of the current k-th best entry (the heap's root)."""
+        if not self._heap:
+            return -np.inf if self.higher_is_better else np.inf
+        keyed = self._heap[0][0]
+        return keyed if self.higher_is_better else -keyed
+
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def items(self) -> List[Tuple[int, float]]:
+        """Retained (id, score) pairs sorted best-first."""
+        ordered = sorted(self._heap, key=lambda pair: pair[0], reverse=True)
+        if self.higher_is_better:
+            return [(item_id, keyed) for keyed, item_id in ordered]
+        return [(item_id, -keyed) for keyed, item_id in ordered]
+
+
+def topk_from_scores(
+    scores: np.ndarray,
+    k: int,
+    higher_is_better: bool = False,
+    ids: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract top-k (ids, scores) from a 1-D score array, best-first.
+
+    Uses ``argpartition`` for the selection and a final sort of the k
+    survivors, the standard O(n + k log k) pattern.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 1:
+        raise ValueError(f"expected 1-D scores, got shape {scores.shape}")
+    n = scores.shape[0]
+    k_eff = min(k, n)
+    if k_eff == 0:
+        empty_ids = np.empty(0, dtype=np.int64)
+        return empty_ids, np.empty(0, dtype=scores.dtype)
+    keyed = -scores if higher_is_better else scores
+    if k_eff < n:
+        part = np.argpartition(keyed, k_eff - 1)[:k_eff]
+    else:
+        part = np.arange(n)
+    order = part[np.argsort(keyed[part], kind="stable")]
+    out_ids = order if ids is None else np.asarray(ids)[order]
+    return out_ids.astype(np.int64), scores[order]
+
+
+def merge_topk(
+    parts: Iterable[Tuple[np.ndarray, np.ndarray]],
+    k: int,
+    higher_is_better: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge several already-computed (ids, scores) partial results.
+
+    This is the per-thread heap merge of the cache-aware design and the
+    per-segment merge used by LSM search.
+    """
+    all_ids: List[np.ndarray] = []
+    all_scores: List[np.ndarray] = []
+    for ids, scores in parts:
+        if len(ids):
+            all_ids.append(np.asarray(ids, dtype=np.int64))
+            all_scores.append(np.asarray(scores))
+    if not all_ids:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    ids_cat = np.concatenate(all_ids)
+    scores_cat = np.concatenate(all_scores)
+    return topk_from_scores(scores_cat, k, higher_is_better, ids=ids_cat)
+
+
+def merge_result_lists(
+    parts: Iterable[Sequence[Tuple[int, float]]],
+    k: int,
+    metric: Metric,
+) -> List[Tuple[int, float]]:
+    """Merge lists of (id, score) pairs under ``metric`` ordering."""
+    heap = TopKHeap(k, higher_is_better=metric.higher_is_better)
+    for part in parts:
+        for item_id, score in part:
+            heap.push(item_id, score)
+    return heap.items()

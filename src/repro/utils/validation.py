@@ -1,0 +1,34 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_positive(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_matrix(arr: np.ndarray, name: str, dtype=np.float32) -> np.ndarray:
+    """Coerce ``arr`` to a 2-D array of ``dtype`` (1-D becomes one row)."""
+    out = np.asarray(arr, dtype=dtype)
+    if out.ndim == 1:
+        out = out[np.newaxis, :]
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {out.shape}")
+    if out.shape[1] == 0:
+        raise ValueError(f"{name} must have at least one column")
+    return out
+
+
+def ensure_vector_dim(arr: np.ndarray, dim: int, name: str) -> np.ndarray:
+    """Validate that a 2-D array has exactly ``dim`` columns."""
+    if arr.shape[1] != dim:
+        raise ValueError(
+            f"{name} has dimension {arr.shape[1]}, expected {dim}"
+        )
+    return arr

@@ -1,0 +1,43 @@
+"""Shared fixtures: small, seeded datasets so the suite stays fast."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import sift_like, random_queries, exact_ground_truth
+
+
+@pytest.fixture(scope="session")
+def small_data():
+    """500 x 16 clustered vectors."""
+    return sift_like(500, dim=16, n_clusters=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def medium_data():
+    """4000 x 24 clustered vectors (for IVF/filtering tests)."""
+    return sift_like(4000, dim=24, n_clusters=16, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_data):
+    return random_queries(small_data, 10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_queries(medium_data):
+    return random_queries(medium_data, 15, seed=8)
+
+
+@pytest.fixture(scope="session")
+def small_truth(small_data, small_queries):
+    return exact_ground_truth(small_queries, small_data, 10, "l2")
+
+
+@pytest.fixture(scope="session")
+def medium_truth(medium_data, medium_queries):
+    return exact_ground_truth(medium_queries, medium_data, 10, "l2")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,124 @@
+"""Monotone aggregations beyond weighted sum (paper Sec. 4.2: weighted
+sum, average/median, and min/max are all monotone and supported)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import recipe_like
+from repro.multivector import IterativeMerging, RankedList, nra_determined_topk
+from repro.multivector.nra import AGGREGATIONS, resolve_aggregation
+
+
+@pytest.fixture(scope="module")
+def entities():
+    return recipe_like(800, text_dim=16, image_dim=12, correlation=0.6, seed=0)
+
+
+def brute_force(entities, q, k, agg_name):
+    """Exact top-k under the keyed aggregation (distances negated)."""
+    keyed = np.stack([
+        -((entities["text"] - q["text"]) ** 2).sum(axis=1),
+        -((entities["image"] - q["image"]) ** 2).sum(axis=1),
+    ])
+    g = AGGREGATIONS[agg_name]
+    totals = np.array([g(keyed[:, i]) for i in range(keyed.shape[1])])
+    return np.argsort(-totals, kind="stable")[:k]
+
+
+class TestResolve:
+    def test_names(self):
+        for name in ("sum", "avg", "min", "max"):
+            assert callable(resolve_aggregation(name))
+
+    def test_callable_passthrough(self):
+        fn = lambda v: float(np.sum(v))
+        assert resolve_aggregation(fn) is fn
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve_aggregation("median-ish")
+
+
+class TestNRAWithAggregations:
+    @pytest.mark.parametrize("agg", ["sum", "avg", "min", "max"])
+    def test_complete_lists_match_brute_force(self, agg):
+        rng = np.random.default_rng(3)
+        s1, s2 = rng.normal(size=10), rng.normal(size=10)
+        lists = [
+            RankedList.from_metric_scores(np.arange(10), s1, True),
+            RankedList.from_metric_scores(np.arange(10), s2, True),
+        ]
+        top = nra_determined_topk(lists, 3, agg=agg)
+        assert top is not None
+        g = AGGREGATIONS[agg]
+        totals = np.array([g(np.array([s1[i], s2[i]])) for i in range(10)])
+        expected = np.argsort(-totals, kind="stable")[:3]
+        got_scores = sorted(s for __, s in top)
+        np.testing.assert_allclose(got_scores, sorted(totals[expected]), atol=1e-12)
+
+    @given(st.sampled_from(["sum", "avg", "min", "max"]), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_determined_is_always_exact(self, agg, seed):
+        rng = np.random.default_rng(seed)
+        mu, n = 3, 15
+        scores = rng.normal(size=(mu, n))
+        depth = int(rng.integers(3, n + 1))
+        lists = []
+        for f in range(mu):
+            order = np.argsort(-scores[f], kind="stable")[:depth]
+            lists.append(RankedList(order, scores[f][order]))
+        top = nra_determined_topk(lists, 3, agg=agg)
+        if top is not None:
+            g = AGGREGATIONS[agg]
+            totals = np.array([g(scores[:, i]) for i in range(n)])
+            expected = sorted(np.sort(totals)[-3:])
+            np.testing.assert_allclose(sorted(s for __, s in top), expected, atol=1e-9)
+
+
+class TestIterativeMergingAggregations:
+    @pytest.mark.parametrize("agg", ["min", "max", "avg"])
+    def test_matches_brute_force(self, entities, agg):
+        merger = IterativeMerging.over_arrays(
+            entities, metric="l2", index_type="FLAT",
+            k_threshold=2048, aggregation=agg,
+        )
+        q = {"text": entities["text"][5], "image": entities["image"][5]}
+        hits = merger.search_one(q, 5)
+        expected = set(brute_force(entities, q, 5, agg).tolist())
+        assert {i for i, __ in hits} == expected
+
+    def test_collection_api_aggregation(self, entities):
+        from repro.core import Collection, CollectionSchema, VectorField
+        from repro.storage import LSMConfig, TieredMergePolicy
+
+        schema = CollectionSchema(
+            "agg",
+            vector_fields=[VectorField("text", 16), VectorField("image", 12)],
+        )
+        cfg = LSMConfig(
+            memtable_flush_bytes=1 << 30, index_build_min_rows=1 << 30,
+            merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+        )
+        coll = Collection(schema, lsm_config=cfg)
+        coll.insert({"text": entities["text"], "image": entities["image"]})
+        coll.flush()
+        q = {"text": entities["text"][3], "image": entities["image"][3]}
+        hits = coll.multi_vector_search(q, 5, aggregation="min")
+        expected = set(brute_force(entities, q, 5, "min").tolist())
+        assert {i for i, __ in hits[0]} == expected
+        # Fusion refuses non-sum aggregations explicitly.
+        with pytest.raises(ValueError):
+            coll.multi_vector_search(q, 5, method="fusion", aggregation="min")
+
+    def test_min_aggregation_is_and_matching(self, entities):
+        """'min' over keyed scores = rank by the *worst* factor: an
+        entity close in text but far in image ranks poorly — the
+        multi-factor authentication semantics."""
+        merger = IterativeMerging.over_arrays(
+            entities, metric="l2", index_type="FLAT",
+            k_threshold=2048, aggregation="min",
+        )
+        q = {"text": entities["text"][9], "image": entities["image"][9]}
+        hits = merger.search_one(q, 1)
+        assert hits[0][0] == 9  # the entity itself is perfect on both

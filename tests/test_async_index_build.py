@@ -1,0 +1,66 @@
+"""Asynchronous index building (paper Sec. 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.storage import LSMConfig, LSMManager, TieredMergePolicy
+from repro.datasets import sift_like
+
+SPECS = {"emb": (16, "l2")}
+
+
+def make_lsm(async_build):
+    cfg = LSMConfig(
+        memtable_flush_bytes=1 << 30,
+        index_build_min_rows=100,
+        index_params={"nlist": 8},
+        auto_merge=False,
+        merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+        async_index_build=async_build,
+    )
+    return LSMManager(SPECS, (), cfg)
+
+
+class TestAsyncIndexBuild:
+    def test_index_eventually_built(self):
+        lsm = make_lsm(async_build=True)
+        data = sift_like(300, dim=16, seed=0)
+        lsm.insert(np.arange(300), {"emb": data})
+        lsm.flush()
+        lsm.wait_for_index_builds()
+        segment = lsm.live_segments()[0]
+        assert segment.has_index("emb")
+
+    def test_search_correct_before_index_ready(self):
+        """Searches fall back to brute force while the build is queued;
+        results are identical either way."""
+        lsm = make_lsm(async_build=True)
+        data = sift_like(300, dim=16, seed=1)
+        lsm.insert(np.arange(300), {"emb": data})
+        lsm.flush()
+        # No wait: the index may or may not exist yet.
+        result = lsm.search("emb", data[7], 1)
+        assert result.ids[0, 0] == 7
+        lsm.wait_for_index_builds()
+        result = lsm.search("emb", data[7], 1, nprobe=8)
+        assert result.ids[0, 0] == 7
+
+    def test_sync_mode_builds_inline(self):
+        lsm = make_lsm(async_build=False)
+        data = sift_like(300, dim=16, seed=2)
+        lsm.insert(np.arange(300), {"emb": data})
+        lsm.flush()
+        assert lsm.live_segments()[0].has_index("emb")
+        lsm.wait_for_index_builds()  # no-op, must not hang
+
+    def test_merged_away_segment_skipped(self):
+        """A queued build for a segment that merging removed is a no-op."""
+        lsm = make_lsm(async_build=True)
+        data = sift_like(400, dim=16, seed=3)
+        for i in range(2):
+            lsm.insert(np.arange(i * 200, (i + 1) * 200), {"emb": data[i * 200:(i + 1) * 200]})
+            lsm.flush()
+        lsm.maybe_merge()  # original segments die before builds run
+        lsm.wait_for_index_builds()
+        result = lsm.search("emb", data[5], 1, nprobe=8)
+        assert result.ids[0, 0] == 5

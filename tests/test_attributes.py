@@ -1,0 +1,101 @@
+"""Attribute columns: sorted pairs, skip pointers, range queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.attributes import AttributeColumn, merge_columns
+
+
+@pytest.fixture()
+def column(rng):
+    values = rng.uniform(0, 100, 500)
+    return AttributeColumn(values, np.arange(500), page_rows=64), values
+
+
+class TestAttributeColumn:
+    def test_sorted_by_key(self, column):
+        col, __ = column
+        assert (np.diff(col.keys) >= 0).all()
+
+    def test_range_query_matches_naive(self, column):
+        col, values = column
+        got = set(col.range_query(20, 60).tolist())
+        expected = set(np.flatnonzero((values >= 20) & (values <= 60)).tolist())
+        assert got == expected
+
+    def test_point_query(self):
+        col = AttributeColumn(np.array([5.0, 3.0, 5.0]), np.array([10, 11, 12]))
+        assert set(col.point_query(5.0).tolist()) == {10, 12}
+        assert len(col.point_query(99.0)) == 0
+
+    def test_empty_range(self, column):
+        col, __ = column
+        assert len(col.range_query(60, 20)) == 0
+
+    def test_count_matches_range(self, column):
+        col, __ = column
+        assert col.count_in_range(10, 30) == len(col.range_query(10, 30))
+
+    def test_selectivity(self, column):
+        col, __ = column
+        assert col.selectivity(col.min_value, col.max_value) == 1.0
+        assert col.selectivity(1000, 2000) == 0.0
+
+    def test_skip_pointers_cover_all_pages(self, column):
+        col, __ = column
+        pages = col.pages_overlapping(col.min_value, col.max_value)
+        n_pages = int(np.ceil(len(col) / col.page_rows))
+        assert len(pages) == n_pages
+
+    def test_skip_pointers_prune(self, column):
+        col, __ = column
+        narrow = col.pages_overlapping(50.0, 50.5)
+        assert len(narrow) <= 2
+
+    def test_skip_pointers_sound(self, column):
+        """Every row in a queried range lives in an overlapping page."""
+        col, __ = column
+        low, high = 33.0, 44.0
+        pages = set(col.pages_overlapping(low, high).tolist())
+        lo = np.searchsorted(col.keys, low, "left")
+        hi = np.searchsorted(col.keys, high, "right")
+        for pos in range(lo, hi):
+            assert pos // col.page_rows in pages
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            AttributeColumn(np.zeros(3), np.zeros(4, dtype=np.int64))
+
+    def test_empty_column(self):
+        col = AttributeColumn(np.empty(0), np.empty(0, dtype=np.int64))
+        assert len(col.range_query(0, 1)) == 0
+        assert col.selectivity(0, 1) == 0.0
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=100),
+        st.floats(-1e3, 1e3, allow_nan=False),
+        st.floats(-1e3, 1e3, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_query_property(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        arr = np.array(values)
+        col = AttributeColumn(arr, np.arange(len(arr)), page_rows=8)
+        got = sorted(col.range_query(low, high).tolist())
+        expected = sorted(np.flatnonzero((arr >= low) & (arr <= high)).tolist())
+        assert got == expected
+
+
+class TestMergeColumns:
+    def test_merge_preserves_all_rows(self, rng):
+        a = AttributeColumn(rng.uniform(0, 10, 50), np.arange(50))
+        b = AttributeColumn(rng.uniform(0, 10, 30), np.arange(100, 130))
+        merged = merge_columns([a, b])
+        assert len(merged) == 80
+        assert (np.diff(merged.keys) >= 0).all()
+
+    def test_merge_empty_inputs(self):
+        empty = AttributeColumn(np.empty(0), np.empty(0, dtype=np.int64))
+        merged = merge_columns([empty, empty])
+        assert len(merged) == 0

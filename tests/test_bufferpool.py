@@ -1,0 +1,110 @@
+"""Bufferpool: LRU eviction, pins, hit accounting."""
+
+import numpy as np
+import pytest
+
+from repro.storage import BufferPool, Segment
+from repro.storage.attributes import AttributeColumn
+from repro.datasets import sift_like
+
+
+def make_segment(seg_id, n=50):
+    data = sift_like(n, dim=8, seed=seg_id)
+    row_ids = np.arange(seg_id * 1000, seg_id * 1000 + n)
+    return Segment(
+        seg_id, row_ids, {"emb": data},
+        {"a": AttributeColumn(np.zeros(n), row_ids)},
+        {"emb": (8, "l2")},
+    )
+
+
+@pytest.fixture()
+def pool():
+    segments = {i: make_segment(i) for i in range(6)}
+    loads = []
+
+    def loader(seg_id):
+        loads.append(seg_id)
+        return segments[seg_id]
+
+    seg_bytes = segments[0].memory_bytes()
+    pool = BufferPool(capacity_bytes=3 * seg_bytes + 1, loader=loader)
+    return pool, loads
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self, pool):
+        pool, loads = pool
+        pool.get(0)
+        pool.get(0)
+        assert loads == [0]
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction(self, pool):
+        pool, loads = pool
+        for seg_id in (0, 1, 2):
+            pool.get(seg_id)
+        pool.get(0)  # refresh 0; LRU is now 1
+        pool.get(3)  # evicts 1
+        assert 1 not in pool
+        assert 0 in pool
+        pool.get(1)
+        assert loads.count(1) == 2
+
+    def test_pinned_not_evicted(self, pool):
+        pool, __ = pool
+        pool.get(0, pin=True)
+        for seg_id in (1, 2, 3, 4):
+            pool.get(seg_id)
+        assert 0 in pool
+        pool.unpin(0)
+
+    def test_unpin_without_pin_raises(self, pool):
+        pool, __ = pool
+        pool.get(0)
+        with pytest.raises(RuntimeError):
+            pool.unpin(0)
+
+    def test_nested_pins(self, pool):
+        pool, __ = pool
+        pool.get(0, pin=True)
+        pool.get(0, pin=True)
+        pool.unpin(0)
+        for seg_id in (1, 2, 3, 4):
+            pool.get(seg_id)
+        assert 0 in pool  # still one pin outstanding
+        pool.unpin(0)
+
+    def test_invalidate(self, pool):
+        pool, __ = pool
+        pool.get(0)
+        pool.invalidate(0)
+        assert 0 not in pool
+
+    def test_invalidate_pinned_raises(self, pool):
+        pool, __ = pool
+        pool.get(0, pin=True)
+        with pytest.raises(RuntimeError):
+            pool.invalidate(0)
+        pool.unpin(0)
+
+    def test_capacity_respected(self, pool):
+        pool, __ = pool
+        for seg_id in range(6):
+            pool.get(seg_id)
+        assert pool.resident_bytes <= pool.capacity_bytes
+        assert pool.evictions >= 3
+
+    def test_hit_rate(self, pool):
+        pool, __ = pool
+        pool.get(0)
+        pool.get(0)
+        pool.get(0)
+        assert pool.hit_rate() == pytest.approx(2 / 3)
+
+    def test_put_installs_without_loader(self, pool):
+        pool, loads = pool
+        fresh = make_segment(5)
+        pool.put(fresh)
+        pool.get(5)
+        assert 5 not in loads

@@ -1,0 +1,198 @@
+"""Categorical attributes with inverted lists / bitmaps (Sec. 2.1's
+future work, implemented): column structures and full-stack filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AttributeField,
+    CategoricalField,
+    Collection,
+    CollectionSchema,
+    InvalidQueryError,
+    SchemaError,
+    VectorField,
+)
+from repro.storage.categorical import (
+    BITMAP_CARDINALITY_LIMIT,
+    BitmapIndex,
+    CategoricalColumn,
+    CategoryDictionary,
+    InvertedIndex,
+    choose_index,
+)
+from repro.datasets import sift_like
+
+
+@pytest.fixture()
+def codes(rng):
+    return rng.integers(0, 5, size=200).astype(np.int64)
+
+
+@pytest.fixture()
+def row_ids():
+    return np.arange(1000, 1200, dtype=np.int64)
+
+
+class TestIndexStructures:
+    @pytest.mark.parametrize("cls", [InvertedIndex, BitmapIndex])
+    def test_rows_equal_matches_naive(self, cls, codes, row_ids):
+        index = cls(codes, row_ids)
+        for code in range(5):
+            expected = sorted(row_ids[codes == code].tolist())
+            assert index.rows_equal(code).tolist() == expected
+
+    @pytest.mark.parametrize("cls", [InvertedIndex, BitmapIndex])
+    def test_rows_in_unions(self, cls, codes, row_ids):
+        index = cls(codes, row_ids)
+        expected = sorted(row_ids[(codes == 1) | (codes == 3)].tolist())
+        assert index.rows_in([1, 3, 3]).tolist() == expected
+
+    @pytest.mark.parametrize("cls", [InvertedIndex, BitmapIndex])
+    def test_unknown_code_empty(self, cls, codes, row_ids):
+        index = cls(codes, row_ids)
+        assert len(index.rows_equal(99)) == 0
+        assert len(index.rows_in([99, 100])) == 0
+
+    def test_both_structures_agree(self, codes, row_ids):
+        inv = InvertedIndex(codes, row_ids)
+        bmp = BitmapIndex(codes, row_ids)
+        for code in range(6):
+            np.testing.assert_array_equal(inv.rows_equal(code), bmp.rows_equal(code))
+
+    def test_choose_index_heuristic(self, row_ids):
+        low_card = np.zeros(200, dtype=np.int64)
+        assert isinstance(choose_index(low_card, row_ids, "auto"), BitmapIndex)
+        high_card = np.arange(200, dtype=np.int64)  # > BITMAP_CARDINALITY_LIMIT
+        assert high_card.max() >= BITMAP_CARDINALITY_LIMIT
+        assert isinstance(choose_index(high_card, row_ids, "auto"), InvertedIndex)
+        assert isinstance(choose_index(low_card, row_ids, "inverted"), InvertedIndex)
+        assert isinstance(choose_index(high_card, row_ids, "bitmap"), BitmapIndex)
+        with pytest.raises(ValueError):
+            choose_index(low_card, row_ids, "bogus")
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60),
+           st.lists(st.integers(0, 7), min_size=1, max_size=3, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_structures_agree_property(self, code_list, query):
+        codes = np.array(code_list, dtype=np.int64)
+        rows = np.arange(len(codes), dtype=np.int64)
+        inv = InvertedIndex(codes, rows)
+        bmp = BitmapIndex(codes, rows)
+        np.testing.assert_array_equal(inv.rows_in(query), bmp.rows_in(query))
+
+
+class TestCategoricalColumn:
+    def test_values_for(self, codes, row_ids):
+        col = CategoricalColumn(codes, row_ids)
+        picks = row_ids[[3, 50, 199]]
+        np.testing.assert_array_equal(col.values_for(picks), codes[[3, 50, 199]])
+
+    def test_values_for_missing_raises(self, codes, row_ids):
+        col = CategoricalColumn(codes, row_ids)
+        with pytest.raises(KeyError):
+            col.values_for(np.array([5]))
+
+    def test_memory_accounting(self, codes, row_ids):
+        assert CategoricalColumn(codes, row_ids).memory_bytes() > 0
+
+
+class TestCategoryDictionary:
+    def test_encode_decode_roundtrip(self):
+        d = CategoryDictionary()
+        codes = d.encode(["red", "blue", "red", "green"])
+        assert codes.tolist() == [0, 1, 0, 2]
+        assert d.decode(codes) == ["red", "blue", "red", "green"]
+        assert len(d) == 3
+        assert "red" in d and "purple" not in d
+
+    def test_encode_existing_unknown_is_minus_one(self):
+        d = CategoryDictionary()
+        d.encode(["a"])
+        assert d.encode_existing(["a", "zzz"]).tolist() == [0, -1]
+
+
+class TestCollectionIntegration:
+    @pytest.fixture()
+    def coll(self):
+        schema = CollectionSchema(
+            "shop",
+            vector_fields=[VectorField("img", 8)],
+            attribute_fields=[AttributeField("price")],
+            categorical_fields=[CategoricalField("color")],
+        )
+        coll = Collection(schema)
+        data = sift_like(300, dim=8, seed=0)
+        rng = np.random.default_rng(0)
+        self.colors = rng.choice(["red", "green", "blue"], 300)
+        self.prices = rng.uniform(0, 100, 300)
+        self.data = data
+        coll.insert({
+            "img": data, "price": self.prices, "color": self.colors,
+        })
+        coll.flush()
+        return coll
+
+    def test_equality_filter(self, coll):
+        res = coll.search("img", self.data[0], 10, filter=("color", "==", "red"))
+        ids = res.ids[0][res.ids[0] >= 0]
+        assert len(ids) and all(self.colors[i] == "red" for i in ids)
+
+    def test_in_filter(self, coll):
+        res = coll.search("img", self.data[0], 10, filter=("color", "in", ["red", "blue"]))
+        ids = res.ids[0][res.ids[0] >= 0]
+        assert all(self.colors[i] in ("red", "blue") for i in ids)
+
+    def test_unknown_value_empty(self, coll):
+        res = coll.search("img", self.data[0], 5, filter=("color", "==", "purple"))
+        assert (res.ids == -1).all()
+
+    def test_bad_operator(self, coll):
+        with pytest.raises(InvalidQueryError):
+            coll.search("img", self.data[0], 5, filter=("color", ">=", "red"))
+
+    def test_numeric_filter_still_works(self, coll):
+        res = coll.search("img", self.data[0], 5, filter=("price", 0.0, 50.0))
+        ids = res.ids[0][res.ids[0] >= 0]
+        assert (self.prices[ids] <= 50.0).all()
+
+    def test_fetch_categoricals(self, coll):
+        got = coll.fetch_categoricals("color", [5, 50])
+        assert got == [str(self.colors[5]), str(self.colors[50])]
+
+    def test_filter_survives_segment_serialization(self, coll):
+        """Categorical columns roundtrip through flush/merge/reload."""
+        coll.insert({
+            "img": self.data[:50], "price": self.prices[:50],
+            "color": self.colors[:50],
+        })
+        coll.flush()
+        coll.compact()
+        res = coll.search("img", self.data[0], 10, filter=("color", "==", "red"))
+        ids = res.ids[0][res.ids[0] >= 0]
+        # new rows 300..349 copy colors[0:50]
+        def color_of(i):
+            return self.colors[i] if i < 300 else self.colors[i - 300]
+        assert all(color_of(int(i)) == "red" for i in ids)
+
+    def test_deleted_rows_excluded_from_categorical_filter(self, coll):
+        res = coll.search("img", self.data[0], 1, filter=("color", "in",
+                                                          list("rgb".join([]) or ["red", "green", "blue"])))
+        victim = int(res.ids[0, 0])
+        coll.delete([victim])
+        coll.flush()
+        res2 = coll.search("img", self.data[0], 1,
+                           filter=("color", "in", ["red", "green", "blue"]))
+        assert int(res2.ids[0, 0]) != victim
+
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            CategoricalField("color", index_kind="weird")
+        schema = CollectionSchema(
+            "c", vector_fields=[VectorField("v", 4)],
+            categorical_fields=[CategoricalField("tag")],
+        )
+        coll = Collection(schema)
+        with pytest.raises(SchemaError):
+            coll.insert({"v": np.zeros((2, 4), np.float32)})  # missing 'tag'

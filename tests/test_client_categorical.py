@@ -1,0 +1,85 @@
+"""SDK and REST support for categorical fields."""
+
+import numpy as np
+import pytest
+
+from repro.client import RestRouter, connect
+from repro.datasets import sift_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return sift_like(120, dim=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def colors():
+    return np.random.default_rng(1).choice(["red", "green", "blue"], 120)
+
+
+class TestSDKCategorical:
+    def test_end_to_end(self, data, colors):
+        client = connect()
+        client.create_collection(
+            "shop", {"v": (8, "l2")}, categorical_fields=["color"]
+        )
+        client.insert("shop", {"v": data, "color": colors})
+        client.flush("shop")
+        hits = client.search("shop", "v", data[0], 5, filter=("color", "==", "red"))
+        assert hits[0]
+        assert all(colors[i] == "red" for i, __ in hits[0])
+
+    def test_index_kind_tuple(self, data, colors):
+        client = connect()
+        client.create_collection(
+            "shop2", {"v": (8, "l2")},
+            categorical_fields=[("color", "inverted")],
+        )
+        client.insert("shop2", {"v": data, "color": colors})
+        client.flush("shop2")
+        coll = client.server.get_collection("shop2")
+        seg = coll.lsm.live_segments()[0]
+        assert type(seg.categoricals["color"].index).__name__ == "InvertedIndex"
+
+
+class TestRestCategorical:
+    @pytest.fixture()
+    def router(self, data, colors):
+        router = RestRouter()
+        resp = router.handle("POST", "/collections", {
+            "name": "web",
+            "vector_fields": [{"name": "v", "dim": 8}],
+            "categorical_fields": ["color"],
+        })
+        assert resp.status == 201
+        resp = router.handle("POST", "/collections/web/entities", {
+            "data": {"v": data.tolist(), "color": colors.tolist()},
+        })
+        assert resp.status == 201
+        router.handle("POST", "/flush", {"collection": "web"})
+        return router
+
+    def test_equality_filter(self, router, data, colors):
+        resp = router.handle("POST", "/collections/web/search", {
+            "field": "v", "queries": [data[0].tolist()], "k": 5,
+            "filter": {"attribute": "color", "op": "==", "values": ["red"]},
+        })
+        assert resp.ok
+        assert all(colors[h["id"]] == "red" for h in resp.body["hits"][0])
+
+    def test_in_filter(self, router, data, colors):
+        resp = router.handle("POST", "/collections/web/search", {
+            "field": "v", "queries": [data[0].tolist()], "k": 5,
+            "filter": {"attribute": "color", "op": "in", "values": ["red", "blue"]},
+        })
+        assert resp.ok
+        assert all(colors[h["id"]] in ("red", "blue") for h in resp.body["hits"][0])
+
+    def test_index_kind_object_form(self, data, colors):
+        router = RestRouter()
+        resp = router.handle("POST", "/collections", {
+            "name": "web2",
+            "vector_fields": [{"name": "v", "dim": 8}],
+            "categorical_fields": [{"name": "color", "index_kind": "bitmap"}],
+        })
+        assert resp.status == 201

@@ -1,0 +1,144 @@
+"""Tests for paths not covered elsewhere: engine dynamics, aggregation
+validation, filter pushdown properties, batch multi-vector queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import VearchLikeEngine
+from repro.core import CollectionSchema, Collection, VectorField
+from repro.index import IVFFlatIndex
+from repro.metrics import get_metric
+from repro.multivector import MultiVectorSearcher, WeightedSum
+from repro.datasets import recipe_like, sift_like
+from repro.storage import LSMConfig, TieredMergePolicy
+
+
+class TestVearchDynamicData:
+    def test_append_after_fit(self):
+        data = sift_like(300, dim=8, seed=0)
+        engine = VearchLikeEngine(nlist=8)
+        engine.fit(data[:200])
+        engine.add(data[200:])
+        result = engine.search(data[250], 1, nprobe=8)
+        assert result.ids[0, 0] == 250
+
+
+class TestWeightedSumValidation:
+    def test_needs_fields(self):
+        with pytest.raises(ValueError):
+            WeightedSum(())
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            WeightedSum(("a",), {"a": -1.0})
+
+    def test_default_weight_one(self):
+        agg = WeightedSum(("a", "b"), {"a": 2.0})
+        assert agg.weights == {"a": 2.0, "b": 1.0}
+
+    def test_combine(self):
+        agg = WeightedSum(("a", "b"), {"a": 2.0, "b": 0.5})
+        out = agg.combine({"a": np.array([1.0, 2.0]), "b": np.array([4.0, 0.0])})
+        np.testing.assert_allclose(out, [4.0, 4.0])
+
+    def test_exact_scores(self):
+        agg = WeightedSum(("a",))
+        metric = get_metric("l2")
+        scores = agg.exact_scores(
+            {"a": np.zeros(3, dtype=np.float32)},
+            {"a": np.ones((2, 3), dtype=np.float32)},
+            metric,
+        )
+        np.testing.assert_allclose(scores, [3.0, 3.0])
+
+
+class TestRowFilterPushdownProperty:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_filtered_results_subset_and_exact(self, seed, n_allowed):
+        """Pushdown must (a) only return admissible ids and (b) at full
+        probe equal brute force over the admissible subset."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(150, 6)).astype(np.float32)
+        index = IVFFlatIndex(6, nlist=4, seed=0)
+        index.train(data)
+        index.add(data)
+        allowed = np.sort(rng.choice(150, size=min(n_allowed, 150), replace=False))
+        query = rng.normal(size=6).astype(np.float32)
+        result = index.search(query, 5, nprobe=4, row_filter=allowed.astype(np.int64))
+        got = result.ids[0][result.ids[0] >= 0]
+        assert set(got.tolist()) <= set(allowed.tolist())
+        dists = ((data[allowed] - query) ** 2).sum(axis=1)
+        expected = allowed[np.argsort(dists, kind="stable")[:5]]
+        np.testing.assert_allclose(
+            np.sort(result.scores[0][: len(got)]),
+            np.sort(dists[np.argsort(dists)[: len(got)]]),
+            rtol=1e-4, atol=1e-2,
+        )
+
+
+class TestMultiVectorBatches:
+    @pytest.fixture()
+    def coll(self):
+        schema = CollectionSchema(
+            "mv",
+            vector_fields=[VectorField("a", 12), VectorField("b", 8)],
+        )
+        cfg = LSMConfig(
+            memtable_flush_bytes=1 << 30, index_build_min_rows=1 << 30,
+            merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+        )
+        coll = Collection(schema, lsm_config=cfg)
+        entities = recipe_like(400, text_dim=12, image_dim=8, seed=0)
+        coll.insert({"a": entities["text"], "b": entities["image"]})
+        coll.flush()
+        self.entities = entities
+        return coll
+
+    def test_batch_queries_all_methods(self, coll):
+        q = {"a": self.entities["text"][:4], "b": self.entities["image"][:4]}
+        for method in ("fusion", "iterative", "naive"):
+            out = coll.multi_vector_search(q, 3, method=method)
+            assert len(out) == 4
+            for qi, row in enumerate(out):
+                assert row[0][0] == qi  # self is the best aggregate
+
+    def test_mismatched_batch_sizes_rejected(self, coll):
+        q = {"a": self.entities["text"][:4], "b": self.entities["image"][:2]}
+        with pytest.raises(ValueError):
+            coll.multi_vector_search(q, 3)
+
+    def test_missing_field_rejected(self, coll):
+        with pytest.raises(ValueError):
+            coll.multi_vector_search({"a": self.entities["text"][:1]}, 3)
+
+    def test_unknown_method_rejected(self, coll):
+        q = {"a": self.entities["text"][:1], "b": self.entities["image"][:1]}
+        with pytest.raises(ValueError):
+            coll.multi_vector_search(q, 3, method="quantum")
+
+    def test_single_vector_collection_rejected(self):
+        schema = CollectionSchema("sv", vector_fields=[VectorField("only", 4)])
+        coll = Collection(schema)
+        with pytest.raises(ValueError):
+            MultiVectorSearcher(coll)
+
+    def test_mixed_metrics_rejected(self):
+        schema = CollectionSchema(
+            "mm",
+            vector_fields=[VectorField("a", 4, "l2"), VectorField("b", 4, "ip")],
+        )
+        coll = Collection(schema)
+        with pytest.raises(ValueError):
+            MultiVectorSearcher(coll)
+
+    def test_fusion_cache_invalidated_by_writes(self, coll):
+        q = {"a": self.entities["text"][:1], "b": self.entities["image"][:1]}
+        coll.multi_vector_search(q, 3, method="fusion")
+        new = recipe_like(10, text_dim=12, image_dim=8, seed=9)
+        ids = coll.insert({"a": new["text"], "b": new["image"]})
+        coll.flush()
+        probe = {"a": new["text"][:1], "b": new["image"][:1]}
+        out = coll.multi_vector_search(probe, 1, method="fusion")
+        assert out[0][0][0] == int(ids[0])

@@ -1,0 +1,199 @@
+"""Distributed system: hashing, coordinator HA, nodes, cluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import (
+    ConsistentHashRing,
+    Coordinator,
+    MilvusCluster,
+    ReaderNode,
+    WriterNode,
+)
+from repro.storage import InMemoryObjectStore
+from repro.datasets import exact_ground_truth, recall_at_k, sift_like, random_queries
+
+
+class TestConsistentHashing:
+    def test_deterministic_routing(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.route(42) == ring.route(42)
+
+    def test_reasonable_balance(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], vnodes=128)
+        counts = ring.load_distribution(range(4000))
+        assert min(counts.values()) > 0.5 * (4000 / 4)
+        assert max(counts.values()) < 2.0 * (4000 / 4)
+
+    def test_node_removal_only_remaps_its_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        before = {k: ring.route(k) for k in range(1000)}
+        ring.remove_node("c")
+        after = {k: ring.route(k) for k in range(1000)}
+        moved = [k for k in before if before[k] != after[k]]
+        # Only keys that belonged to the removed node move.
+        assert all(before[k] == "c" for k in moved)
+        assert all(after[k] != "c" for k in after)
+
+    def test_node_addition_steals_from_everyone(self):
+        ring = ConsistentHashRing(["a", "b"])
+        before = {k: ring.route(k) for k in range(2000)}
+        ring.add_node("c")
+        after = {k: ring.route(k) for k in range(2000)}
+        moved = [k for k in before if before[k] != after[k]]
+        assert all(after[k] == "c" for k in moved)
+        assert 0 < len(moved) < 2000
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().route(1)
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_routing_total(self, key):
+        ring = ConsistentHashRing(["x", "y", "z"])
+        assert ring.route(key) in ("x", "y", "z")
+
+
+class TestCoordinator:
+    def test_leader_failover(self):
+        coord = Coordinator()
+        leader = coord.leader
+        coord.kill_replica(leader)
+        assert coord.leader != leader
+        assert coord.has_quorum()
+
+    def test_quorum_loss_refuses_writes(self):
+        coord = Coordinator()
+        coord.kill_replica("coord-1")
+        coord.kill_replica("coord-2")
+        assert not coord.has_quorum()
+        with pytest.raises(RuntimeError):
+            coord.register_reader("r0")
+
+    def test_replica_restart_restores_quorum(self):
+        coord = Coordinator()
+        coord.kill_replica("coord-1")
+        coord.kill_replica("coord-2")
+        coord.restart_replica("coord-1")
+        assert coord.has_quorum()
+        coord.register_reader("r0")
+        assert coord.route(5) == "r0"
+
+    def test_metadata_survives_failover(self):
+        coord = Coordinator()
+        coord.set_metadata("shards", 4)
+        coord.kill_replica(coord.leader)
+        assert coord.get_metadata("shards") == 4
+
+
+class TestNodes:
+    def test_writer_logs_and_reader_consumes(self):
+        shared = InMemoryObjectStore()
+        writer = WriterNode(shared)
+        reader = ReaderNode("r0", shared, dim=8)
+        data = sift_like(50, dim=8, seed=0)
+        writer.append_shard_log("r0", np.arange(50), data)
+        assert reader.refresh() == 50
+        assert reader.num_rows == 50
+        result = reader.search(data[3], 1)
+        assert result.ids[0, 0] == 3
+
+    def test_reader_ignores_other_shards(self):
+        shared = InMemoryObjectStore()
+        writer = WriterNode(shared)
+        reader = ReaderNode("r0", shared, dim=8)
+        writer.append_shard_log("r1", np.arange(10), sift_like(10, dim=8))
+        assert reader.refresh() == 0
+
+    def test_refresh_idempotent(self):
+        shared = InMemoryObjectStore()
+        writer = WriterNode(shared)
+        reader = ReaderNode("r0", shared, dim=8)
+        writer.append_shard_log("r0", np.arange(10), sift_like(10, dim=8))
+        reader.refresh()
+        assert reader.refresh() == 0
+
+    def test_crashed_reader_raises(self):
+        reader = ReaderNode("r0", InMemoryObjectStore(), dim=8)
+        reader.crash()
+        with pytest.raises(RuntimeError):
+            reader.search(np.zeros((1, 8), dtype=np.float32), 1)
+
+    def test_respawn_rebuilds_from_shared_storage(self):
+        """Statelessness: a restarted reader recovers everything."""
+        shared = InMemoryObjectStore()
+        writer = WriterNode(shared)
+        reader = ReaderNode("r0", shared, dim=8)
+        data = sift_like(60, dim=8, seed=1)
+        writer.append_shard_log("r0", np.arange(60), data)
+        reader.refresh()
+        reader.crash()
+        fresh = ReaderNode.respawn(reader)
+        assert fresh.num_rows == 60
+        assert fresh.search(data[5], 1).ids[0, 0] == 5
+
+    def test_writer_seq_recovers(self):
+        shared = InMemoryObjectStore()
+        w1 = WriterNode(shared)
+        w1.append_shard_log("r0", np.arange(5), sift_like(5, dim=8))
+        w2 = WriterNode(shared)  # restarted writer
+        path = w2.append_shard_log("r0", np.arange(5, 10), sift_like(5, dim=8, seed=2))
+        assert "000000000001" in path
+
+
+class TestCluster:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        data = sift_like(3000, dim=16, seed=0)
+        queries = random_queries(data, 10, seed=3)
+        truth = exact_ground_truth(queries, data, 10)
+        cluster = MilvusCluster(3, dim=16, index_type="FLAT")
+        cluster.insert(np.arange(len(data)), data)
+        cluster.sync()
+        return cluster, data, queries, truth
+
+    def test_recall_across_shards(self, loaded):
+        cluster, __, queries, truth = loaded
+        res = cluster.search(queries, 10)
+        assert recall_at_k(res.result.ids, truth) == 1.0
+
+    def test_rows_sharded_not_replicated(self, loaded):
+        cluster, data, *_ = loaded
+        assert cluster.total_rows() == len(data)
+        sizes = cluster.shard_sizes()
+        assert all(0 < s < len(data) for s in sizes.values())
+
+    def test_restart_restores_shard(self, loaded):
+        cluster, data, queries, truth = loaded
+        cluster.crash_reader("reader-1")
+        degraded = cluster.search(queries, 10)
+        assert recall_at_k(degraded.result.ids, truth) < 1.0  # shard offline
+        cluster.restart_reader("reader-1")
+        restored = cluster.search(queries, 10)
+        assert recall_at_k(restored.result.ids, truth) == 1.0
+
+    def test_simulated_parallel_time_reported(self, loaded):
+        cluster, __, queries, ___ = loaded
+        res = cluster.search(queries, 5)
+        assert 0 < res.simulated_parallel_seconds <= res.wall_seconds + 1e-9
+
+    def test_scaling_reduces_parallel_time(self):
+        """Fig. 10b's mechanism: more readers -> smaller shards -> faster."""
+        data = sift_like(6000, dim=16, seed=4)
+        queries = random_queries(data, 20, seed=5)
+        times = {}
+        for n in (1, 4):
+            cluster = MilvusCluster(n, dim=16, index_type="FLAT")
+            cluster.insert(np.arange(len(data)), data)
+            cluster.sync()
+            cluster.search(queries, 10)  # warm-up
+            res = cluster.search(queries, 10)
+            times[n] = res.simulated_parallel_seconds
+        assert times[4] < times[1]

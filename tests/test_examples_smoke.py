@@ -1,0 +1,38 @@
+"""Smoke tests: the fast examples must run end to end.
+
+Only the quick ones run here (the full set is exercised manually /
+in EXPERIMENTS.md); each must exit cleanly and print its key lines.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamplesSmoke:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "inserted 5000 entities" in out
+        assert "top-5 neighbours" in out
+        assert "after deleting" in out
+
+    def test_recipe_multivector(self):
+        out = run_example("recipe_multivector.py")
+        assert "fusion" in out and "(5/5 match exact)" in out
+
+    def test_multi_factor_auth(self):
+        out = run_example("multi_factor_auth.py")
+        assert "ACCEPT" in out and "REJECT" in out

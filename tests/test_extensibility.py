@@ -1,0 +1,72 @@
+"""The extensibility story end to end: custom metrics and indexes
+plugged in by a downstream user (the paper's 'standard platform for
+vector data management with versatile indexes' ambition)."""
+
+import numpy as np
+import pytest
+
+from repro.index import FlatIndex
+from repro.metrics import Metric, available_metrics, get_metric, register_metric
+from repro.metrics.registry import _REGISTRY
+
+
+class ManhattanMetric(Metric):
+    """L1 distance — a metric this library does not ship."""
+
+    name = "test_l1"
+    higher_is_better = False
+
+    def pairwise(self, queries, data):
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        data = np.atleast_2d(np.asarray(data, dtype=np.float32))
+        return np.abs(queries[:, None, :] - data[None, :, :]).sum(axis=2)
+
+
+@pytest.fixture()
+def l1_registered():
+    register_metric(ManhattanMetric())
+    yield
+    del _REGISTRY["test_l1"]
+
+
+class TestCustomMetric:
+    def test_resolves_by_name(self, l1_registered):
+        assert get_metric("test_l1").name == "test_l1"
+        assert "test_l1" in available_metrics()
+
+    def test_flat_index_searches_with_it(self, l1_registered, rng):
+        data = rng.normal(size=(100, 5)).astype(np.float32)
+        index = FlatIndex(5, metric="test_l1")
+        index.add(data)
+        result = index.search(data[7], 3)
+        assert result.ids[0, 0] == 7
+        # Scores really are L1, not L2.
+        expected = np.abs(data - data[7]).sum(axis=1)
+        assert result.scores[0, 0] == pytest.approx(0.0, abs=1e-5)
+        assert result.scores[0, 1] == pytest.approx(np.sort(expected)[1], rel=1e-4)
+
+    def test_duplicate_registration_rejected(self, l1_registered):
+        with pytest.raises(ValueError):
+            register_metric(ManhattanMetric())
+
+    def test_overwrite_allowed_explicitly(self, l1_registered):
+        register_metric(ManhattanMetric(), overwrite=True)
+
+    def test_unnamed_metric_rejected(self):
+        class Nameless(Metric):
+            name = ""
+
+            def pairwise(self, queries, data):  # pragma: no cover
+                return np.zeros((1, 1))
+
+        with pytest.raises(ValueError):
+            register_metric(Nameless())
+
+    def test_unknown_metric_lookup(self):
+        with pytest.raises(KeyError):
+            get_metric("definitely_not_registered")
+
+    def test_aliases(self):
+        assert get_metric("euclidean").name == "l2"
+        assert get_metric("dot").name == "ip"
+        assert get_metric("COS").name == "cosine"

@@ -1,0 +1,176 @@
+"""Attribute filtering strategies A-E: correctness and cost behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.filtering import (
+    AttributeFilterEngine,
+    AttributeUsageTracker,
+    CostModel,
+    PartitionedFilterEngine,
+)
+from repro.datasets import sift_like, random_queries
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = sift_like(3000, dim=16, n_clusters=8, seed=0)
+    rng = np.random.default_rng(1)
+    attrs = rng.uniform(0, 1000, len(data))
+    queries = random_queries(data, 5, seed=2)
+    engine = AttributeFilterEngine(data, attrs, metric="l2", nlist=16, seed=0)
+    return data, attrs, queries, engine
+
+
+def truth_topk(data, attrs, query, low, high, k):
+    mask = (attrs >= low) & (attrs <= high)
+    idx = np.flatnonzero(mask)
+    d = ((data[idx] - query) ** 2).sum(axis=1)
+    return idx[np.argsort(d, kind="stable")[:k]]
+
+
+class TestStrategyA:
+    def test_exact(self, setup):
+        data, attrs, queries, engine = setup
+        expected = truth_topk(data, attrs, queries[0], 100, 400, 10)
+        result = engine.strategy_a(queries[0], 100, 400, 10)
+        assert result.exact
+        assert set(result.ids.tolist()) == set(expected.tolist())
+
+    def test_all_hits_pass_filter(self, setup):
+        data, attrs, queries, engine = setup
+        result = engine.strategy_a(queries[0], 100, 400, 10)
+        assert ((attrs[result.ids] >= 100) & (attrs[result.ids] <= 400)).all()
+
+    def test_empty_range(self, setup):
+        __, ___, queries, engine = setup
+        result = engine.strategy_a(queries[0], 5000, 6000, 10)
+        assert len(result) == 0
+
+
+class TestStrategyB:
+    def test_hits_pass_filter(self, setup):
+        data, attrs, queries, engine = setup
+        result = engine.strategy_b(queries[0], 100, 400, 10, nprobe=16)
+        assert ((attrs[result.ids] >= 100) & (attrs[result.ids] <= 400)).all()
+
+    def test_full_probe_matches_exact(self, setup):
+        data, attrs, queries, engine = setup
+        expected = truth_topk(data, attrs, queries[1], 200, 800, 10)
+        result = engine.strategy_b(queries[1], 200, 800, 10, nprobe=16)
+        assert set(result.ids.tolist()) == set(expected.tolist())
+
+
+class TestStrategyC:
+    def test_hits_pass_filter(self, setup):
+        data, attrs, queries, engine = setup
+        result = engine.strategy_c(queries[0], 100, 900, 10, nprobe=16)
+        assert ((attrs[result.ids] >= 100) & (attrs[result.ids] <= 900)).all()
+
+    def test_widens_until_k(self, setup):
+        data, attrs, queries, engine = setup
+        # selective filter forces several widening rounds
+        result = engine.strategy_c(queries[0], 0, 100, 10, nprobe=16)
+        assert len(result) == 10
+
+    def test_may_underfill_on_tiny_range(self, setup):
+        data, attrs, queries, engine = setup
+        lo = float(attrs.min())
+        result = engine.strategy_c(queries[0], lo, lo, 10, nprobe=16)
+        assert len(result) <= 10
+
+
+class TestStrategyD:
+    def test_picks_a_when_highly_selective(self, setup):
+        __, ___, queries, engine = setup
+        result = engine.strategy_d(queries[0], 0, 5, 10, nprobe=4)
+        assert result.strategy == "D->A"
+
+    def test_picks_c_when_not_selective(self, setup):
+        __, ___, queries, engine = setup
+        result = engine.strategy_d(queries[0], 0, 1000, 10, nprobe=4)
+        assert result.strategy.startswith("D->") and result.strategy != "D->A"
+
+    def test_result_passes_filter(self, setup):
+        data, attrs, queries, engine = setup
+        for low, high in [(0, 5), (0, 500), (0, 1000)]:
+            result = engine.strategy_d(queries[2], low, high, 10, nprobe=16)
+            hit_attrs = attrs[result.ids]
+            assert ((hit_attrs >= low) & (hit_attrs <= high)).all()
+
+
+class TestCostModel:
+    def test_c_infeasible_when_too_selective(self):
+        costs = CostModel().estimate(n=10000, passing_fraction=0.0001, k=50,
+                                     scanned_fraction=0.1)
+        assert costs.c == float("inf")
+        assert costs.best() == "A"
+
+    def test_a_wins_high_selectivity(self):
+        costs = CostModel().estimate(10000, 0.001, 10, 0.25)
+        assert costs.best() == "A"
+
+    def test_a_loses_low_selectivity(self):
+        costs = CostModel().estimate(10000, 0.99, 10, 0.05)
+        assert costs.best() != "A"
+
+
+class TestStrategyE:
+    @pytest.fixture(scope="class")
+    def part(self, setup):
+        data, attrs, *_ = setup
+        return PartitionedFilterEngine(data, attrs, n_partitions=5, metric="l2", seed=0)
+
+    def test_partitions_cover_everything(self, part, setup):
+        assert len(part) == 3000
+
+    def test_prunes_non_overlapping(self, part, setup):
+        __, ___, queries, ____ = setup
+        part.search(queries[0], 0, 150, 10, nprobe=8)
+        assert part.last_pruned >= 3
+
+    def test_covered_partitions_skip_attribute_check(self, part, setup):
+        __, ___, queries, ____ = setup
+        result = part.search(queries[0], 0, 1000, 10, nprobe=8)
+        assert part.last_covered == 5
+        assert "V" in result.strategy
+
+    def test_results_pass_filter(self, part, setup):
+        data, attrs, queries, __ = setup
+        for low, high in [(100, 300), (0, 1000), (450, 455)]:
+            result = part.search(queries[1], low, high, 10, nprobe=16)
+            hit_attrs = attrs[result.ids]
+            assert ((hit_attrs >= low) & (hit_attrs <= high)).all()
+
+    def test_matches_exact_at_full_probe(self, part, setup):
+        data, attrs, queries, __ = setup
+        expected = truth_topk(data, attrs, queries[3], 200, 700, 10)
+        result = part.search(queries[3], 200, 700, 10, nprobe=64)
+        assert set(result.ids.tolist()) == set(expected.tolist())
+
+    def test_rows_per_partition_constructor(self, setup):
+        data, attrs, *_ = setup
+        part = PartitionedFilterEngine.with_rows_per_partition(
+            data, attrs, rows_per_partition=1000
+        )
+        assert part.n_partitions == 3
+
+
+class TestUsageTracker:
+    def test_counts(self):
+        tracker = AttributeUsageTracker()
+        assert tracker.most_frequent() is None
+        tracker.record("price", 0, 100)
+        tracker.record("price", 50, 60)
+        tracker.record("size")
+        assert tracker.most_frequent() == "price"
+        assert tracker.count("price") == 2
+        assert tracker.snapshot() == {"price": 2, "size": 1}
+
+    def test_typical_range_width(self):
+        tracker = AttributeUsageTracker()
+        tracker.record("p", 0, 10)
+        tracker.record("p", 0, 100)
+        tracker.record("p", 0, 20)
+        assert tracker.typical_range_width("p") == 20
+        assert tracker.typical_range_width("other") is None

@@ -1,0 +1,154 @@
+"""Heterogeneous computing: cache-aware design and SIMD dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.hetero import (
+    CORE_I7_8700,
+    XEON_PLATINUM_8269,
+    CacheAwareSearcher,
+    CacheTrafficModel,
+    SimdDispatcher,
+    query_block_size,
+    simd_kernel_registry,
+)
+from repro.hetero.hardware import SIMDLevel
+from repro.datasets import sift_like
+
+
+class TestEquationOne:
+    def test_paper_shape(self):
+        """s = L3 / (d*4 + t*k*12), the paper's Equation (1)."""
+        l3 = 35 * 1024 * 1024
+        s = query_block_size(l3, dim=128, threads=16, k=50)
+        expected = l3 // (128 * 4 + 16 * 50 * 12)
+        assert s == expected
+
+    def test_smaller_cache_smaller_block(self):
+        big = query_block_size(XEON_PLATINUM_8269.l3_bytes, 128, 16, 50)
+        small = query_block_size(CORE_I7_8700.l3_bytes, 128, 6, 50)
+        assert small < big
+
+    def test_minimum_one(self):
+        assert query_block_size(1, 128, 16, 50) == 1
+
+    def test_bigger_k_smaller_block(self):
+        s_small_k = query_block_size(12 << 20, 128, 8, 10)
+        s_big_k = query_block_size(12 << 20, 128, 8, 1000)
+        assert s_big_k < s_small_k
+
+
+class TestCacheAwareSearcher:
+    @pytest.fixture(scope="class")
+    def searcher(self):
+        data = sift_like(2000, dim=16, seed=0)
+        return CacheAwareSearcher(data, "l2", cpu=XEON_PLATINUM_8269), data
+
+    def test_designs_agree_exactly(self, searcher):
+        cas, data = searcher
+        queries = sift_like(64, dim=16, seed=9)
+        ids_o, sc_o = cas.search_original(queries, 10)
+        ids_c, sc_c = cas.search_cache_aware(queries, 10, threads=4)
+        np.testing.assert_array_equal(ids_o, ids_c)
+        np.testing.assert_allclose(sc_o, sc_c, rtol=1e-5)
+
+    def test_data_passes_reduced(self, searcher):
+        """The paper's claim: m/(s*t) accesses instead of m/t per thread."""
+        cas, __ = searcher
+        queries = sift_like(64, dim=16, seed=9)
+        cas.search_original(queries, 10)
+        assert cas.last_stats.data_passes == 64
+        cas.search_cache_aware(queries, 10, threads=4, block_size=16)
+        assert cas.last_stats.data_passes == pytest.approx(4.0)
+
+    def test_block_size_one_degenerates_to_original(self, searcher):
+        cas, __ = searcher
+        queries = sift_like(8, dim=16, seed=9)
+        ids_c, __s = cas.search_cache_aware(queries, 5, threads=2, block_size=1)
+        ids_o, __s2 = cas.search_original(queries, 5)
+        np.testing.assert_array_equal(ids_c, ids_o)
+
+    def test_ip_metric(self):
+        data = sift_like(500, dim=8, seed=1)
+        cas = CacheAwareSearcher(data, "ip")
+        ids_o, __ = cas.search_original(data[:10], 5)
+        ids_c, __2 = cas.search_cache_aware(data[:10], 5, threads=3, block_size=4)
+        np.testing.assert_array_equal(ids_o, ids_c)
+
+
+class TestCacheTrafficModel:
+    def test_paper_speedups(self):
+        """Sec. 7.4: up to 2.7x on 12MB L3, up to 1.5x on 35.75MB L3."""
+        i7 = CacheTrafficModel(CORE_I7_8700)
+        xeon = CacheTrafficModel(XEON_PLATINUM_8269)
+        sp_i7 = i7.speedup(1000, 10 ** 7, 128, 50)
+        sp_xeon = xeon.speedup(1000, 10 ** 7, 128, 50)
+        assert 2.2 <= sp_i7 <= 3.2
+        assert 1.2 <= sp_xeon <= 1.8
+        assert sp_i7 > sp_xeon
+
+    def test_no_gain_when_data_fits_cache(self):
+        model = CacheTrafficModel(XEON_PLATINUM_8269)
+        assert model.speedup(1000, 1000, 128, 50) == pytest.approx(1.0, abs=0.05)
+
+    def test_speedup_grows_with_data(self):
+        model = CacheTrafficModel(CORE_I7_8700)
+        speedups = [model.speedup(1000, n, 128, 50) for n in (10**3, 10**5, 10**7)]
+        assert speedups[0] <= speedups[1] <= speedups[2]
+
+    def test_times_positive_and_ordered(self):
+        model = CacheTrafficModel(CORE_I7_8700)
+        t_o = model.time_original(1000, 10**6, 128, 50)
+        t_c = model.time_cache_aware(1000, 10**6, 128, 50)
+        assert 0 < t_c <= t_o
+
+
+class TestSimd:
+    def test_registry_has_all_builds(self):
+        registry = simd_kernel_registry()
+        assert len(registry) == 8  # 2 ops x 4 ISAs
+        for op in ("l2", "ip"):
+            for level in SIMDLevel:
+                assert (op, level) in registry
+
+    def test_dispatch_picks_best_flag(self):
+        d = SimdDispatcher(["sse", "avx", "avx2"])
+        assert d.selected_level is SIMDLevel.AVX2
+        d = SimdDispatcher(["sse"])
+        assert d.selected_level is SIMDLevel.SSE
+
+    def test_dispatch_from_cpu_spec(self):
+        assert SimdDispatcher.for_cpu(XEON_PLATINUM_8269).selected_level is SIMDLevel.AVX512
+        assert SimdDispatcher.for_cpu(CORE_I7_8700).selected_level is SIMDLevel.AVX2
+
+    def test_no_flags_raises(self):
+        with pytest.raises(ValueError):
+            SimdDispatcher(["mmx"])
+
+    def test_all_builds_compute_identically(self):
+        """The four per-ISA builds must agree (they differ in cost only)."""
+        registry = simd_kernel_registry()
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(4, 16)).astype(np.float32)
+        x = rng.normal(size=(8, 16)).astype(np.float32)
+        reference = registry[("l2", SIMDLevel.SSE)](q, x)
+        for level in SIMDLevel:
+            np.testing.assert_allclose(registry[("l2", level)](q, x), reference)
+
+    def test_avx512_avx2_ratio(self):
+        """Fig. 12: AVX512 is roughly 1.5x faster than AVX2."""
+        registry = simd_kernel_registry()
+        t2 = registry[("l2", SIMDLevel.AVX2)].modeled_seconds(1000, 10**6, 128)
+        t5 = registry[("l2", SIMDLevel.AVX512)].modeled_seconds(1000, 10**6, 128)
+        assert t2 / t5 == pytest.approx(1.5, abs=0.05)
+
+    def test_unknown_op_raises(self):
+        d = SimdDispatcher(["avx2"])
+        with pytest.raises(KeyError):
+            d.kernel("cosine")
+
+    def test_pairwise_through_dispatcher(self):
+        d = SimdDispatcher(["avx512", "sse", "avx", "avx2"])
+        q = np.ones((1, 4), dtype=np.float32)
+        x = np.zeros((2, 4), dtype=np.float32)
+        np.testing.assert_allclose(d.pairwise("l2", q, x), 4.0)

@@ -1,0 +1,119 @@
+"""GPU search engine over LSM segments + the FPGA IVF_PQ model."""
+
+import numpy as np
+import pytest
+
+from repro.hetero import FPGAPQExecutor, FPGASpec, GPUDevice, GPUSearchEngine
+from repro.index import IVFPQIndex
+from repro.storage import LSMConfig, LSMManager, TieredMergePolicy
+from repro.datasets import sift_like
+
+SPECS = {"emb": (16, "l2")}
+
+
+@pytest.fixture()
+def lsm_with_segments():
+    cfg = LSMConfig(
+        memtable_flush_bytes=1 << 30,
+        index_build_min_rows=1 << 30,
+        auto_merge=False,
+        merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+    )
+    lsm = LSMManager(SPECS, (), cfg)
+    data = sift_like(900, dim=16, seed=0)
+    for i in range(3):
+        sl = slice(i * 300, (i + 1) * 300)
+        lsm.insert(np.arange(sl.start, sl.stop), {"emb": data[sl]})
+        lsm.flush()
+    return lsm, data
+
+
+class TestGPUSearchEngine:
+    def test_results_match_plain_search(self, lsm_with_segments):
+        lsm, data = lsm_with_segments
+        engine = GPUSearchEngine(lsm, [GPUDevice(device_id=0), GPUDevice(device_id=1)])
+        outcome = engine.search("emb", data[:5], 3)
+        plain = lsm.search("emb", data[:5], 3)
+        np.testing.assert_array_equal(outcome.result.ids, plain.ids)
+
+    def test_one_task_per_segment(self, lsm_with_segments):
+        lsm, data = lsm_with_segments
+        engine = GPUSearchEngine(lsm, [GPUDevice(device_id=0)])
+        outcome = engine.search("emb", data[:2], 3)
+        assert len(outcome.assignments) == 3  # three segments
+
+    def test_makespan_shrinks_with_more_devices(self, lsm_with_segments):
+        lsm, data = lsm_with_segments
+        one = GPUSearchEngine(lsm, [GPUDevice(device_id=0)])
+        m1 = one.search("emb", data[:2], 3).makespan_seconds
+        three = GPUSearchEngine(
+            lsm, [GPUDevice(device_id=i) for i in range(3)]
+        )
+        m3 = three.search("emb", data[:2], 3).makespan_seconds
+        assert m3 < m1
+
+    def test_elastic_device_addition(self, lsm_with_segments):
+        lsm, data = lsm_with_segments
+        engine = GPUSearchEngine(lsm, [GPUDevice(device_id=0)])
+        engine.search("emb", data[:2], 3)
+        engine.add_device(GPUDevice(device_id=1))
+        outcome = engine.search("emb", data[:2], 3)
+        assert {a.device_id for a in outcome.assignments} == {0, 1}
+
+    def test_respects_tombstones(self, lsm_with_segments):
+        lsm, data = lsm_with_segments
+        lsm.delete(np.array([5]))
+        lsm.flush()
+        engine = GPUSearchEngine(lsm, [GPUDevice(device_id=0)])
+        outcome = engine.search("emb", data[5], 1)
+        assert outcome.result.ids[0, 0] != 5
+
+    def test_needs_devices(self, lsm_with_segments):
+        lsm, __ = lsm_with_segments
+        with pytest.raises(ValueError):
+            GPUSearchEngine(lsm, [])
+
+
+class TestFPGAPQ:
+    def test_real_results_pass_through(self):
+        data = sift_like(600, dim=16, seed=1)
+        index = IVFPQIndex(16, nlist=8, m=4, seed=0)
+        index.train(data)
+        index.add(data)
+        executor = FPGAPQExecutor(index=index)
+        result = executor.search(data[:3], 5, nprobe=8)
+        plain = index.search(data[:3], 5, nprobe=8)
+        np.testing.assert_array_equal(result.ids, plain.ids)
+
+    def test_fpga_wins_at_scale(self):
+        """The paper's 'initial results are encouraging' claim: the
+        offload should show a clear modeled speedup at billion scale."""
+        executor = FPGAPQExecutor()
+        speedup = executor.model_speedup(m=100, n=10**9)
+        assert speedup > 2
+
+    def test_tiny_workloads_not_worth_offloading(self):
+        executor = FPGAPQExecutor()
+        # A few thousand codes: setup + table upload dominates.
+        assert executor.model_speedup(m=1, n=2000) < 1
+
+    def test_speedup_grows_with_batch(self):
+        executor = FPGAPQExecutor()
+        s_small = executor.model_speedup(m=1, n=10**8)
+        s_big = executor.model_speedup(m=500, n=10**8)
+        assert s_big >= s_small
+
+    def test_dram_capacity_check(self):
+        executor = FPGAPQExecutor(spec=FPGASpec(dram_bytes=1000))
+        assert executor.fits(n=100, msub=8)
+        assert not executor.fits(n=1000, msub=8)
+
+    def test_first_batch_pays_code_upload(self):
+        executor = FPGAPQExecutor()
+        cold = executor.model_fpga_seconds(10, 10**8, 8, 64, 16384, first_batch=True)
+        warm = executor.model_fpga_seconds(10, 10**8, 8, 64, 16384, first_batch=False)
+        assert cold > warm
+
+    def test_search_without_index_raises(self):
+        with pytest.raises(RuntimeError):
+            FPGAPQExecutor().search(np.zeros((1, 4), dtype=np.float32), 1)

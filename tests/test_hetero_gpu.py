@@ -1,0 +1,179 @@
+"""GPU engine: large-k kernel, device model, SQ8H, multi-GPU scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.hetero import (
+    GPUDevice,
+    SQ8HConfig,
+    SQ8HExecutor,
+    SearchTask,
+    SegmentScheduler,
+    TESLA_T4,
+    gpu_topk_large_k,
+)
+from repro.index import IVFSQ8Index
+from repro.datasets import exact_ground_truth, sift_like
+
+
+class TestLargeKKernel:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return sift_like(3000, dim=16, seed=0)
+
+    def test_matches_exact_beyond_round_limit(self, data):
+        queries = data[:3]
+        ids, scores = gpu_topk_large_k(queries, data, 1500, "l2", round_k=512)
+        truth = exact_ground_truth(queries, data, 1500, "l2")
+        for qi in range(3):
+            assert set(ids[qi][ids[qi] >= 0].tolist()) == set(truth[qi].tolist())
+
+    def test_scores_sorted_within_rounds_merge(self, data):
+        ids, scores = gpu_topk_large_k(data[:1], data, 600, "l2", round_k=256)
+        # Cumulative rounds produce globally best-first order.
+        assert (np.diff(scores[0]) >= -1e-6).all()
+
+    def test_duplicate_distances_handled(self):
+        # Many exact ties at the round boundary: no row may repeat.
+        base = np.zeros((50, 4), dtype=np.float32)
+        base[:, 0] = np.repeat(np.arange(10), 5)  # 5-way ties
+        query = np.zeros((1, 4), dtype=np.float32)
+        ids, __ = gpu_topk_large_k(query, base, 50, "l2", round_k=7)
+        valid = ids[0][ids[0] >= 0]
+        assert len(valid) == len(set(valid.tolist())) == 50
+
+    def test_k_cap_enforced(self, data):
+        with pytest.raises(ValueError):
+            gpu_topk_large_k(data[:1], data, 20000)
+
+    def test_ip_metric(self, data):
+        ids, scores = gpu_topk_large_k(data[:2], data, 300, "ip", round_k=128)
+        truth = exact_ground_truth(data[:2], data, 300, "ip")
+        for qi in range(2):
+            assert set(ids[qi].tolist()) == set(truth[qi].tolist())
+
+
+class TestGPUDevice:
+    def test_residency_and_memory(self):
+        gpu = GPUDevice()
+        assert gpu.fits(10 ** 9)
+        gpu.load("seg0", 10 ** 9)
+        assert gpu.is_resident("seg0")
+        assert gpu.resident_bytes == 10 ** 9
+        assert gpu.load("seg0", 10 ** 9) == 0.0  # already resident
+        gpu.evict("seg0", 10 ** 9)
+        assert not gpu.is_resident("seg0")
+
+    def test_oom(self):
+        gpu = GPUDevice()
+        with pytest.raises(MemoryError):
+            gpu.load("huge", TESLA_T4.memory_bytes + 1)
+
+    def test_batched_transfer_faster(self):
+        gpu = GPUDevice()
+        nbytes = 10 ** 9
+        assert gpu.transfer_seconds(nbytes, batched=True) < gpu.transfer_seconds(
+            nbytes, batched=False
+        )
+
+    def test_kernel_seconds_scale(self):
+        gpu = GPUDevice()
+        t1 = gpu.kernel_seconds(10, 10**6, 128)
+        t2 = gpu.kernel_seconds(20, 10**6, 128)
+        assert t2 > t1
+
+
+class TestSQ8H:
+    def test_plan_mode_switch(self):
+        """Algorithm 1: batch >= threshold -> GPU; below -> hybrid."""
+        ex = SQ8HExecutor(config=SQ8HConfig(batch_threshold=100, nprobe=8))
+        small = ex.model_plan(10, n=10**8, dim=128, nlist=1024)
+        big = ex.model_plan(500, n=10**8, dim=128, nlist=1024)
+        assert small.mode == "hybrid"
+        assert small.step1_device == "gpu" and small.step2_device == "cpu"
+        assert small.transfer_seconds == 0.0  # no segment crosses PCIe
+        assert big.mode == "gpu"
+        assert big.transfer_seconds > 0.0
+
+    def test_sq8h_never_worse(self):
+        """Fig. 13: SQ8H is fastest at every batch size."""
+        ex = SQ8HExecutor(config=SQ8HConfig(batch_threshold=1000, nprobe=64))
+        for m in (1, 10, 100, 500, 2000):
+            t = ex.model_times(m, n=10**9, dim=128, nlist=16384)
+            assert t["sq8h"] <= min(t["pure_cpu"], t["pure_gpu"]) + 1e-9
+
+    def test_gpu_cpu_gap_narrows_with_batch(self):
+        """Fig. 13: more queries -> more compute per transferred byte."""
+        ex = SQ8HExecutor(config=SQ8HConfig(batch_threshold=10**9, nprobe=64))
+        ratios = []
+        for m in (10, 100, 500):
+            t = ex.model_times(m, n=10**9, dim=128, nlist=16384)
+            ratios.append(t["pure_gpu"] / t["pure_cpu"])
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_real_execution_over_index(self):
+        data = sift_like(600, dim=16, seed=1)
+        index = IVFSQ8Index(16, nlist=8, seed=0)
+        index.train(data)
+        index.add(data)
+        ex = SQ8HExecutor(index=index, config=SQ8HConfig(batch_threshold=4, nprobe=8))
+        result = ex.search(data[:2], 5)
+        assert result.ids[0, 0] == 0
+        assert ex.last_plan.mode == "hybrid"
+        result = ex.search(data[:8], 5)
+        assert ex.last_plan.mode == "gpu"
+
+    def test_search_without_index_raises(self):
+        with pytest.raises(RuntimeError):
+            SQ8HExecutor().search(np.zeros((1, 4), dtype=np.float32), 1)
+
+
+class TestSegmentScheduler:
+    def _tasks(self, n, nbytes=10**8):
+        return [SearchTask(i, nbytes, 100, 10**6, 128) for i in range(n)]
+
+    def test_balances_load(self):
+        sched = SegmentScheduler([GPUDevice(device_id=0), GPUDevice(device_id=1)])
+        sched.dispatch_all(self._tasks(8))
+        loads = sched.device_loads()
+        assert abs(loads[0] - loads[1]) / max(loads.values()) < 0.3
+
+    def test_more_devices_smaller_makespan(self):
+        one = SegmentScheduler([GPUDevice(device_id=0)])
+        one.dispatch_all(self._tasks(8))
+        two = SegmentScheduler([GPUDevice(device_id=0), GPUDevice(device_id=1)])
+        two.dispatch_all(self._tasks(8))
+        assert two.makespan() < one.makespan()
+
+    def test_runtime_device_addition(self):
+        """The paper's elastic cloud story: new GPU discovered at runtime."""
+        sched = SegmentScheduler([GPUDevice(device_id=0)])
+        sched.dispatch_all(self._tasks(4))
+        before = sched.makespan()
+        sched.add_device(GPUDevice(device_id=1))
+        assignments = sched.dispatch_all(self._tasks(4))
+        # The new (idle) device picks up work immediately.
+        assert any(a.device_id == 1 for a in assignments)
+
+    def test_segment_affinity_saves_transfer(self):
+        sched = SegmentScheduler([GPUDevice(device_id=0)])
+        task = SearchTask(7, 10**8, 100, 10**6, 128)
+        first = sched.dispatch(task)
+        second = sched.dispatch(task)  # segment now resident
+        assert (second.end_seconds - second.start_seconds) < (
+            first.end_seconds - first.start_seconds
+        )
+
+    def test_no_devices_raises(self):
+        with pytest.raises(RuntimeError):
+            SegmentScheduler().dispatch(self._tasks(1)[0])
+
+    def test_duplicate_device_rejected(self):
+        sched = SegmentScheduler([GPUDevice(device_id=0)])
+        with pytest.raises(ValueError):
+            sched.add_device(GPUDevice(device_id=0))
+
+    def test_remove_device(self):
+        sched = SegmentScheduler([GPUDevice(device_id=0), GPUDevice(device_id=1)])
+        sched.remove_device(1)
+        assert sched.num_devices == 1

@@ -1,0 +1,87 @@
+"""FLAT index: the exact-search reference."""
+
+import numpy as np
+import pytest
+
+from repro.index import FlatIndex
+from repro.datasets import exact_ground_truth, recall_at_k
+
+
+class TestFlatIndex:
+    def test_perfect_recall(self, small_data, small_queries, small_truth):
+        index = FlatIndex(16, metric="l2")
+        index.add(small_data)
+        result = index.search(small_queries, 10)
+        assert recall_at_k(result.ids, small_truth) == 1.0
+
+    def test_scores_sorted_best_first(self, small_data, small_queries):
+        index = FlatIndex(16)
+        index.add(small_data)
+        result = index.search(small_queries, 10)
+        for qi in range(result.nq):
+            scores = result.scores[qi]
+            assert (np.diff(scores) >= -1e-9).all()
+
+    def test_incremental_adds_equal_bulk(self, small_data, small_queries):
+        bulk = FlatIndex(16)
+        bulk.add(small_data)
+        incremental = FlatIndex(16)
+        for start in range(0, len(small_data), 97):
+            incremental.add(small_data[start : start + 97])
+        r1 = bulk.search(small_queries, 5)
+        r2 = incremental.search(small_queries, 5)
+        np.testing.assert_array_equal(r1.ids, r2.ids)
+
+    def test_explicit_ids(self, small_data):
+        index = FlatIndex(16)
+        ids = np.arange(1000, 1000 + len(small_data))
+        index.add(small_data, ids=ids)
+        result = index.search(small_data[3], 1)
+        assert result.ids[0, 0] == 1003
+
+    def test_empty_index_returns_padding(self):
+        index = FlatIndex(4)
+        result = index.search(np.zeros((2, 4), dtype=np.float32), 3)
+        assert (result.ids == -1).all()
+
+    def test_k_exceeds_ntotal(self, small_data):
+        index = FlatIndex(16)
+        index.add(small_data[:5])
+        result = index.search(small_data[0], 10)
+        assert (result.ids[0, :5] >= 0).all()
+        assert (result.ids[0, 5:] == -1).all()
+
+    def test_dim_mismatch_raises(self):
+        index = FlatIndex(8)
+        with pytest.raises(ValueError):
+            index.add(np.zeros((2, 9), dtype=np.float32))
+
+    def test_unknown_search_param_raises(self, small_data):
+        index = FlatIndex(16)
+        index.add(small_data)
+        with pytest.raises(TypeError):
+            index.search(small_data[0], 3, nprobe=4)
+
+    def test_reconstruct(self, small_data):
+        index = FlatIndex(16)
+        index.add(small_data)
+        np.testing.assert_array_equal(
+            index.reconstruct(np.array([3, 7])), small_data[[3, 7]]
+        )
+        with pytest.raises(KeyError):
+            index.reconstruct(np.array([99999]))
+
+    def test_inner_product_direction(self, small_data):
+        index = FlatIndex(16, metric="ip")
+        index.add(small_data)
+        result = index.search(small_data[:2], 5)
+        for qi in range(2):
+            assert (np.diff(result.scores[qi]) <= 1e-6).all()
+
+    def test_stats(self, small_data):
+        index = FlatIndex(16)
+        index.add(small_data)
+        stats = index.stats()
+        assert stats["ntotal"] == len(small_data)
+        assert stats["index_type"] == "FLAT"
+        assert stats["memory_bytes"] > 0

@@ -1,0 +1,115 @@
+"""Graph indexes: HNSW and NSG."""
+
+import numpy as np
+import pytest
+
+from repro.index import HNSWIndex, NSGIndex
+from repro.datasets import exact_ground_truth, recall_at_k, sift_like, random_queries
+
+
+@pytest.fixture(scope="module")
+def graph_data():
+    return sift_like(800, dim=16, n_clusters=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def graph_queries(graph_data):
+    return random_queries(graph_data, 10, seed=11)
+
+
+@pytest.fixture(scope="module")
+def graph_truth(graph_data, graph_queries):
+    return exact_ground_truth(graph_queries, graph_data, 10, "l2")
+
+
+class TestHNSW:
+    @pytest.fixture(scope="class")
+    def index(self, graph_data):
+        index = HNSWIndex(16, M=12, ef_construction=80, seed=0)
+        index.add(graph_data)
+        return index
+
+    def test_high_recall(self, index, graph_queries, graph_truth):
+        result = index.search(graph_queries, 10, ef=80)
+        assert recall_at_k(result.ids, graph_truth) >= 0.95
+
+    def test_recall_improves_with_ef(self, index, graph_queries, graph_truth):
+        low = recall_at_k(index.search(graph_queries, 10, ef=10).ids, graph_truth)
+        high = recall_at_k(index.search(graph_queries, 10, ef=120).ids, graph_truth)
+        assert high >= low
+
+    def test_incremental_inserts(self, graph_data):
+        index = HNSWIndex(16, M=8, ef_construction=40, seed=0)
+        index.add(graph_data[:100])
+        index.add(graph_data[100:200])
+        assert index.ntotal == 200
+        result = index.search(graph_data[150], 1, ef=40)
+        assert result.ids[0, 0] == 150
+
+    def test_degree_bounded(self, index):
+        stats = index.graph_degree_stats()
+        assert stats["max"] <= 2 * index.M
+
+    def test_first_hit_is_self(self, index, graph_data):
+        result = index.search(graph_data[5], 1, ef=30)
+        assert result.ids[0, 0] == 5
+
+    def test_empty_search(self):
+        index = HNSWIndex(8)
+        result = index.search(np.zeros((1, 8), dtype=np.float32), 3)
+        assert (result.ids == -1).all()
+
+    def test_unknown_param_raises(self, index, graph_data):
+        with pytest.raises(TypeError):
+            index.search(graph_data[0], 3, nprobe=2)
+
+    def test_inner_product_metric(self, graph_data):
+        index = HNSWIndex(16, metric="ip", M=8, ef_construction=40, seed=0)
+        index.add(graph_data[:300])
+        result = index.search(graph_data[:3], 5, ef=60)
+        # scores descending for similarity metrics
+        for qi in range(3):
+            assert (np.diff(result.scores[qi]) <= 1e-5).all()
+
+    def test_rejects_binary_metric(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(8, metric="jaccard")
+
+
+class TestNSG:
+    @pytest.fixture(scope="class")
+    def index(self, graph_data):
+        index = NSGIndex(16, knn=24, out_degree=20, seed=0)
+        index.add(graph_data)
+        index.build()
+        return index
+
+    def test_decent_recall(self, index, graph_queries, graph_truth):
+        result = index.search(graph_queries, 10, search_l=80)
+        assert recall_at_k(result.ids, graph_truth) >= 0.85
+
+    def test_out_degree_bounded(self, index):
+        # Reverse-edge insertion re-prunes, so degree stays near the cap.
+        max_degree = max(len(g) for g in index._graph)
+        assert max_degree <= 2 * index.out_degree
+
+    def test_every_node_reachable(self, index, graph_data):
+        reached = np.zeros(len(graph_data), dtype=bool)
+        stack = [index._medoid]
+        reached[index._medoid] = True
+        while stack:
+            node = stack.pop()
+            for nb in index._graph[node]:
+                if not reached[nb]:
+                    reached[nb] = True
+                    stack.append(int(nb))
+        assert reached.all()
+
+    def test_lazy_build_on_search(self, graph_data):
+        index = NSGIndex(16, knn=12, out_degree=10, seed=0)
+        index.add(graph_data[:150])
+        result = index.search(graph_data[3], 1, search_l=30)
+        assert result.ids[0, 0] == 3
+
+    def test_memory_accounting(self, index):
+        assert index.memory_bytes() > 0

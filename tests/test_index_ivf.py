@@ -1,0 +1,112 @@
+"""IVF family: coarse quantizer behaviour, nprobe trade-off, pushdown."""
+
+import numpy as np
+import pytest
+
+from repro.index import IVFFlatIndex, IVFSQ8Index, IVFPQIndex
+from repro.datasets import exact_ground_truth, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def trained_ivf(medium_data):
+    index = IVFFlatIndex(24, metric="l2", nlist=32, seed=0)
+    index.train(medium_data)
+    index.add(medium_data)
+    return index
+
+
+class TestIVFFlat:
+    def test_add_before_train_raises(self, medium_data):
+        index = IVFFlatIndex(24, nlist=16)
+        with pytest.raises(RuntimeError):
+            index.add(medium_data)
+
+    def test_train_needs_nlist_vectors(self):
+        index = IVFFlatIndex(8, nlist=64)
+        with pytest.raises(ValueError):
+            index.train(np.zeros((10, 8), dtype=np.float32))
+
+    def test_full_probe_is_exact(self, trained_ivf, medium_data, medium_queries, medium_truth):
+        result = trained_ivf.search(medium_queries, 10, nprobe=32)
+        assert recall_at_k(result.ids, medium_truth) == 1.0
+
+    def test_recall_monotone_in_nprobe(self, trained_ivf, medium_queries, medium_truth):
+        recalls = []
+        for nprobe in (1, 4, 16, 32):
+            result = trained_ivf.search(medium_queries, 10, nprobe=nprobe)
+            recalls.append(recall_at_k(result.ids, medium_truth))
+        assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
+        assert recalls[-1] == 1.0
+
+    def test_all_rows_land_in_buckets(self, trained_ivf, medium_data):
+        assert trained_ivf.bucket_sizes().sum() == len(medium_data)
+
+    def test_row_filter_pushdown(self, trained_ivf, medium_queries):
+        allowed = np.arange(0, 2000, dtype=np.int64)
+        result = trained_ivf.search(medium_queries, 10, nprobe=32, row_filter=allowed)
+        valid = result.ids[result.ids >= 0]
+        assert (valid < 2000).all()
+
+    def test_row_filter_empty(self, trained_ivf, medium_queries):
+        result = trained_ivf.search(
+            medium_queries, 5, nprobe=8, row_filter=np.empty(0, dtype=np.int64)
+        )
+        assert (result.ids == -1).all()
+
+    def test_select_buckets_sorted_by_distance(self, trained_ivf, medium_queries):
+        buckets = trained_ivf.select_buckets(medium_queries, 5)
+        from repro.metrics.dense import l2_squared_pairwise
+
+        coarse = l2_squared_pairwise(medium_queries, trained_ivf.centroids)
+        for qi in range(len(medium_queries)):
+            dists = coarse[qi][buckets[qi]]
+            assert (np.diff(dists) >= -1e-5).all()
+
+    def test_stats_include_buckets(self, trained_ivf):
+        stats = trained_ivf.stats()
+        assert stats["nlist"] == 32
+        assert stats["bucket_max"] >= stats["bucket_min"]
+
+
+class TestIVFSQ8:
+    def test_recall_close_to_flat(self, medium_data, medium_queries, medium_truth):
+        index = IVFSQ8Index(24, nlist=32, seed=0)
+        index.train(medium_data)
+        index.add(medium_data)
+        result = index.search(medium_queries, 10, nprobe=32)
+        # Paper footnote 6: SQ8 loses only ~1% recall.
+        assert recall_at_k(result.ids, medium_truth) >= 0.95
+
+    def test_memory_is_fraction_of_flat(self, medium_data):
+        flat = IVFFlatIndex(24, nlist=32, seed=0)
+        flat.train(medium_data)
+        flat.add(medium_data)
+        sq8 = IVFSQ8Index(24, nlist=32, seed=0)
+        sq8.train(medium_data)
+        sq8.add(medium_data)
+        # Paper: SQ8 takes 1/4 the vector space of IVF_FLAT.
+        assert sq8.memory_bytes() < 0.55 * flat.memory_bytes()
+
+
+class TestIVFPQ:
+    def test_searches_with_decent_recall(self, medium_data, medium_queries, medium_truth):
+        index = IVFPQIndex(24, nlist=32, m=4, seed=0)
+        index.train(medium_data)
+        index.add(medium_data)
+        result = index.search(medium_queries, 10, nprobe=32)
+        assert recall_at_k(result.ids, medium_truth) >= 0.3
+
+    def test_memory_much_smaller(self, medium_data):
+        pq = IVFPQIndex(24, nlist=32, m=4, seed=0)
+        pq.train(medium_data)
+        pq.add(medium_data)
+        raw = medium_data.nbytes
+        assert pq.memory_bytes() < raw / 2
+
+    def test_rejects_indivisible_m(self):
+        with pytest.raises(ValueError):
+            IVFPQIndex(10, m=3)
+
+    def test_rejects_unsupported_metric(self):
+        with pytest.raises(ValueError):
+            IVFPQIndex(8, metric="hamming", m=2)

@@ -1,0 +1,95 @@
+"""Index persistence across bufferpool eviction.
+
+Indexes are not serialized with segments; the LSM records which
+segments were indexed (and how) and rebuilds on reload so search
+behaviour is unchanged after eviction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage import LSMConfig, LSMManager, TieredMergePolicy
+from repro.datasets import sift_like
+
+SPECS = {"emb": (16, "l2")}
+
+
+def make_lsm(bufferpool_bytes):
+    cfg = LSMConfig(
+        memtable_flush_bytes=1 << 30,
+        index_build_min_rows=1 << 30,
+        auto_merge=False,
+        merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+        bufferpool_bytes=bufferpool_bytes,
+        index_params={"nlist": 8},
+    )
+    return LSMManager(SPECS, (), cfg)
+
+
+class TestIndexRebuildOnReload:
+    def test_index_restored_after_eviction(self):
+        lsm = make_lsm(bufferpool_bytes=1 << 30)
+        data = sift_like(400, dim=16, seed=0)
+        lsm.insert(np.arange(400), {"emb": data})
+        lsm.flush()
+        lsm.build_index("emb", "IVF_FLAT", nlist=8)
+        seg_id = lsm.manifest.live_segment_ids()[0]
+        assert lsm.bufferpool.get(seg_id).has_index("emb")
+
+        # Force eviction and reload through the loader path.
+        lsm.bufferpool.invalidate(seg_id)
+        reloaded = lsm.bufferpool.get(seg_id)
+        assert reloaded.has_index("emb")
+        assert reloaded.indexes["emb"].index_type == "IVF_FLAT"
+
+    def test_search_quality_unchanged_after_reload(self):
+        lsm = make_lsm(bufferpool_bytes=1 << 30)
+        data = sift_like(400, dim=16, seed=1)
+        lsm.insert(np.arange(400), {"emb": data})
+        lsm.flush()
+        lsm.build_index("emb", "IVF_FLAT", nlist=8)
+        before = lsm.search("emb", data[:5], 3, nprobe=8)
+        seg_id = lsm.manifest.live_segment_ids()[0]
+        lsm.bufferpool.invalidate(seg_id)
+        after = lsm.search("emb", data[:5], 3, nprobe=8)
+        np.testing.assert_array_equal(before.ids, after.ids)
+
+    def test_unindexed_segments_stay_unindexed(self):
+        lsm = make_lsm(bufferpool_bytes=1 << 30)
+        data = sift_like(100, dim=16, seed=2)
+        lsm.insert(np.arange(100), {"emb": data})
+        lsm.flush()
+        seg_id = lsm.manifest.live_segment_ids()[0]
+        lsm.bufferpool.invalidate(seg_id)
+        assert not lsm.bufferpool.get(seg_id).has_index("emb")
+
+    def test_spec_dropped_with_dead_segment(self):
+        lsm = make_lsm(bufferpool_bytes=1 << 30)
+        data = sift_like(200, dim=16, seed=3)
+        for i in range(2):
+            lsm.insert(np.arange(i * 100, (i + 1) * 100), {"emb": data[i * 100:(i + 1) * 100]})
+            lsm.flush()
+        lsm.build_index("emb", "IVF_FLAT", nlist=4)
+        assert len(lsm._index_specs) == 2
+        lsm.maybe_merge()  # old segments die (no snapshots pinned)
+        live = set(lsm.manifest.live_segment_ids())
+        assert set(lsm._index_specs) <= live | set()
+
+    def test_tiny_bufferpool_thrash_correctness(self):
+        """With a bufferpool smaller than the data, every search evicts
+        and reloads segments — results must stay identical."""
+        big = make_lsm(bufferpool_bytes=1 << 30)
+        data = sift_like(600, dim=16, seed=4)
+        for i in range(3):
+            big.insert(np.arange(i * 200, (i + 1) * 200), {"emb": data[i * 200:(i + 1) * 200]})
+            big.flush()
+        reference = big.search("emb", data[:5], 3)
+
+        seg_bytes = big.bufferpool.get(big.manifest.live_segment_ids()[0]).memory_bytes()
+        small = make_lsm(bufferpool_bytes=int(1.5 * seg_bytes))
+        for i in range(3):
+            small.insert(np.arange(i * 200, (i + 1) * 200), {"emb": data[i * 200:(i + 1) * 200]})
+            small.flush()
+        result = small.search("emb", data[:5], 3)
+        np.testing.assert_array_equal(reference.ids, result.ids)
+        assert small.bufferpool.evictions > 0

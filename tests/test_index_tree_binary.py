@@ -1,0 +1,116 @@
+"""Tree index (Annoy) and binary FLAT."""
+
+import numpy as np
+import pytest
+
+from repro.index import AnnoyIndex, BinaryFlatIndex
+from repro.metrics import pack_bits, jaccard_pairwise
+from repro.datasets import (
+    chemical_fingerprints,
+    exact_ground_truth,
+    recall_at_k,
+    sift_like,
+    random_queries,
+)
+
+
+class TestAnnoy:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = sift_like(800, dim=16, n_clusters=8, seed=5)
+        queries = random_queries(data, 10, seed=6)
+        truth = exact_ground_truth(queries, data, 10)
+        index = AnnoyIndex(16, n_trees=10, leaf_size=24, seed=0)
+        index.add(data)
+        index.build()
+        return data, queries, truth, index
+
+    def test_reasonable_recall(self, setup):
+        __, queries, truth, index = setup
+        result = index.search(queries, 10, search_k=1500)
+        assert recall_at_k(result.ids, truth) >= 0.7
+
+    def test_recall_improves_with_search_k(self, setup):
+        __, queries, truth, index = setup
+        low = recall_at_k(index.search(queries, 10, search_k=50).ids, truth)
+        high = recall_at_k(index.search(queries, 10, search_k=3000).ids, truth)
+        assert high >= low
+
+    def test_full_budget_is_exact(self, setup):
+        data, queries, truth, index = setup
+        result = index.search(queries, 10, search_k=len(data))
+        assert recall_at_k(result.ids, truth) == 1.0
+
+    def test_rebuild_after_add(self, setup):
+        data, *_ = setup
+        index = AnnoyIndex(16, n_trees=4, seed=0)
+        index.add(data[:100])
+        index.search(data[0], 1)  # triggers build
+        index.add(data[100:200])  # invalidates
+        result = index.search(data[150], 1, search_k=200)
+        assert result.ids[0, 0] == 150
+
+    def test_more_trees_more_memory(self, setup):
+        data, *_ = setup
+        small = AnnoyIndex(16, n_trees=2, seed=0)
+        small.add(data)
+        small.build()
+        big = AnnoyIndex(16, n_trees=12, seed=0)
+        big.add(data)
+        big.build()
+        assert big.memory_bytes() > small.memory_bytes()
+
+
+class TestBinaryFlat:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        codes, families = chemical_fingerprints(400, n_bits=256, seed=0)
+        index = BinaryFlatIndex(256, metric="jaccard")
+        index.add(codes)
+        return codes, families, index
+
+    def test_self_is_top1(self, setup):
+        codes, __, index = setup
+        result = index.search(codes[:5], 1)
+        assert result.ids[:, 0].tolist() == [0, 1, 2, 3, 4]
+
+    def test_neighbors_share_family(self, setup):
+        codes, families, index = setup
+        result = index.search(codes[:20], 5)
+        same_family = 0
+        total = 0
+        for qi in range(20):
+            for hit in result.ids[qi][1:]:  # skip self
+                if hit >= 0:
+                    total += 1
+                    if families[hit] == families[qi]:
+                        same_family += 1
+        assert same_family / total >= 0.8
+
+    def test_matches_brute_force(self, setup):
+        codes, __, index = setup
+        result = index.search(codes[:3], 10)
+        dists = jaccard_pairwise(codes[:3], codes)
+        for qi in range(3):
+            expected = set(np.argsort(dists[qi], kind="stable")[:10].tolist())
+            # Ties may reorder; compare score sets instead of id sets.
+            got_scores = sorted(result.scores[qi].tolist())
+            expected_scores = sorted(np.sort(dists[qi])[:10].tolist())
+            np.testing.assert_allclose(got_scores, expected_scores, atol=1e-9)
+
+    def test_rejects_dense_metric(self):
+        with pytest.raises(ValueError):
+            BinaryFlatIndex(64, metric="l2")
+
+    def test_rejects_wrong_code_width(self, setup):
+        __, ___, index = setup
+        with pytest.raises(ValueError):
+            index.add(np.zeros((2, 16), dtype=np.uint8))
+
+    def test_hamming_metric(self):
+        codes, __ = chemical_fingerprints(100, n_bits=128, seed=1)
+        index = BinaryFlatIndex(128, metric="hamming")
+        index.add(codes)
+        result = index.search(codes[0], 1)
+        assert result.ids[0, 0] == 0
+        assert result.scores[0, 0] == 0

@@ -1,0 +1,65 @@
+"""K-means: convergence, empty-cluster repair, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.index import KMeans
+from repro.index.kmeans import assign_to_centroids
+from repro.datasets.synthetic import gaussian_mixture
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        data = gaussian_mixture(600, 8, n_clusters=4, cluster_std=0.05, seed=0)
+        km = KMeans(4, seed=0).fit(data)
+        labels = km.predict(data)
+        # Each found cluster should be internally consistent: points in
+        # the same true blob land in the same k-means cluster.
+        assert len(np.unique(labels)) == 4
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = gaussian_mixture(500, 8, n_clusters=8, seed=1)
+        inertias = [KMeans(k, seed=0).fit(data).inertia_ for k in (2, 4, 8)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic_given_seed(self):
+        data = gaussian_mixture(300, 6, seed=2)
+        a = KMeans(5, seed=7).fit(data).centroids
+        b = KMeans(5, seed=7).fit(data).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_no_empty_clusters(self):
+        # Data with fewer natural modes than requested clusters.
+        rng = np.random.default_rng(3)
+        data = np.repeat(rng.normal(size=(3, 4)), 50, axis=0).astype(np.float32)
+        data += rng.normal(0, 1e-3, data.shape).astype(np.float32)
+        km = KMeans(10, seed=0).fit(data)
+        labels = km.predict(data)
+        counts = np.bincount(labels, minlength=10)
+        # Repair keeps every centroid meaningful (distinct positions),
+        # even if some clusters stay tiny.
+        assert len(np.unique(km.centroids, axis=0)) == 10
+        assert counts.sum() == len(data)
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            KMeans(10).fit(np.zeros((5, 3), dtype=np.float32))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(3).predict(np.zeros((2, 3)))
+
+    def test_assignment_is_nearest(self):
+        data = gaussian_mixture(200, 5, seed=4)
+        km = KMeans(6, seed=0).fit(data)
+        labels, dists = assign_to_centroids(data, km.centroids)
+        full = ((data[:, None, :] - km.centroids[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(labels, full.argmin(axis=1))
+        np.testing.assert_allclose(dists, full.min(axis=1), rtol=1e-4, atol=1e-2)
+
+    def test_chunked_assignment_matches_unchunked(self):
+        data = gaussian_mixture(300, 5, seed=5)
+        km = KMeans(4, seed=0).fit(data)
+        l1, __ = assign_to_centroids(data, km.centroids, chunk=32)
+        l2, __ = assign_to_centroids(data, km.centroids, chunk=10_000)
+        np.testing.assert_array_equal(l1, l2)

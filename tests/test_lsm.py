@@ -1,0 +1,203 @@
+"""LSM manager integration: flush, merge, deletes, snapshots, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    InMemoryObjectStore,
+    LSMConfig,
+    LSMManager,
+    TieredMergePolicy,
+)
+from repro.datasets import sift_like
+
+SPECS = {"emb": (16, "l2")}
+
+
+def make_lsm(fs=None, **overrides):
+    defaults = dict(
+        memtable_flush_bytes=1 << 30,
+        index_build_min_rows=1 << 30,
+        merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+        auto_merge=False,
+    )
+    defaults.update(overrides)
+    return LSMManager(SPECS, ("price",), LSMConfig(**defaults), fs=fs)
+
+
+@pytest.fixture()
+def data():
+    return sift_like(600, dim=16, seed=0)
+
+
+@pytest.fixture()
+def prices(rng):
+    return rng.uniform(0, 100, 600)
+
+
+class TestWritePath:
+    def test_insert_invisible_until_flush(self, data, prices):
+        lsm = make_lsm()
+        lsm.insert(np.arange(100), {"emb": data[:100]}, {"price": prices[:100]})
+        assert lsm.num_live_rows == 0
+        assert lsm.unflushed_rows == 100
+        lsm.flush()
+        assert lsm.num_live_rows == 100
+        assert lsm.unflushed_rows == 0
+
+    def test_auto_flush_on_size(self, data, prices):
+        lsm = make_lsm(memtable_flush_bytes=1000)
+        lsm.insert(np.arange(100), {"emb": data[:100]}, {"price": prices[:100]})
+        assert lsm.flush_count >= 1
+        assert lsm.num_live_rows == 100
+
+    def test_tick_flushes_on_interval(self, data, prices):
+        lsm = make_lsm(flush_interval_seconds=1.0)
+        lsm.insert(np.arange(10), {"emb": data[:10]}, {"price": prices[:10]})
+        assert not lsm.tick(0.5)
+        assert lsm.tick(1.5)
+        assert lsm.num_live_rows == 10
+
+    def test_flush_empty_noop(self):
+        lsm = make_lsm()
+        assert lsm.flush() is None
+        assert lsm.flush_count == 0
+
+
+class TestSearchAndDeletes:
+    def test_search_across_segments(self, data, prices):
+        lsm = make_lsm()
+        for i in range(3):
+            sl = slice(i * 200, (i + 1) * 200)
+            lsm.insert(np.arange(i * 200, (i + 1) * 200), {"emb": data[sl]}, {"price": prices[sl]})
+            lsm.flush()
+        result = lsm.search("emb", data[450], 1)
+        assert result.ids[0, 0] == 450
+
+    def test_delete_hides_row(self, data, prices):
+        lsm = make_lsm()
+        lsm.insert(np.arange(100), {"emb": data[:100]}, {"price": prices[:100]})
+        lsm.flush()
+        lsm.delete(np.array([42]))
+        lsm.flush()
+        result = lsm.search("emb", data[42], 1)
+        assert result.ids[0, 0] != 42
+        assert lsm.num_live_rows == 99
+
+    def test_snapshot_isolation_under_delete(self, data, prices):
+        lsm = make_lsm()
+        lsm.insert(np.arange(100), {"emb": data[:100]}, {"price": prices[:100]})
+        lsm.flush()
+        snap = lsm.snapshot()
+        lsm.delete(np.array([42]))
+        lsm.flush()
+        old = lsm.search("emb", data[42], 1, snapshot=snap)
+        new = lsm.search("emb", data[42], 1)
+        assert old.ids[0, 0] == 42
+        assert new.ids[0, 0] != 42
+        lsm.release(snap)
+
+    def test_merge_removes_tombstones_physically(self, data, prices):
+        lsm = make_lsm()
+        for i in range(2):
+            sl = slice(i * 100, (i + 1) * 100)
+            lsm.insert(np.arange(i * 100, (i + 1) * 100), {"emb": data[sl]}, {"price": prices[sl]})
+            lsm.flush()
+        lsm.delete(np.array([5, 150]))
+        lsm.flush()
+        assert len(lsm.manifest.current_tombstones()) == 2
+        merged = lsm.maybe_merge()
+        assert merged >= 1
+        assert len(lsm.manifest.current_tombstones()) == 0
+        assert lsm.num_live_rows == 198
+
+    def test_search_after_merge_consistent(self, data, prices):
+        lsm = make_lsm()
+        for i in range(4):
+            sl = slice(i * 150, (i + 1) * 150)
+            lsm.insert(np.arange(i * 150, (i + 1) * 150), {"emb": data[sl]}, {"price": prices[sl]})
+            lsm.flush()
+        before = lsm.search("emb", data[:5], 3)
+        lsm.maybe_merge()
+        after = lsm.search("emb", data[:5], 3)
+        np.testing.assert_array_equal(before.ids, after.ids)
+
+    def test_auto_merge_reduces_segment_count(self, data, prices):
+        lsm = make_lsm(auto_merge=True)
+        for i in range(4):
+            sl = slice(i * 150, (i + 1) * 150)
+            lsm.insert(np.arange(i * 150, (i + 1) * 150), {"emb": data[sl]}, {"price": prices[sl]})
+            lsm.flush()
+        assert len(lsm.manifest.live_segment_ids()) < 4
+
+
+class TestIndexBuilding:
+    def test_indexes_built_for_large_segments_only(self, data, prices):
+        lsm = make_lsm(index_build_min_rows=150, index_params={"nlist": 8})
+        lsm.insert(np.arange(100), {"emb": data[:100]}, {"price": prices[:100]})
+        lsm.flush()
+        lsm.insert(np.arange(100, 300), {"emb": data[100:300]}, {"price": prices[100:300]})
+        lsm.flush()
+        segments = lsm.live_segments()
+        small = next(s for s in segments if s.num_rows == 100)
+        large = next(s for s in segments if s.num_rows == 200)
+        assert not small.has_index("emb")
+        assert large.has_index("emb")
+
+    def test_manual_index_any_size(self, data, prices):
+        lsm = make_lsm(index_params={"nlist": 8})
+        lsm.insert(np.arange(50), {"emb": data[:50]}, {"price": prices[:50]})
+        lsm.flush()
+        count = lsm.build_index("emb", "IVF_FLAT", nlist=4)
+        assert count == 1
+        assert lsm.live_segments()[0].has_index("emb")
+
+
+class TestRecovery:
+    def test_recover_flushed_and_unflushed(self, data, prices):
+        fs = InMemoryObjectStore()
+        lsm = make_lsm(fs=fs)
+        lsm.insert(np.arange(100), {"emb": data[:100]}, {"price": prices[:100]})
+        lsm.flush()
+        # These rows never flushed: they survive only in the WAL.
+        lsm.insert(np.arange(100, 120), {"emb": data[100:120]}, {"price": prices[100:120]})
+
+        crashed = make_lsm(fs=fs)  # fresh manager on the same storage
+        replayed = crashed.recover()
+        assert replayed == 1
+        assert crashed.num_live_rows == 100
+        assert crashed.unflushed_rows == 20
+        crashed.flush()
+        assert crashed.num_live_rows == 120
+
+    def test_recover_preserves_tombstones(self, data, prices):
+        fs = InMemoryObjectStore()
+        lsm = make_lsm(fs=fs)
+        lsm.insert(np.arange(100), {"emb": data[:100]}, {"price": prices[:100]})
+        lsm.flush()
+        lsm.delete(np.array([7]))
+        lsm.flush()
+
+        recovered = make_lsm(fs=fs)
+        recovered.recover()
+        result = recovered.search("emb", data[7], 1)
+        assert result.ids[0, 0] != 7
+
+    def test_wal_disabled_recovers_flushed_only(self, data, prices):
+        fs = InMemoryObjectStore()
+        lsm = make_lsm(fs=fs, enable_wal=False)
+        lsm.insert(np.arange(10), {"emb": data[:10]}, {"price": prices[:10]})
+        lsm.flush()
+        lsm.insert(np.arange(10, 15), {"emb": data[10:15]}, {"price": prices[10:15]})
+
+        recovered = make_lsm(fs=fs, enable_wal=False)
+        assert recovered.recover() == 0  # no WAL to replay
+        assert recovered.num_live_rows == 10  # flushed rows survive
+        assert recovered.unflushed_rows == 0  # unflushed rows are lost
+
+    def test_recover_on_used_manager_raises(self, data, prices):
+        lsm = make_lsm()
+        lsm.insert(np.arange(10), {"emb": data[:10]}, {"price": prices[:10]})
+        lsm.flush()
+        with pytest.raises(RuntimeError):
+            lsm.recover()

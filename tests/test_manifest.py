@@ -1,0 +1,114 @@
+"""Manifest: MVCC versions, snapshot refcounts, and segment GC."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Manifest
+
+
+class TestManifestVersions:
+    def test_commit_advances_version(self):
+        manifest = Manifest()
+        v1 = manifest.commit(add=[0])
+        v2 = manifest.commit(add=[1])
+        assert v2 == v1 + 1
+        assert manifest.live_segment_ids() == (0, 1)
+
+    def test_remove_segments(self):
+        manifest = Manifest()
+        manifest.commit(add=[0, 1])
+        manifest.commit(add=[2], remove=[0, 1])
+        assert manifest.live_segment_ids() == (2,)
+
+    def test_duplicate_add_rejected(self):
+        manifest = Manifest()
+        manifest.commit(add=[0])
+        with pytest.raises(ValueError):
+            manifest.commit(add=[0])
+
+    def test_tombstone_accumulation_and_clearing(self):
+        manifest = Manifest()
+        manifest.commit(add=[0], new_tombstones=np.array([1, 2]))
+        manifest.commit(new_tombstones=np.array([3]))
+        assert manifest.current_tombstones().tolist() == [1, 2, 3]
+        manifest.commit(clear_tombstones=np.array([2]))
+        assert manifest.current_tombstones().tolist() == [1, 3]
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_sees_fixed_view(self):
+        """The paper's t1/t2 example (Sec. 5.2)."""
+        manifest = Manifest()
+        manifest.commit(add=[1])  # t1: segment 1 flushed
+        snap1 = manifest.acquire()
+        manifest.commit(add=[2])  # t2: segment 2 flushed
+        snap2 = manifest.acquire()
+        assert snap1.segment_ids == (1,)
+        assert snap2.segment_ids == (1, 2)
+        manifest.release(snap1)
+        manifest.release(snap2)
+
+    def test_tombstones_frozen_per_snapshot(self):
+        manifest = Manifest()
+        manifest.commit(add=[0])
+        snap = manifest.acquire()
+        manifest.commit(new_tombstones=np.array([42]))
+        assert 42 not in snap.tombstones
+        assert 42 in manifest.current_tombstones()
+        manifest.release(snap)
+
+    def test_release_more_than_acquire_raises(self):
+        manifest = Manifest()
+        manifest.commit(add=[0])
+        snap = manifest.acquire()
+        manifest.release(snap)
+        with pytest.raises(RuntimeError):
+            manifest.release(snap)
+
+
+class TestGarbageCollection:
+    def test_dead_segment_reported_after_release(self):
+        dead = []
+        manifest = Manifest(on_segment_dead=dead.append)
+        manifest.commit(add=[0, 1])
+        snap = manifest.acquire()
+        manifest.commit(add=[2], remove=[0, 1])  # merged away
+        assert dead == []  # snapshot still references 0 and 1
+        manifest.release(snap)
+        assert set(dead) == {0, 1}
+
+    def test_unreferenced_segments_collected_immediately(self):
+        dead = []
+        manifest = Manifest(on_segment_dead=dead.append)
+        manifest.commit(add=[0, 1])
+        manifest.commit(add=[2], remove=[0, 1])  # nobody held a snapshot
+        assert set(dead) == {0, 1}
+
+    def test_live_segments_never_collected(self):
+        dead = []
+        manifest = Manifest(on_segment_dead=dead.append)
+        manifest.commit(add=[0])
+        snap = manifest.acquire()
+        manifest.release(snap)
+        assert dead == []
+
+    def test_multiple_snapshots_same_version(self):
+        dead = []
+        manifest = Manifest(on_segment_dead=dead.append)
+        manifest.commit(add=[0])
+        s1 = manifest.acquire()
+        s2 = manifest.acquire()
+        manifest.commit(add=[1], remove=[0])
+        manifest.release(s1)
+        assert dead == []  # s2 still pins segment 0
+        manifest.release(s2)
+        assert dead == [0]
+
+    def test_referenced_ids_union(self):
+        manifest = Manifest()
+        manifest.commit(add=[0])
+        snap = manifest.acquire()
+        manifest.commit(add=[1], remove=[0])
+        assert manifest.referenced_segment_ids() == {0, 1}
+        manifest.release(snap)
+        assert manifest.referenced_segment_ids() == {1}

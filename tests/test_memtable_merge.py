@@ -1,0 +1,100 @@
+"""MemTable sealing and the tiered merge policy."""
+
+import numpy as np
+import pytest
+
+from repro.storage import MemTable, TieredMergePolicy
+from repro.datasets import sift_like
+
+SPECS = {"emb": (8, "l2")}
+
+
+class TestMemTable:
+    def test_insert_and_seal(self):
+        mt = MemTable(SPECS, ("price",))
+        data = sift_like(20, dim=8, seed=0)
+        mt.insert(np.arange(20), {"emb": data}, {"price": np.arange(20.0)})
+        assert len(mt) == 20
+        mt.seal()
+        with pytest.raises(RuntimeError):
+            mt.insert(np.array([99]), {"emb": data[:1]}, {"price": np.array([1.0])})
+
+    def test_to_segment_sorts_by_row_id(self):
+        mt = MemTable(SPECS, ())
+        data = sift_like(10, dim=8, seed=1)
+        mt.insert(np.array([5, 3, 9]), {"emb": data[:3]}, {})
+        mt.insert(np.array([1, 7]), {"emb": data[3:5]}, {})
+        segment = mt.to_segment(0)
+        assert segment.row_ids.tolist() == [1, 3, 5, 7, 9]
+        # Vector alignment preserved through the sort.
+        np.testing.assert_array_equal(segment.vectors_for("emb", np.array([3])), data[1:2])
+
+    def test_schema_validation(self):
+        mt = MemTable(SPECS, ("price",))
+        data = np.zeros((2, 8), dtype=np.float32)
+        with pytest.raises(ValueError):
+            mt.insert(np.arange(2), {"wrong": data}, {"price": np.zeros(2)})
+        with pytest.raises(ValueError):
+            mt.insert(np.arange(2), {"emb": data}, {})
+        with pytest.raises(ValueError):
+            mt.insert(np.arange(2), {"emb": np.zeros((2, 9), np.float32)}, {"price": np.zeros(2)})
+        with pytest.raises(ValueError):
+            mt.insert(np.arange(2), {"emb": data}, {"price": np.zeros(3)})
+
+    def test_bytes_accounting_grows(self):
+        mt = MemTable(SPECS, ())
+        before = mt.approx_bytes
+        mt.insert(np.arange(5), {"emb": np.zeros((5, 8), np.float32)}, {})
+        assert mt.approx_bytes > before
+
+    def test_empty_memtable_segment(self):
+        mt = MemTable(SPECS, ("price",))
+        segment = mt.to_segment(0)
+        assert len(segment) == 0
+
+
+class TestTieredMergePolicy:
+    def test_no_merge_below_factor(self):
+        policy = TieredMergePolicy(merge_factor=4, min_segment_bytes=100)
+        tasks = policy.plan([(0, 50), (1, 60), (2, 70)])
+        assert tasks == []
+
+    def test_merges_full_tier(self):
+        policy = TieredMergePolicy(merge_factor=3, min_segment_bytes=100)
+        tasks = policy.plan([(0, 50), (1, 60), (2, 70), (3, 80)])
+        assert len(tasks) == 1
+        assert len(tasks[0]) == 3
+        assert tasks[0].segment_ids == (0, 1, 2)  # oldest first
+
+    def test_tiers_separate_sizes(self):
+        policy = TieredMergePolicy(merge_factor=2, tier_factor=4, min_segment_bytes=100)
+        # two tiny + two large: one merge per tier
+        tasks = policy.plan([(0, 50), (1, 50), (2, 5000), (3, 5000)])
+        merged_groups = {t.segment_ids for t in tasks}
+        assert (0, 1) in merged_groups
+        assert (2, 3) in merged_groups
+
+    def test_max_size_exempt(self):
+        policy = TieredMergePolicy(
+            merge_factor=2, min_segment_bytes=100, max_segment_bytes=1000
+        )
+        tasks = policy.plan([(0, 2000), (1, 2000)])
+        assert tasks == []
+
+    def test_combined_overflow_skipped(self):
+        policy = TieredMergePolicy(
+            merge_factor=2, tier_factor=100, min_segment_bytes=1, max_segment_bytes=1000
+        )
+        tasks = policy.plan([(0, 700), (1, 700)])
+        assert tasks == []
+
+    def test_tier_of_monotone(self):
+        policy = TieredMergePolicy(min_segment_bytes=100, tier_factor=4)
+        tiers = [policy.tier_of(s) for s in (10, 100, 400, 1600, 6400)]
+        assert tiers == sorted(tiers)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TieredMergePolicy(merge_factor=1)
+        with pytest.raises(ValueError):
+            TieredMergePolicy(tier_factor=0.5)

@@ -1,0 +1,114 @@
+"""Binary metric kernels over bit-packed codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    HammingMetric,
+    JaccardMetric,
+    TanimotoMetric,
+    pack_bits,
+    unpack_bits,
+    hamming_pairwise,
+    jaccard_pairwise,
+    tanimoto_pairwise,
+)
+
+
+def _bits(rows, dim):
+    return hnp.arrays(np.uint8, (rows, dim), elements=st.integers(0, 1))
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        bits = np.random.default_rng(0).integers(0, 2, size=(5, 20)).astype(np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 20), bits)
+
+    @given(_bits(3, 17))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, bits):
+        assert np.array_equal(unpack_bits(pack_bits(bits), 17), bits)
+
+    def test_pack_width(self):
+        assert pack_bits(np.zeros((2, 9), dtype=np.uint8)).shape == (2, 2)
+
+
+class TestHamming:
+    def test_known_values(self):
+        a = pack_bits(np.array([[1, 0, 1, 0, 0, 0, 0, 0]]))
+        b = pack_bits(np.array([[0, 1, 1, 0, 0, 0, 0, 0]]))
+        assert hamming_pairwise(a, b)[0, 0] == 2
+
+    def test_identity(self):
+        codes = pack_bits(np.random.default_rng(1).integers(0, 2, (4, 16)))
+        assert (np.diag(hamming_pairwise(codes, codes)) == 0).all()
+
+    @given(_bits(2, 24), _bits(3, 24))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive(self, a, b):
+        expected = (a[:, None, :] != b[None, :, :]).sum(axis=2)
+        got = hamming_pairwise(pack_bits(a), pack_bits(b))
+        assert np.array_equal(got, expected)
+
+
+class TestJaccard:
+    def test_disjoint_distance_one(self):
+        a = pack_bits(np.array([[1, 1, 0, 0, 0, 0, 0, 0]]))
+        b = pack_bits(np.array([[0, 0, 1, 1, 0, 0, 0, 0]]))
+        assert jaccard_pairwise(a, b)[0, 0] == 1.0
+
+    def test_identical_distance_zero(self):
+        a = pack_bits(np.array([[1, 0, 1, 0, 1, 0, 1, 0]]))
+        assert jaccard_pairwise(a, a)[0, 0] == 0.0
+
+    def test_empty_vs_empty_zero(self):
+        a = pack_bits(np.zeros((1, 8), dtype=np.uint8))
+        assert jaccard_pairwise(a, a)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = pack_bits(np.array([[1, 1, 0, 0, 0, 0, 0, 0]]))
+        b = pack_bits(np.array([[1, 0, 1, 0, 0, 0, 0, 0]]))
+        # intersection 1, union 3 -> distance 2/3
+        assert jaccard_pairwise(a, b)[0, 0] == pytest.approx(2 / 3)
+
+    @given(_bits(2, 32))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded(self, bits):
+        d = jaccard_pairwise(pack_bits(bits), pack_bits(bits))
+        assert ((d >= 0) & (d <= 1)).all()
+
+
+class TestTanimoto:
+    def test_identical_zero(self):
+        a = pack_bits(np.array([[1, 0, 1, 0, 1, 0, 0, 0]]))
+        assert tanimoto_pairwise(a, a)[0, 0] == 0.0
+
+    def test_disjoint_positive_infinite(self):
+        a = pack_bits(np.array([[1, 0, 0, 0, 0, 0, 0, 0]]))
+        b = pack_bits(np.array([[0, 1, 0, 0, 0, 0, 0, 0]]))
+        value = tanimoto_pairwise(a, b)[0, 0]
+        assert np.isinf(value) and value > 0
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(3)
+        codes = pack_bits(rng.integers(0, 2, (8, 64)))
+        assert (tanimoto_pairwise(codes, codes) >= 0).all()
+
+    def test_monotone_with_jaccard(self):
+        rng = np.random.default_rng(2)
+        codes = pack_bits(rng.integers(0, 2, (6, 64)))
+        j = jaccard_pairwise(codes[:1], codes)
+        t = tanimoto_pairwise(codes[:1], codes)
+        order_j = np.argsort(j[0])
+        order_t = np.argsort(t[0])
+        assert np.array_equal(order_j, order_t)
+
+
+class TestBinaryMetricObjects:
+    @pytest.mark.parametrize("metric_cls", [HammingMetric, JaccardMetric, TanimotoMetric])
+    def test_lower_is_better(self, metric_cls):
+        metric = metric_cls()
+        assert not metric.higher_is_better
+        assert metric.worst_value() == np.inf

@@ -1,0 +1,116 @@
+"""Dense metric kernels: values, direction, and edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    EuclideanMetric,
+    InnerProductMetric,
+    CosineMetric,
+    l2_squared_pairwise,
+    inner_product_pairwise,
+    cosine_pairwise,
+)
+
+
+def _floats(shape):
+    return hnp.arrays(
+        np.float32, shape,
+        elements=st.floats(-100, 100, width=32, allow_nan=False),
+    )
+
+
+class TestL2:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(5, 8)).astype(np.float32)
+        x = rng.normal(size=(7, 8)).astype(np.float32)
+        expected = ((q[:, None, :] - x[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(l2_squared_pairwise(q, x), expected, rtol=1e-4)
+
+    def test_self_distance_zero(self):
+        x = np.random.default_rng(1).normal(size=(4, 6)).astype(np.float32)
+        d = l2_squared_pairwise(x, x)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-3)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(10, 32)).astype(np.float32) * 1000
+        d = l2_squared_pairwise(q, q + 1e-6)
+        assert (d >= 0).all()
+
+    def test_1d_input_promoted(self):
+        d = l2_squared_pairwise(np.ones(4), np.zeros((3, 4)))
+        assert d.shape == (1, 3)
+        np.testing.assert_allclose(d, 4.0)
+
+    @given(_floats((3, 5)), _floats((4, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_property(self, q, x):
+        np.testing.assert_allclose(
+            l2_squared_pairwise(q, x), l2_squared_pairwise(x, q).T,
+            rtol=1e-3, atol=1e-2,
+        )
+
+
+class TestInnerProduct:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(4, 6)).astype(np.float32)
+        x = rng.normal(size=(5, 6)).astype(np.float32)
+        np.testing.assert_allclose(inner_product_pairwise(q, x), q @ x.T, rtol=1e-5)
+
+    def test_direction(self):
+        metric = InnerProductMetric()
+        assert metric.higher_is_better
+        assert metric.is_better(2.0, 1.0)
+        assert metric.worst_value() == -np.inf
+
+
+class TestCosine:
+    def test_range(self):
+        rng = np.random.default_rng(4)
+        q = rng.normal(size=(6, 8)).astype(np.float32)
+        x = rng.normal(size=(9, 8)).astype(np.float32)
+        c = cosine_pairwise(q, x)
+        assert (c <= 1.0 + 1e-5).all() and (c >= -1.0 - 1e-5).all()
+
+    def test_self_similarity_one(self):
+        x = np.random.default_rng(5).normal(size=(4, 8)).astype(np.float32)
+        c = cosine_pairwise(x, x)
+        np.testing.assert_allclose(np.diag(c), 1.0, atol=1e-5)
+
+    def test_zero_vector_scores_zero(self):
+        q = np.zeros((1, 4), dtype=np.float32)
+        x = np.ones((2, 4), dtype=np.float32)
+        np.testing.assert_allclose(cosine_pairwise(q, x), 0.0)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(6)
+        q = rng.normal(size=(3, 5)).astype(np.float32)
+        x = rng.normal(size=(4, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            cosine_pairwise(q, x), cosine_pairwise(10 * q, 0.5 * x), atol=1e-5
+        )
+
+
+class TestMetricObjects:
+    def test_sort_order_l2(self):
+        metric = EuclideanMetric()
+        order = metric.sort_order(np.array([3.0, 1.0, 2.0]))
+        assert order.tolist() == [1, 2, 0]
+
+    def test_sort_order_ip(self):
+        metric = InnerProductMetric()
+        order = metric.sort_order(np.array([3.0, 1.0, 2.0]))
+        assert order.tolist() == [0, 2, 1]
+
+    def test_single(self):
+        metric = EuclideanMetric()
+        assert metric.single(np.zeros(3), np.ones(3)) == pytest.approx(3.0)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            l2_squared_pairwise(np.zeros((2, 2, 2)), np.zeros((2, 2)))

@@ -1,0 +1,221 @@
+"""Multi-vector query processing: NRA, fusion, iterative merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multivector import (
+    IterativeMerging,
+    MultiVectorSearcher,
+    RankedList,
+    VectorFusion,
+    nra_best_effort_topk,
+    nra_determined_topk,
+    streaming_nra,
+)
+from repro.datasets import recipe_like
+
+
+def brute_force_agg(field_data, queries, weights, metric="l2"):
+    """Exact aggregated top-k reference."""
+    total = None
+    for f, mat in field_data.items():
+        q = queries[f]
+        if metric == "l2":
+            scores = ((mat - q) ** 2).sum(axis=1)
+        else:
+            scores = mat @ q
+        scores = weights.get(f, 1.0) * scores
+        total = scores if total is None else total + scores
+    order = np.argsort(total, kind="stable")
+    if metric == "ip":
+        order = order[::-1]
+    return order, total
+
+
+@pytest.fixture(scope="module")
+def entities():
+    return recipe_like(1500, text_dim=24, image_dim=16, seed=0)
+
+
+class TestRankedList:
+    def test_from_metric_scores_distances(self):
+        ranked = RankedList.from_metric_scores(
+            np.array([10, 11, 12]), np.array([3.0, 1.0, 2.0]), higher_is_better=False
+        )
+        assert ranked.ids.tolist() == [11, 12, 10]
+        assert (np.diff(ranked.scores) <= 1e-12).all()
+
+    def test_weight_applied(self):
+        ranked = RankedList.from_metric_scores(
+            np.array([0]), np.array([2.0]), higher_is_better=True, weight=3.0
+        )
+        assert ranked.scores[0] == 6.0
+
+    def test_rejects_increasing_scores(self):
+        with pytest.raises(ValueError):
+            RankedList(np.array([0, 1]), np.array([1.0, 2.0]))
+
+    def test_empty_worst_is_inf(self):
+        ranked = RankedList(np.empty(0, dtype=np.int64), np.empty(0))
+        assert ranked.worst_emitted == np.inf
+
+
+class TestNRADetermined:
+    def test_complete_lists_determined(self):
+        # Two fields, 4 entities, full lists -> always determined.
+        rng = np.random.default_rng(0)
+        s1 = rng.normal(size=4)
+        s2 = rng.normal(size=4)
+        lists = [
+            RankedList.from_metric_scores(np.arange(4), s1, True),
+            RankedList.from_metric_scores(np.arange(4), s2, True),
+        ]
+        top = nra_determined_topk(lists, 2)
+        assert top is not None
+        expected = np.argsort(-(s1 + s2), kind="stable")[:2]
+        assert [i for i, __ in top] == expected.tolist()
+
+    def test_shallow_lists_not_determined(self):
+        # Entity 2 appears in only one list; its upper bound threatens.
+        lists = [
+            RankedList(np.array([0, 2]), np.array([10.0, 9.0])),
+            RankedList(np.array([0, 1]), np.array([10.0, 9.0])),
+        ]
+        assert nra_determined_topk(lists, 2) is None
+
+    def test_determined_when_gap_large(self):
+        lists = [
+            RankedList(np.array([0, 1]), np.array([10.0, 0.1])),
+            RankedList(np.array([0, 1]), np.array([10.0, 0.1])),
+        ]
+        top = nra_determined_topk(lists, 1)
+        assert top is not None and top[0][0] == 0
+
+    @given(st.integers(1, 5), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_determined_result_is_exact(self, k, seed):
+        """Whenever NRA claims determination, it matches brute force."""
+        rng = np.random.default_rng(seed)
+        n, mu = 12, 3
+        scores = rng.normal(size=(mu, n))
+        depth = int(rng.integers(k, n + 1))
+        lists = []
+        for f in range(mu):
+            order = np.argsort(-scores[f], kind="stable")[:depth]
+            lists.append(RankedList(order, scores[f][order]))
+        top = nra_determined_topk(lists, k)
+        if top is not None:
+            expected = np.argsort(-scores.sum(axis=0), kind="stable")[:k]
+            got_scores = sorted(s for __, s in top)
+            exp_scores = sorted(scores.sum(axis=0)[expected].tolist())
+            np.testing.assert_allclose(got_scores, exp_scores, atol=1e-9)
+
+
+class TestStreamingNRA:
+    def test_terminates_and_correct_on_full_lists(self):
+        rng = np.random.default_rng(1)
+        n = 20
+        s1, s2 = rng.normal(size=n), rng.normal(size=n)
+        lists = [
+            RankedList.from_metric_scores(np.arange(n), s1, True),
+            RankedList.from_metric_scores(np.arange(n), s2, True),
+        ]
+        top, depth = streaming_nra(lists, 3)
+        expected = np.argsort(-(s1 + s2), kind="stable")[:3]
+        assert [i for i, __ in top] == expected.tolist()
+        assert depth <= n
+
+    def test_early_stop_when_possible(self):
+        # A dominant entity lets NRA stop before exhausting the lists.
+        ids = np.arange(50)
+        scores = np.concatenate([[100.0], np.linspace(1, 0.1, 49)])
+        lists = [RankedList(ids, scores), RankedList(ids, scores)]
+        __, depth = streaming_nra(lists, 1)
+        assert depth < 50
+
+
+class TestVectorFusion:
+    def test_l2_matches_brute_force(self, entities):
+        weights = {"text": 1.0, "image": 2.0}
+        fusion = VectorFusion(entities, metric="l2", weights=weights)
+        q = {"text": entities["text"][5], "image": entities["image"][5]}
+        hits = fusion.search(q, 10)[0]
+        order, total = brute_force_agg(entities, q, weights, "l2")
+        assert [i for i, __ in hits] == order[:10].tolist()
+        np.testing.assert_allclose(
+            [s for __, s in hits], total[order[:10]], rtol=1e-3, atol=1e-2
+        )
+
+    def test_ip_matches_brute_force(self, entities):
+        weights = {"text": 0.5, "image": 1.5}
+        fusion = VectorFusion(entities, metric="ip", weights=weights)
+        q = {"text": entities["text"][9], "image": entities["image"][9]}
+        hits = fusion.search(q, 10)[0]
+        order, __ = brute_force_agg(entities, q, weights, "ip")
+        assert [i for i, __ in hits] == order[:10].tolist()
+
+    def test_rejects_cosine(self, entities):
+        with pytest.raises(ValueError):
+            VectorFusion(entities, metric="cosine")
+
+    def test_mismatched_entity_counts(self, entities):
+        bad = {"text": entities["text"], "image": entities["image"][:10]}
+        with pytest.raises(ValueError):
+            VectorFusion(bad, metric="ip")
+
+
+class TestIterativeMerging:
+    def test_matches_brute_force_l2(self, entities):
+        weights = {"text": 1.0, "image": 1.0}
+        merger = IterativeMerging.over_arrays(
+            entities, metric="l2", weights=weights,
+            index_type="FLAT", k_threshold=4096,
+        )
+        q = {"text": entities["text"][3], "image": entities["image"][3]}
+        hits = merger.search_one(q, 5)
+        order, __ = brute_force_agg(entities, q, weights, "l2")
+        assert set(i for i, __ in hits) == set(order[:5].tolist())
+
+    def test_rounds_counted(self, entities):
+        merger = IterativeMerging.over_arrays(
+            entities, metric="l2", index_type="FLAT", k_threshold=4096
+        )
+        q = {"text": entities["text"][3], "image": entities["image"][3]}
+        merger.search_one(q, 5)
+        assert merger.last_rounds >= 1
+
+    def test_threshold_fallback_best_effort(self, entities):
+        # A tiny threshold forces best-effort output of the right size.
+        merger = IterativeMerging.over_arrays(
+            entities, metric="l2", index_type="FLAT", k_threshold=8
+        )
+        q = {"text": entities["text"][3], "image": entities["image"][3]}
+        hits = merger.search_one(q, 5)
+        assert len(hits) == 5
+
+
+class TestBestEffort:
+    def test_low_recall_with_shallow_lists(self, entities):
+        """The paper's naive/NRA-50 point: shallow lists -> poor recall."""
+        weights = {"text": 1.0, "image": 1.0}
+        q = {"text": entities["text"][7], "image": entities["image"][7]}
+        order, __ = brute_force_agg(entities, q, weights, "l2")
+        truth = set(order[:50].tolist())
+
+        lists = []
+        for f in ("text", "image"):
+            scores = ((entities[f] - q[f]) ** 2).sum(axis=1)
+            top = np.argsort(scores, kind="stable")[:50]
+            lists.append(RankedList.from_metric_scores(top, scores[top], False))
+        shallow = nra_best_effort_topk(lists, 50)
+        shallow_recall = len(truth & {i for i, __ in shallow}) / 50
+
+        lists_deep = []
+        for f in ("text", "image"):
+            scores = ((entities[f] - q[f]) ** 2).sum(axis=1)
+            top = np.argsort(scores, kind="stable")[:800]
+            lists_deep.append(RankedList.from_metric_scores(top, scores[top], False))
+        deep = nra_best_effort_topk(lists_deep, 50)
+        deep_recall = len(truth & {i for i, __ in deep}) / 50
+        assert deep_recall > shallow_recall

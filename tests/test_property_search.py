@@ -1,0 +1,136 @@
+"""Cross-cutting property tests on the search machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hetero import CacheAwareSearcher
+from repro.index import FlatIndex, IVFFlatIndex
+from repro.index.base import SearchResult
+from repro.metrics import get_metric
+from repro.storage.wal import WalRecord
+from repro.index.ivf_pq import ProductQuantizer
+from repro.utils import merge_topk, topk_from_scores
+
+
+def _vectors(rows, cols):
+    return hnp.arrays(
+        np.float32, (rows, cols),
+        elements=st.floats(-50, 50, width=32, allow_nan=False),
+    )
+
+
+class TestIVFMatchesFlat:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_full_probe_equals_exact(self, seed, k):
+        """IVF with nprobe=nlist must return exactly FLAT's results."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(120, 8)).astype(np.float32)
+        queries = rng.normal(size=(3, 8)).astype(np.float32)
+        flat = FlatIndex(8)
+        flat.add(data)
+        ivf = IVFFlatIndex(8, nlist=4, seed=0)
+        ivf.train(data)
+        ivf.add(data)
+        r_flat = flat.search(queries, k)
+        r_ivf = ivf.search(queries, k, nprobe=4)
+        # Scores must agree exactly (ids may swap only on exact ties).
+        np.testing.assert_allclose(r_flat.scores, r_ivf.scores, rtol=1e-4, atol=1e-2)
+
+
+class TestMergeTopkEquivalence:
+    @given(
+        st.lists(
+            st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=0, max_size=20),
+            min_size=1, max_size=5,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partitioned_merge_equals_global(self, partitions, k):
+        """merge_topk over partitions == topk over the concatenation."""
+        offset = 0
+        parts = []
+        all_scores = []
+        for scores in partitions:
+            arr = np.array(scores)
+            ids = np.arange(offset, offset + len(arr), dtype=np.int64)
+            top_ids, top_scores = topk_from_scores(arr, k, ids=ids)
+            parts.append((top_ids, top_scores))
+            all_scores.extend(scores)
+            offset += len(arr)
+        merged_ids, merged_scores = merge_topk(parts, k)
+        expected = np.sort(np.array(all_scores))[: min(k, len(all_scores))]
+        np.testing.assert_allclose(np.sort(merged_scores), expected)
+
+
+class TestBlockSizeInvariance:
+    @given(st.integers(1, 64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_any_block_size_same_scores(self, block_size, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(200, 6)).astype(np.float32)
+        queries = rng.normal(size=(17, 6)).astype(np.float32)
+        searcher = CacheAwareSearcher(data, "l2")
+        __, ref_scores = searcher.search_original(queries, 5)
+        __, got_scores = searcher.search_cache_aware(
+            queries, 5, threads=3, block_size=block_size
+        )
+        np.testing.assert_allclose(ref_scores, got_scores, rtol=1e-4, atol=1e-2)
+
+
+class TestWalRoundtripProperty:
+    @given(_vectors(4, 3), st.lists(st.floats(-1e6, 1e6, allow_nan=False),
+                                    min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_record_roundtrip(self, vectors, attrs):
+        record = WalRecord(
+            7, "insert", np.arange(4, dtype=np.int64),
+            {"emb": vectors}, {"price": np.array(attrs)},
+            {"color": np.arange(4, dtype=np.int64)},
+        )
+        restored = WalRecord.from_bytes(record.to_bytes())
+        assert restored.lsn == 7 and restored.kind == "insert"
+        np.testing.assert_array_equal(restored.vectors["emb"], vectors)
+        np.testing.assert_allclose(restored.attributes["price"], attrs)
+        np.testing.assert_array_equal(
+            restored.categoricals["color"], np.arange(4)
+        )
+
+
+class TestPQIdempotence:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_encode_decode_encode_fixed_point(self, seed):
+        """Re-encoding a decoded vector returns the same codes."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(300, 8)).astype(np.float32)
+        pq = ProductQuantizer(8, m=2, nbits=4, seed=0).train(data)
+        codes = pq.encode(data[:20])
+        again = pq.encode(pq.decode(codes))
+        np.testing.assert_array_equal(codes, again)
+
+
+class TestSearchResultInvariants:
+    @given(st.integers(1, 5), st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_padding_never_interleaves(self, nq, k):
+        """Valid ids are a prefix of each row; padding is a suffix."""
+        metric = get_metric("l2")
+        rows = [[(i, float(i)) for i in range(min(k, q + 1))] for q in range(nq)]
+        result = SearchResult.from_rows(rows, k, metric)
+        for qi in range(nq):
+            ids = result.ids[qi]
+            seen_pad = False
+            for value in ids:
+                if value == -1:
+                    seen_pad = True
+                else:
+                    assert not seen_pad, "valid id after padding"
+
+    def test_row_skips_padding(self):
+        metric = get_metric("l2")
+        result = SearchResult.from_rows([[(3, 1.0)]], 4, metric)
+        assert result.row(0) == [(3, 1.0)]

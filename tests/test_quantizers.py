@@ -1,0 +1,112 @@
+"""Scalar and product quantizer codecs: reconstruction guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.index import ProductQuantizer, ScalarQuantizer
+
+
+def _matrices(rows, cols, lo=-50.0, hi=50.0):
+    return hnp.arrays(
+        np.float32, (rows, cols),
+        elements=st.floats(lo, hi, width=32, allow_nan=False),
+    )
+
+
+class TestScalarQuantizer:
+    def test_roundtrip_error_bounded(self, rng):
+        data = rng.normal(size=(200, 16)).astype(np.float32)
+        sq = ScalarQuantizer().train(data)
+        decoded = sq.decode(sq.encode(data))
+        bound = sq.max_abs_error() + 1e-5
+        assert (np.abs(decoded - data) <= bound[np.newaxis, :]).all()
+
+    def test_constant_dimension_exact(self):
+        data = np.ones((10, 4), dtype=np.float32) * 7.0
+        sq = ScalarQuantizer().train(data)
+        np.testing.assert_allclose(sq.decode(sq.encode(data)), data)
+
+    def test_out_of_range_clipped(self):
+        data = np.linspace(0, 1, 32, dtype=np.float32).reshape(-1, 1)
+        sq = ScalarQuantizer().train(data)
+        codes = sq.encode(np.array([[100.0]], dtype=np.float32))
+        assert codes[0, 0] == 255
+        codes = sq.encode(np.array([[-100.0]], dtype=np.float32))
+        assert codes[0, 0] == 0
+
+    def test_untrained_raises(self):
+        sq = ScalarQuantizer()
+        with pytest.raises(RuntimeError):
+            sq.encode(np.zeros((1, 2), dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            sq.decode(np.zeros((1, 2), dtype=np.uint8))
+
+    @given(_matrices(30, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, data):
+        sq = ScalarQuantizer().train(data)
+        decoded = sq.decode(sq.encode(data))
+        bound = sq.max_abs_error() + 1e-3
+        assert (np.abs(decoded - data) <= bound[np.newaxis, :] + 1e-3).all()
+
+
+class TestProductQuantizer:
+    def test_codes_shape_and_dtype(self, rng):
+        data = rng.normal(size=(300, 16)).astype(np.float32)
+        pq = ProductQuantizer(16, m=4, nbits=4, seed=0).train(data)
+        codes = pq.encode(data)
+        assert codes.shape == (300, 4)
+        assert codes.dtype == np.uint8
+        assert codes.max() < 16
+
+    def test_reconstruction_beats_mean(self, rng):
+        data = rng.normal(size=(400, 16)).astype(np.float32)
+        pq = ProductQuantizer(16, m=4, nbits=6, seed=0).train(data)
+        decoded = pq.decode(pq.encode(data))
+        pq_err = ((decoded - data) ** 2).sum()
+        mean_err = ((data - data.mean(axis=0)) ** 2).sum()
+        assert pq_err < mean_err
+
+    def test_more_bits_better_reconstruction(self, rng):
+        data = rng.normal(size=(400, 8)).astype(np.float32)
+        errors = []
+        for nbits in (2, 4, 6):
+            pq = ProductQuantizer(8, m=2, nbits=nbits, seed=0).train(data)
+            decoded = pq.decode(pq.encode(data))
+            errors.append(float(((decoded - data) ** 2).sum()))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_adc_matches_decoded_l2(self, rng):
+        data = rng.normal(size=(300, 8)).astype(np.float32)
+        queries = rng.normal(size=(5, 8)).astype(np.float32)
+        pq = ProductQuantizer(8, m=2, nbits=5, seed=0).train(data)
+        codes = pq.encode(data)
+        tables = pq.build_tables(queries, "l2")
+        adc = ProductQuantizer.adc_scan(tables, codes)
+        decoded = pq.decode(codes)
+        exact = ((queries[:, None, :] - decoded[None]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(adc, exact, rtol=1e-3, atol=1e-2)
+
+    def test_adc_matches_decoded_ip(self, rng):
+        data = rng.normal(size=(300, 8)).astype(np.float32)
+        queries = rng.normal(size=(4, 8)).astype(np.float32)
+        pq = ProductQuantizer(8, m=4, nbits=5, seed=0).train(data)
+        codes = pq.encode(data)
+        adc = ProductQuantizer.adc_scan(pq.build_tables(queries, "ip"), codes)
+        exact = queries @ pq.decode(codes).T
+        np.testing.assert_allclose(adc, exact, rtol=1e-3, atol=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(10, m=4)  # indivisible
+        with pytest.raises(ValueError):
+            ProductQuantizer(8, m=2, nbits=9)
+        with pytest.raises(ValueError):
+            ProductQuantizer(8, m=2, nbits=8).train(np.zeros((10, 8), dtype=np.float32))
+
+    def test_untrained_raises(self):
+        pq = ProductQuantizer(8, m=2)
+        with pytest.raises(RuntimeError):
+            pq.encode(np.zeros((1, 8), dtype=np.float32))

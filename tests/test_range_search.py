@@ -1,0 +1,134 @@
+"""Range (radius) search across indexes and the collection API."""
+
+import numpy as np
+import pytest
+
+from repro.core import CollectionSchema, Collection, AttributeField, VectorField
+from repro.index import BinaryFlatIndex, FlatIndex, HNSWIndex, IVFFlatIndex
+from repro.metrics import jaccard_pairwise
+from repro.datasets import chemical_fingerprints, sift_like
+from repro.storage import LSMConfig, TieredMergePolicy
+
+
+@pytest.fixture(scope="module")
+def dense():
+    data = sift_like(1000, dim=16, seed=0)
+    dists = ((data - data[0]) ** 2).sum(axis=1)
+    radius = float(np.percentile(dists, 5))
+    expected = set(np.flatnonzero(dists <= radius).tolist())
+    return data, radius, expected
+
+
+class TestFlatRange:
+    def test_matches_naive(self, dense):
+        data, radius, expected = dense
+        index = FlatIndex(16)
+        index.add(data)
+        hits = index.range_search(data[0], radius)[0]
+        assert {i for i, __ in hits} == expected
+
+    def test_sorted_best_first(self, dense):
+        data, radius, __ = dense
+        index = FlatIndex(16)
+        index.add(data)
+        scores = [s for __, s in index.range_search(data[0], radius)[0]]
+        assert scores == sorted(scores)
+
+    def test_similarity_direction(self, dense):
+        data, *_ = dense
+        index = FlatIndex(16, metric="ip")
+        index.add(data)
+        sims = data @ data[0]
+        threshold = float(np.percentile(sims, 95))
+        hits = index.range_search(data[0], threshold)[0]
+        expected = set(np.flatnonzero(sims >= threshold).tolist())
+        assert {i for i, __ in hits} == expected
+
+    def test_empty_index(self):
+        index = FlatIndex(4)
+        assert index.range_search(np.zeros(4, dtype=np.float32), 1.0) == [[]]
+
+
+class TestIVFRange:
+    def test_full_probe_matches_exact(self, dense):
+        data, radius, expected = dense
+        index = IVFFlatIndex(16, nlist=8, seed=0)
+        index.train(data)
+        index.add(data)
+        hits = index.range_search(data[0], radius, nprobe=8)[0]
+        assert {i for i, __ in hits} == expected
+
+    def test_partial_probe_subset(self, dense):
+        data, radius, expected = dense
+        index = IVFFlatIndex(16, nlist=8, seed=0)
+        index.train(data)
+        index.add(data)
+        hits = index.range_search(data[0], radius, nprobe=1)[0]
+        assert {i for i, __ in hits} <= expected
+
+
+class TestBinaryRange:
+    def test_similarity_screening(self):
+        codes, families = chemical_fingerprints(300, n_bits=256, seed=0)
+        index = BinaryFlatIndex(256, metric="jaccard")
+        index.add(codes)
+        hits = index.range_search(codes[0], 0.4)[0]
+        dists = jaccard_pairwise(codes[0], codes)[0]
+        expected = set(np.flatnonzero(dists <= 0.4).tolist())
+        assert {i for i, __ in hits} == expected
+
+
+class TestUnsupported:
+    def test_hnsw_raises(self, dense):
+        data, *_ = dense
+        index = HNSWIndex(16, M=4, ef_construction=20, seed=0)
+        index.add(data[:100])
+        with pytest.raises(NotImplementedError):
+            index.range_search(data[0], 1.0)
+
+
+class TestCollectionRangeAndQuery:
+    @pytest.fixture()
+    def coll(self, dense):
+        data, *_ = dense
+        schema = CollectionSchema(
+            "c",
+            vector_fields=[VectorField("emb", 16)],
+            attribute_fields=[AttributeField("price")],
+        )
+        cfg = LSMConfig(
+            memtable_flush_bytes=1 << 30, index_build_min_rows=1 << 30,
+            merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+        )
+        coll = Collection(schema, lsm_config=cfg)
+        self.prices = np.linspace(0, 100, len(data))
+        coll.insert({"emb": data, "price": self.prices})
+        coll.flush()
+        return coll
+
+    def test_range_search_matches_flat(self, coll, dense):
+        data, radius, expected = dense
+        hits = coll.range_search("emb", data[0], radius)[0]
+        assert {i for i, __ in hits} == expected
+
+    def test_range_search_excludes_deleted(self, coll, dense):
+        data, radius, expected = dense
+        victim = sorted(expected)[0]
+        coll.delete([victim])
+        coll.flush()
+        hits = coll.range_search("emb", data[0], radius)[0]
+        assert victim not in {i for i, __ in hits}
+
+    def test_range_search_with_segment_index(self, coll, dense):
+        data, radius, expected = dense
+        coll.create_index("emb", "IVF_FLAT", nlist=8)
+        hits = coll.range_search("emb", data[0], radius, nprobe=8)[0]
+        assert {i for i, __ in hits} == expected
+
+    def test_scalar_query(self, coll):
+        rows = coll.query(("price", 0.0, 10.0))
+        assert len(rows) and (self.prices[rows] <= 10.0).all()
+
+    def test_scalar_query_limit(self, coll):
+        rows = coll.query(("price", 0.0, 100.0), limit=5)
+        assert len(rows) == 5

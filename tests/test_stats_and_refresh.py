@@ -1,0 +1,51 @@
+"""REST stats endpoints and cluster auto-refresh reads."""
+
+import numpy as np
+import pytest
+
+from repro.client import RestRouter
+from repro.distributed import MilvusCluster
+from repro.datasets import sift_like
+
+
+class TestRestStats:
+    @pytest.fixture()
+    def router(self):
+        router = RestRouter()
+        router.handle("POST", "/collections", {
+            "name": "s", "vector_fields": [{"name": "v", "dim": 8}],
+        })
+        data = sift_like(50, dim=8, seed=0)
+        router.handle("POST", "/collections/s/entities", {"data": {"v": data.tolist()}})
+        router.handle("POST", "/flush", {})
+        return router
+
+    def test_server_stats(self, router):
+        resp = router.handle("GET", "/stats")
+        assert resp.ok
+        assert resp.body["collections"]["s"]["num_entities"] == 50
+
+    def test_collection_stats(self, router):
+        resp = router.handle("GET", "/collections/s/stats")
+        assert resp.ok
+        assert resp.body["live_rows"] == 50
+        assert resp.body["live_segments"] == 1
+        assert "bufferpool" in resp.body
+
+    def test_missing_collection_stats_404(self, router):
+        assert router.handle("GET", "/collections/ghost/stats").status == 404
+
+
+class TestClusterAutoRefresh:
+    def test_read_your_writes(self):
+        data = sift_like(600, dim=8, seed=1)
+        cluster = MilvusCluster(2, dim=8, index_type="FLAT")
+        cluster.insert(np.arange(500), data[:500])
+        cluster.sync()
+        # New writes, no explicit sync: invisible without auto_refresh...
+        cluster.insert(np.arange(500, 600), data[500:])
+        stale = cluster.search(data[550], 1)
+        assert stale.result.ids[0, 0] != 550
+        # ...visible with it.
+        fresh = cluster.search(data[550], 1, auto_refresh=True)
+        assert fresh.result.ids[0, 0] == 550

@@ -1,0 +1,105 @@
+"""Top-k heaps and merging — the primitives every search path rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import get_metric
+from repro.utils import TopKHeap, merge_result_lists, merge_topk, topk_from_scores
+
+
+class TestTopKHeap:
+    def test_keeps_k_smallest_distances(self):
+        heap = TopKHeap(3, higher_is_better=False)
+        for i, score in enumerate([5.0, 1.0, 4.0, 2.0, 3.0]):
+            heap.push(i, score)
+        assert [i for i, __ in heap.items()] == [1, 3, 4]
+
+    def test_keeps_k_largest_similarities(self):
+        heap = TopKHeap(2, higher_is_better=True)
+        heap.push_many([0, 1, 2], [0.1, 0.9, 0.5])
+        assert [i for i, __ in heap.items()] == [1, 2]
+
+    def test_worst_score_tracks_root(self):
+        heap = TopKHeap(2, higher_is_better=False)
+        assert heap.worst_score() == np.inf
+        heap.push(0, 3.0)
+        heap.push(1, 1.0)
+        assert heap.worst_score() == 3.0
+        heap.push(2, 2.0)
+        assert heap.worst_score() == 2.0
+
+    def test_push_returns_retained(self):
+        heap = TopKHeap(1, higher_is_better=False)
+        assert heap.push(0, 5.0)
+        assert not heap.push(1, 9.0)
+        assert heap.push(2, 1.0)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50),
+           st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sorted_prefix(self, scores, k):
+        heap = TopKHeap(k, higher_is_better=False)
+        heap.push_many(range(len(scores)), scores)
+        got = [s for __, s in heap.items()]
+        expected = sorted(scores)[:k]
+        assert got == pytest.approx(expected)
+
+
+class TestTopkFromScores:
+    def test_basic(self):
+        ids, scores = topk_from_scores(np.array([3.0, 1.0, 2.0]), 2)
+        assert ids.tolist() == [1, 2]
+        assert scores.tolist() == [1.0, 2.0]
+
+    def test_higher_is_better(self):
+        ids, __ = topk_from_scores(np.array([3.0, 1.0, 2.0]), 2, higher_is_better=True)
+        assert ids.tolist() == [0, 2]
+
+    def test_k_larger_than_n(self):
+        ids, __ = topk_from_scores(np.array([2.0, 1.0]), 10)
+        assert ids.tolist() == [1, 0]
+
+    def test_custom_ids(self):
+        ids, __ = topk_from_scores(
+            np.array([3.0, 1.0]), 1, ids=np.array([100, 200])
+        )
+        assert ids.tolist() == [200]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            topk_from_scores(np.zeros((2, 2)), 1)
+
+    @given(st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=80),
+           st.integers(1, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_argsort(self, scores, k):
+        arr = np.array(scores)
+        ids, top = topk_from_scores(arr, k)
+        expected = np.sort(arr)[: min(k, len(arr))]
+        np.testing.assert_allclose(np.sort(top), expected)
+
+
+class TestMergeTopk:
+    def test_merges_partials(self):
+        parts = [
+            (np.array([0, 1]), np.array([5.0, 1.0])),
+            (np.array([2, 3]), np.array([3.0, 0.5])),
+        ]
+        ids, scores = merge_topk(parts, 3)
+        assert ids.tolist() == [3, 1, 2]
+
+    def test_empty_parts(self):
+        ids, scores = merge_topk([], 5)
+        assert len(ids) == 0
+
+    def test_merge_result_lists(self):
+        metric = get_metric("l2")
+        merged = merge_result_lists(
+            [[(0, 2.0), (1, 5.0)], [(2, 1.0)]], 2, metric
+        )
+        assert [i for i, __ in merged] == [2, 0]

@@ -1,0 +1,73 @@
+"""Validation helpers, report formatting, dataset splitting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table, _fmt
+from repro.datasets.synthetic import train_test_split, uniform_attributes
+from repro.utils import ensure_matrix, ensure_positive, ensure_vector_dim
+
+
+class TestValidation:
+    def test_ensure_positive(self):
+        assert ensure_positive(3, "x") == 3
+        assert ensure_positive(3.9, "x") == 3  # int coercion
+        with pytest.raises(ValueError):
+            ensure_positive(0, "x")
+        with pytest.raises(ValueError):
+            ensure_positive(-1, "x")
+
+    def test_ensure_matrix_promotes_1d(self):
+        out = ensure_matrix(np.zeros(4), "v")
+        assert out.shape == (1, 4)
+        assert out.dtype == np.float32
+
+    def test_ensure_matrix_rejects_3d_and_empty_cols(self):
+        with pytest.raises(ValueError):
+            ensure_matrix(np.zeros((2, 2, 2)), "v")
+        with pytest.raises(ValueError):
+            ensure_matrix(np.zeros((2, 0)), "v")
+
+    def test_ensure_vector_dim(self):
+        arr = np.zeros((3, 8), dtype=np.float32)
+        assert ensure_vector_dim(arr, 8, "v") is arr
+        with pytest.raises(ValueError):
+            ensure_vector_dim(arr, 4, "v")
+
+
+class TestReportFormatting:
+    def test_fmt_floats(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(1234.5) == "1.23e+03"
+        assert _fmt(0.25) == "0.25"
+        assert _fmt(0.0001) == "0.0001"
+        assert _fmt("text") == "text"
+
+    def test_table_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["longer", 2]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_included(self):
+        assert format_table(["a"], [[1]], title="My Title").startswith("My Title")
+
+
+class TestDatasetHelpers:
+    def test_train_test_split_partitions(self):
+        data = np.arange(100).reshape(50, 2).astype(np.float32)
+        train, test = train_test_split(data, train_fraction=0.6, seed=0)
+        assert len(train) == 30 and len(test) == 20
+        combined = np.concatenate([train, test])
+        assert {tuple(r) for r in combined} == {tuple(r) for r in data}
+
+    def test_split_deterministic(self):
+        data = np.random.default_rng(0).normal(size=(40, 3)).astype(np.float32)
+        a1, __ = train_test_split(data, seed=5)
+        a2, __ = train_test_split(data, seed=5)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_uniform_attributes_range(self):
+        attrs = uniform_attributes(1000, 10, 20, seed=0)
+        assert attrs.min() >= 10 and attrs.max() <= 20
+        with pytest.raises(ValueError):
+            uniform_attributes(0)

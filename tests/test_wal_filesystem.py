@@ -1,0 +1,114 @@
+"""WAL and filesystem backends."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    InMemoryObjectStore,
+    LocalFileSystem,
+    SimulatedHDFS,
+    WriteAheadLog,
+)
+
+
+@pytest.fixture(params=["memory", "local", "hdfs"])
+def fs(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryObjectStore()
+    if request.param == "local":
+        return LocalFileSystem(str(tmp_path / "fsroot"))
+    return SimulatedHDFS()
+
+
+class TestFileSystems:
+    def test_write_read_roundtrip(self, fs):
+        fs.write("a/b/c.bin", b"hello")
+        assert fs.read("a/b/c.bin") == b"hello"
+
+    def test_overwrite(self, fs):
+        fs.write("x", b"one")
+        fs.write("x", b"two")
+        assert fs.read("x") == b"two"
+
+    def test_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.read("nope")
+
+    def test_delete_idempotent(self, fs):
+        fs.write("gone", b"x")
+        fs.delete("gone")
+        fs.delete("gone")
+        assert not fs.exists("gone")
+
+    def test_listdir_prefix(self, fs):
+        fs.write("seg/001", b"a")
+        fs.write("seg/002", b"b")
+        fs.write("wal/001", b"c")
+        assert fs.listdir("seg/") == ["seg/001", "seg/002"]
+
+    def test_io_counters(self, fs):
+        fs.reset_counters()
+        fs.write("k", b"12345")
+        fs.read("k")
+        assert fs.bytes_written == 5
+        assert fs.bytes_read == 5
+
+
+class TestLocalFileSystemSafety:
+    def test_path_escape_rejected(self, tmp_path):
+        fs = LocalFileSystem(str(tmp_path / "root"))
+        with pytest.raises(ValueError):
+            fs.write("../escape", b"x")
+
+
+class TestSimulatedHDFS:
+    def test_block_rounding(self):
+        hdfs = SimulatedHDFS(block_size=1024)
+        hdfs.write("small", b"x")
+        assert hdfs.stored_bytes() == 1024
+        hdfs.write("big", b"x" * 1500)
+        assert hdfs.stored_bytes() == 1024 + 2048
+
+
+class TestWriteAheadLog:
+    def test_append_and_replay(self):
+        fs = InMemoryObjectStore()
+        wal = WriteAheadLog(fs)
+        vectors = {"emb": np.ones((2, 4), dtype=np.float32)}
+        attrs = {"price": np.array([1.0, 2.0])}
+        wal.append_insert(np.array([0, 1]), vectors, attrs)
+        wal.append_delete(np.array([0]))
+        records = list(wal.replay())
+        assert [r.kind for r in records] == ["insert", "delete"]
+        np.testing.assert_array_equal(records[0].vectors["emb"], vectors["emb"])
+        np.testing.assert_array_equal(records[0].attributes["price"], attrs["price"])
+        np.testing.assert_array_equal(records[1].row_ids, [0])
+
+    def test_lsn_monotone(self):
+        wal = WriteAheadLog(InMemoryObjectStore())
+        lsns = [wal.append_delete(np.array([i])) for i in range(5)]
+        assert lsns == [0, 1, 2, 3, 4]
+
+    def test_truncate(self):
+        fs = InMemoryObjectStore()
+        wal = WriteAheadLog(fs)
+        for i in range(4):
+            wal.append_delete(np.array([i]))
+        wal.truncate_through(1)
+        remaining = [r.row_ids[0] for r in wal.replay()]
+        assert remaining == [2, 3]
+
+    def test_recovers_lsn_from_existing_log(self):
+        fs = InMemoryObjectStore()
+        wal1 = WriteAheadLog(fs)
+        wal1.append_delete(np.array([1]))
+        wal1.append_delete(np.array([2]))
+        wal2 = WriteAheadLog(fs)  # fresh process, same storage
+        assert wal2.next_lsn == 2
+
+    def test_replay_from_lsn(self):
+        wal = WriteAheadLog(InMemoryObjectStore())
+        for i in range(5):
+            wal.append_delete(np.array([i]))
+        tail = [r.lsn for r in wal.replay(from_lsn=3)]
+        assert tail == [3, 4]
