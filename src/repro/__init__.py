@@ -17,9 +17,10 @@ Quickstart::
         vector_fields=[VectorField("embedding", dim=64, metric="l2")],
     )
     coll = server.create_collection(schema)
-    coll.insert({"embedding": np.random.rand(1000, 64).astype("float32")})
+    rng = np.random.default_rng(42)  # seeded: runs are reproducible
+    coll.insert({"embedding": rng.random((1000, 64), dtype="float32")})
     coll.flush()
-    result = coll.search("embedding", np.random.rand(64).astype("float32"), k=10)
+    result = coll.search("embedding", rng.random(64, dtype="float32"), k=10)
 """
 
 __version__ = "1.0.0"

@@ -28,6 +28,7 @@ from repro.metrics import get_metric
 from repro.storage import LSMConfig, LSMManager
 from repro.storage.filesystem import FileSystem
 from repro.storage.manifest import Snapshot
+from repro.utils.sanitizer import maybe_sanitize
 
 #: an attribute range filter: (attribute_name, low, high), inclusive.
 AttributeFilter = Tuple[str, float, float]
@@ -59,8 +60,11 @@ class Collection:
         self._dictionaries = {
             name: CategoryDictionary() for name in schema.categorical_names()
         }
+        # _next_row_id is guarded by _id_lock; declared in
+        # [tool.reprolint.guarded-fields] rather than in-code, so both
+        # declaration styles stay exercised.
         self._next_row_id = 0
-        self._id_lock = threading.Lock()
+        self._id_lock = maybe_sanitize(threading.Lock(), "collection-ids")
         self._async = async_writes
         self._queue: "queue.Queue" = queue.Queue()
         self._worker: Optional[threading.Thread] = None

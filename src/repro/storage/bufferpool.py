@@ -3,15 +3,22 @@
 "Milvus assumes that most (if not all) data and index are resident in
 memory for high performance.  If not, it relies on an LRU-based
 buffer manager.  In particular, the caching unit is a segment."
+
+Thread-safety: concurrent searches and the write path share the pool,
+so every mutation of the cache/pin state happens under ``self._lock``
+(enforced by reprolint's lock-discipline rule via ``_GUARDED_BY``).
+``*_locked`` helpers run with the lock already held by the caller.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Optional
 
 from repro.storage.segment import Segment
 from repro.utils import ensure_positive
+from repro.utils.sanitizer import assert_guarded, maybe_sanitize
 
 
 class BufferPool:
@@ -21,6 +28,16 @@ class BufferPool:
     segments are never evicted (a search holds a pin while scanning).
     """
 
+    #: lock-discipline declaration consumed by tools/reprolint.
+    _GUARDED_BY = {
+        "_cache": "_lock",
+        "_pins": "_lock",
+        "_bytes": "_lock",
+        "hits": "_lock",
+        "misses": "_lock",
+        "evictions": "_lock",
+    }
+
     def __init__(
         self,
         capacity_bytes: int,
@@ -28,6 +45,7 @@ class BufferPool:
     ):
         self.capacity_bytes = ensure_positive(capacity_bytes, "capacity_bytes")
         self._loader = loader
+        self._lock = maybe_sanitize(threading.Lock(), "bufferpool")
         self._cache: "OrderedDict[int, Segment]" = OrderedDict()
         self._pins: Dict[int, int] = {}
         self._bytes = 0
@@ -39,62 +57,68 @@ class BufferPool:
 
     def get(self, segment_id: int, pin: bool = False) -> Segment:
         """Fetch a segment, loading it on a miss (possibly evicting)."""
-        if segment_id in self._cache:
-            self.hits += 1
-            self._cache.move_to_end(segment_id)
-            segment = self._cache[segment_id]
-        else:
-            self.misses += 1
-            segment = self._loader(segment_id)
-            self._insert(segment_id, segment)
-        if pin:
-            self._pins[segment_id] = self._pins.get(segment_id, 0) + 1
-        return segment
+        with self._lock:
+            if segment_id in self._cache:
+                self.hits += 1
+                self._cache.move_to_end(segment_id)
+                segment = self._cache[segment_id]
+            else:
+                self.misses += 1
+                segment = self._loader(segment_id)
+                self._insert_locked(segment_id, segment)
+            if pin:
+                self._pins[segment_id] = self._pins.get(segment_id, 0) + 1
+            return segment
 
     def put(self, segment: Segment, pin: bool = False) -> None:
         """Install a freshly created segment (e.g. right after flush)."""
-        if segment.segment_id in self._cache:
-            self._bytes -= self._cache[segment.segment_id].memory_bytes()
-            self._cache[segment.segment_id] = segment
-            self._bytes += segment.memory_bytes()
-            self._cache.move_to_end(segment.segment_id)
-        else:
-            self._insert(segment.segment_id, segment)
-        if pin:
-            self._pins[segment.segment_id] = self._pins.get(segment.segment_id, 0) + 1
+        with self._lock:
+            if segment.segment_id in self._cache:
+                self._bytes -= self._cache[segment.segment_id].memory_bytes()
+                self._cache[segment.segment_id] = segment
+                self._bytes += segment.memory_bytes()
+                self._cache.move_to_end(segment.segment_id)
+            else:
+                self._insert_locked(segment.segment_id, segment)
+            if pin:
+                self._pins[segment.segment_id] = self._pins.get(segment.segment_id, 0) + 1
 
     def unpin(self, segment_id: int) -> None:
-        count = self._pins.get(segment_id, 0)
-        if count <= 0:
-            raise RuntimeError(f"segment {segment_id} is not pinned")
-        if count == 1:
-            del self._pins[segment_id]
-        else:
-            self._pins[segment_id] = count - 1
+        with self._lock:
+            count = self._pins.get(segment_id, 0)
+            if count <= 0:
+                raise RuntimeError(f"segment {segment_id} is not pinned")
+            if count == 1:
+                del self._pins[segment_id]
+            else:
+                self._pins[segment_id] = count - 1
 
     def invalidate(self, segment_id: int) -> None:
         """Drop a dead segment (after GC); pinned segments raise."""
-        if self._pins.get(segment_id, 0) > 0:
-            raise RuntimeError(f"cannot invalidate pinned segment {segment_id}")
-        segment = self._cache.pop(segment_id, None)
-        if segment is not None:
-            self._bytes -= segment.memory_bytes()
+        with self._lock:
+            if self._pins.get(segment_id, 0) > 0:
+                raise RuntimeError(f"cannot invalidate pinned segment {segment_id}")
+            segment = self._cache.pop(segment_id, None)
+            if segment is not None:
+                self._bytes -= segment.memory_bytes()
 
-    # -- internals ----------------------------------------------------------
+    # -- internals (caller holds the lock) ---------------------------------
 
-    def _insert(self, segment_id: int, segment: Segment) -> None:
+    def _insert_locked(self, segment_id: int, segment: Segment) -> None:
+        assert_guarded(self._lock, "BufferPool", "_cache")
         needed = segment.memory_bytes()
-        self._evict_until(needed)
+        self._evict_until_locked(needed)
         self._cache[segment_id] = segment
         self._bytes += needed
 
-    def _evict_until(self, incoming_bytes: int) -> None:
+    def _evict_until_locked(self, incoming_bytes: int) -> None:
         """Evict LRU unpinned segments until the incoming one fits.
 
         If everything remaining is pinned, the pool is allowed to
         overflow — correctness over strict capacity, like a real
         buffer manager under pin pressure.
         """
+        assert_guarded(self._lock, "BufferPool", "_cache")
         while self._bytes + incoming_bytes > self.capacity_bytes and self._cache:
             victim = None
             for seg_id in self._cache:  # OrderedDict: LRU first

@@ -15,6 +15,8 @@ import os
 import threading
 from typing import Dict, List
 
+from repro.utils.sanitizer import maybe_sanitize
+
 
 class FileSystem(abc.ABC):
     """Minimal object-storage interface the engine depends on."""
@@ -105,13 +107,29 @@ class InMemoryObjectStore(FileSystem):
     simulated nodes, exactly as Milvus's compute nodes share S3.
     """
 
+    #: lock-discipline declaration consumed by tools/reprolint.
+    _GUARDED_BY = {
+        "_objects": "_lock",
+        "bytes_written": "_lock",
+        "bytes_read": "_lock",
+        "put_count": "_lock",
+        "get_count": "_lock",
+    }
+
     def __init__(self):
         self._objects: Dict[str, bytes] = {}
-        self._lock = threading.Lock()
+        self._lock = maybe_sanitize(threading.Lock(), "fs")
         self.bytes_written = 0
         self.bytes_read = 0
         self.put_count = 0
         self.get_count = 0
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.bytes_written = 0
+            self.bytes_read = 0
+            self.put_count = 0
+            self.get_count = 0
 
     def write(self, path: str, data: bytes) -> None:
         with self._lock:

@@ -16,6 +16,7 @@ manifest (snapshot isolation), and the bufferpool:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from repro.storage.merge import TieredMergePolicy
 from repro.storage.segment import Segment, VectorSpecs
 from repro.storage.wal import WriteAheadLog
 from repro.utils import merge_topk
+from repro.utils.sanitizer import assert_guarded, maybe_sanitize
 
 
 @dataclass
@@ -53,7 +55,29 @@ class LSMConfig:
 
 
 class LSMManager:
-    """Dynamic data management for one collection's worth of rows."""
+    """Dynamic data management for one collection's worth of rows.
+
+    Thread-safety: the write path (insert/delete/flush/merge) is
+    serialized by the reentrant ``self._lock``; searches never take it
+    — they read through manifest snapshots and the bufferpool, each of
+    which has its own internal lock.  ``self._index_lock`` is a leaf
+    lock for the index-spec catalog, which is also mutated from the
+    manifest's GC callback (taking the main lock there would invert
+    the lsm -> manifest order).  Lock order: lsm -> manifest ->
+    {bufferpool, index-specs, fs}; reprolint's lock-discipline rule
+    enforces the ``_GUARDED_BY`` map below.
+    """
+
+    #: lock-discipline declaration consumed by tools/reprolint.
+    _GUARDED_BY = {
+        "_memtable": "_lock",
+        "_pending_deletes": "_lock",
+        "_next_segment_id": "_lock",
+        "_last_flush_time": "_lock",
+        "flush_count": "_lock",
+        "merge_count": "_lock",
+        "_index_specs": "_index_lock",
+    }
 
     def __init__(
         self,
@@ -73,6 +97,9 @@ class LSMManager:
         self.wal = WriteAheadLog(self.fs) if self.config.enable_wal else None
         self.manifest = Manifest(on_segment_dead=self._segment_dead)
         self.bufferpool = BufferPool(self.config.bufferpool_bytes, self._load_segment)
+        # Reentrant: flush -> maybe_merge and insert -> flush nest.
+        self._lock = maybe_sanitize(threading.RLock(), "lsm")
+        self._index_lock = maybe_sanitize(threading.Lock(), "lsm-index-specs")
         self._memtable = self._new_memtable()
         self._pending_deletes: List[np.ndarray] = []
         self._next_segment_id = 0
@@ -88,7 +115,6 @@ class LSMManager:
         self._index_queue: Optional["queue.Queue"] = None
         if self.config.async_index_build:
             import queue
-            import threading
 
             self._index_queue = queue.Queue()
             worker = threading.Thread(
@@ -112,30 +138,33 @@ class LSMManager:
         categoricals: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         """Log and buffer an insert batch; may trigger an auto-flush."""
-        if self.wal is not None:
-            self.wal.append_insert(row_ids, vectors, attributes, categoricals)
-        self._memtable.insert(row_ids, vectors, attributes, categoricals)
-        if self._memtable.approx_bytes >= self.config.memtable_flush_bytes:
-            self.flush()
+        with self._lock:
+            if self.wal is not None:
+                self.wal.append_insert(row_ids, vectors, attributes, categoricals)
+            self._memtable.insert(row_ids, vectors, attributes, categoricals)
+            if self._memtable.approx_bytes >= self.config.memtable_flush_bytes:
+                self.flush()
 
     def delete(self, row_ids: np.ndarray) -> None:
         """Log and buffer deletes (out-of-place: tombstones only)."""
         row_ids = np.asarray(row_ids, dtype=np.int64)
         if len(row_ids) == 0:
             return
-        if self.wal is not None:
-            self.wal.append_delete(row_ids)
-        self._pending_deletes.append(row_ids)
+        with self._lock:
+            if self.wal is not None:
+                self.wal.append_delete(row_ids)
+            self._pending_deletes.append(row_ids)
 
     def tick(self, now_seconds: float) -> bool:
         """Time-based flush driver ("once every second"); returns True on flush."""
-        if (
-            now_seconds - self._last_flush_time >= self.config.flush_interval_seconds
-            and (len(self._memtable) or self._pending_deletes)
-        ):
-            self.flush(now_seconds=now_seconds)
-            return True
-        return False
+        with self._lock:
+            if (
+                now_seconds - self._last_flush_time >= self.config.flush_interval_seconds
+                and (len(self._memtable) or self._pending_deletes)
+            ):
+                self.flush(now_seconds=now_seconds)
+                return True
+            return False
 
     def flush(self, now_seconds: Optional[float] = None) -> Optional[int]:
         """Seal the MemTable into a segment and commit a new version.
@@ -143,59 +172,62 @@ class LSMManager:
         Returns the new segment id, or None when only deletes (or
         nothing) were pending.
         """
-        new_tombstones = (
-            np.unique(np.concatenate(self._pending_deletes))
-            if self._pending_deletes
-            else None
-        )
-        self._pending_deletes = []
-        new_segment_id: Optional[int] = None
+        with self._lock:
+            new_tombstones = (
+                np.unique(np.concatenate(self._pending_deletes))
+                if self._pending_deletes
+                else None
+            )
+            self._pending_deletes = []
+            new_segment_id: Optional[int] = None
 
-        if len(self._memtable):
-            self._memtable.seal()
-            seg_id = self._next_segment_id
-            self._next_segment_id += 1
-            segment = self._memtable.to_segment(seg_id)
-            self._persist_segment(segment)
-            self.bufferpool.put(segment)
-            self.manifest.commit(add=[seg_id], new_tombstones=new_tombstones)
-            new_segment_id = seg_id
-        elif new_tombstones is not None:
-            self.manifest.commit(new_tombstones=new_tombstones)
-        else:
-            return None
-        self._persist_manifest()
+            if len(self._memtable):
+                self._memtable.seal()
+                seg_id = self._next_segment_id
+                self._next_segment_id += 1
+                segment = self._memtable.to_segment(seg_id)
+                self._persist_segment(segment)
+                self.bufferpool.put(segment)
+                self.manifest.commit(add=[seg_id], new_tombstones=new_tombstones)
+                new_segment_id = seg_id
+            elif new_tombstones is not None:
+                self.manifest.commit(new_tombstones=new_tombstones)
+            else:
+                return None
+            self._persist_manifest()
 
-        self._memtable = self._new_memtable()
-        self.flush_count += 1
-        if now_seconds is not None:
-            self._last_flush_time = now_seconds
-        if self.wal is not None:
-            self.wal.truncate_through(self.wal.next_lsn - 1)
-        if self.config.auto_merge:
-            self.maybe_merge()
-        self._maybe_build_indexes()
-        return new_segment_id
+            self._memtable = self._new_memtable()
+            self.flush_count += 1
+            if now_seconds is not None:
+                self._last_flush_time = now_seconds
+            if self.wal is not None:
+                self.wal.truncate_through(self.wal.next_lsn - 1)
+            if self.config.auto_merge:
+                self.maybe_merge()
+            self._maybe_build_indexes()
+            return new_segment_id
 
     # -- merging -----------------------------------------------------------
 
     def maybe_merge(self) -> int:
         """Run all merge tasks the tiered policy proposes; returns count."""
         merged = 0
-        while True:
-            live = self.manifest.live_segment_ids()
-            sizes = []
-            for seg_id in live:
-                segment = self.bufferpool.get(seg_id)
-                sizes.append((seg_id, segment.memory_bytes()))
-            tasks = self.config.merge_policy.plan(sizes)
-            if not tasks:
-                return merged
-            for task in tasks:
-                self._execute_merge(task.segment_ids)
-                merged += 1
+        with self._lock:
+            while True:
+                live = self.manifest.live_segment_ids()
+                sizes = []
+                for seg_id in live:
+                    segment = self.bufferpool.get(seg_id)
+                    sizes.append((seg_id, segment.memory_bytes()))
+                tasks = self.config.merge_policy.plan(sizes)
+                if not tasks:
+                    return merged
+                for task in tasks:
+                    self._execute_merge_locked(task.segment_ids)
+                    merged += 1
 
-    def _execute_merge(self, segment_ids: Tuple[int, ...]) -> int:
+    def _execute_merge_locked(self, segment_ids: Tuple[int, ...]) -> int:
+        assert_guarded(self._lock, "LSMManager", "_next_segment_id")
         tombstones = self.manifest.current_tombstones()
         segments = [self.bufferpool.get(s, pin=True) for s in segment_ids]
         try:
@@ -293,7 +325,11 @@ class LSMManager:
         return count
 
     def _record_index(self, seg_id: int, field: str, itype: str, params: dict) -> None:
-        self._index_specs.setdefault(seg_id, {})[field] = (itype, dict(params))
+        # Leaf lock only around the catalog write: touching the
+        # bufferpool/fs under _index_lock would invert the
+        # bufferpool -> index-specs order taken by _load_segment.
+        with self._index_lock:
+            self._index_specs.setdefault(seg_id, {})[field] = (itype, dict(params))
         # Persist serializable indexes so a reload skips the rebuild.
         from repro.index import SERIALIZABLE_TYPES, index_to_bytes
 
@@ -426,7 +462,9 @@ class LSMManager:
         # Restore this segment's indexes: load the persisted blob when
         # one exists (quantization indexes serialize), else rebuild
         # (graph/tree indexes reconstruct, as Milvus does).
-        for field, (itype, params) in self._index_specs.get(segment_id, {}).items():
+        with self._index_lock:
+            specs = dict(self._index_specs.get(segment_id, {}))
+        for field, (itype, params) in specs.items():
             path = self._index_path(segment_id, field)
             if self.fs.exists(path):
                 segment.indexes[field] = index_from_bytes(self.fs.read(path))
@@ -442,7 +480,9 @@ class LSMManager:
             # and the cache entry ages out naturally.
             pass
         self.fs.delete(self._segment_path(segment_id))
-        for field in self._index_specs.pop(segment_id, {}):
+        with self._index_lock:
+            dead_fields = list(self._index_specs.pop(segment_id, {}))
+        for field in dead_fields:
             self.fs.delete(self._index_path(segment_id, field))
 
     def _persist_manifest(self) -> None:
@@ -466,26 +506,29 @@ class LSMManager:
         """
         import json
 
-        if self.manifest.current_version != 0 or len(self._memtable):
-            raise RuntimeError("recover() must run on a freshly constructed manager")
-        if self.fs.exists("MANIFEST"):
-            state = json.loads(self.fs.read("MANIFEST").decode())
-            self._next_segment_id = state["next_segment_id"]
-            tombs = np.array(state["tombstones"], dtype=np.int64)
-            self.manifest.commit(
-                add=state["live_segments"],
-                new_tombstones=tombs if len(tombs) else None,
-            )
-        if self.wal is None:
-            return 0
-        replayed = 0
-        for record in self.wal.replay():
-            if record.kind == "insert":
-                self._memtable.insert(
-                    record.row_ids, record.vectors, record.attributes,
-                    record.categoricals,
+        with self._lock:
+            if self.manifest.current_version != 0 or len(self._memtable):
+                raise RuntimeError("recover() must run on a freshly constructed manager")
+            if self.fs.exists("MANIFEST"):
+                state = json.loads(self.fs.read("MANIFEST").decode())
+                self._next_segment_id = state["next_segment_id"]
+                tombs = np.array(state["tombstones"], dtype=np.int64)
+                self.manifest.commit(
+                    add=state["live_segments"],
+                    new_tombstones=tombs if len(tombs) else None,
                 )
-            elif record.kind == "delete":
-                self._pending_deletes.append(np.asarray(record.row_ids, dtype=np.int64))
-            replayed += 1
-        return replayed
+            if self.wal is None:
+                return 0
+            replayed = 0
+            for record in self.wal.replay():
+                if record.kind == "insert":
+                    self._memtable.insert(
+                        record.row_ids, record.vectors, record.attributes,
+                        record.categoricals,
+                    )
+                elif record.kind == "delete":
+                    self._pending_deletes.append(
+                        np.asarray(record.row_ids, dtype=np.int64)
+                    )
+                replayed += 1
+            return replayed

@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.utils.sanitizer import assert_guarded, maybe_sanitize
+
 
 @dataclass(frozen=True)
 class Snapshot:
@@ -36,8 +38,18 @@ class Snapshot:
 class Manifest:
     """Versioned segment catalog with reference-counted snapshots."""
 
+    #: lock-discipline declaration consumed by tools/reprolint; the
+    #: ``*_locked`` helpers run with ``_lock`` already held.
+    _GUARDED_BY = {
+        "_version": "_lock",
+        "_segments": "_lock",
+        "_tombstones": "_lock",
+        "_history": "_lock",
+        "gc_count": "_lock",
+    }
+
     def __init__(self, on_segment_dead: Optional[Callable[[int], None]] = None):
-        self._lock = threading.Lock()
+        self._lock = maybe_sanitize(threading.Lock(), "manifest")
         self._version = 0
         self._segments: Tuple[int, ...] = ()
         self._tombstones = np.empty(0, dtype=np.int64)
@@ -148,6 +160,7 @@ class Manifest:
 
     def _collect_locked(self) -> None:
         """Drop unpinned historical versions and report dead segments."""
+        assert_guarded(self._lock, "Manifest", "_history")
         before = self._history_segments_locked()
         dead_versions = [
             v for v, (__, ___, refs) in self._history.items()

@@ -1,5 +1,10 @@
-"""Shared utilities: bounded top-k heaps, result merging, validation."""
+"""Shared utilities: top-k heaps, result merging, validation, sanitizer."""
 
+from repro.utils.sanitizer import (
+    ThreadSanitizer,
+    assert_guarded,
+    maybe_sanitize,
+)
 from repro.utils.topk import (
     TopKHeap,
     topk_from_scores,
@@ -13,6 +18,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ThreadSanitizer",
+    "assert_guarded",
+    "maybe_sanitize",
     "TopKHeap",
     "topk_from_scores",
     "merge_topk",

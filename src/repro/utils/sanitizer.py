@@ -1,0 +1,269 @@
+"""Opt-in runtime race sanitizer: lock-order and guarded-mutation checks.
+
+Enabled with ``REPRO_SANITIZE=1`` (or :func:`enable` in tests), the
+storage engine wraps its locks via :func:`maybe_sanitize`.  A
+:class:`SanitizedLock` records per-thread acquisition order into a
+process-wide "acquired-after" graph; acquiring lock role B while
+holding role A records the edge A -> B, and a pre-existing reverse
+edge B -> A means two code paths take the same pair of locks in
+opposite orders — a potential deadlock — which is recorded as a
+:class:`LockOrderViolation` instead of waiting for the interleaving
+that actually hangs.
+
+Locks are tracked by *role name* ("lsm", "manifest", "bufferpool",
+...), not instance, so the discipline is a role hierarchy: every
+instance of a role must sit at the same place in the global order.
+
+:func:`assert_guarded` is the runtime twin of the ``lock-discipline``
+static rule: mutation sites call it (it is a no-op when sanitizing is
+off) and any call made without the guarding lock held is recorded as
+an :class:`UnguardedMutation`.
+
+When sanitizing is disabled (the default) :func:`maybe_sanitize`
+returns the raw lock and :func:`assert_guarded` is a single ``is
+None`` check, so production paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderViolation",
+    "UnguardedMutation",
+    "SanitizedLock",
+    "ThreadSanitizer",
+    "enabled",
+    "enable",
+    "disable",
+    "get_sanitizer",
+    "maybe_sanitize",
+    "assert_guarded",
+]
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """Two lock roles acquired in both orders by some pair of code paths."""
+
+    first: str   #: role held while acquiring ``second``
+    second: str  #: role acquired while ``first`` was held
+    thread: str  #: thread that closed the cycle
+
+
+@dataclass(frozen=True)
+class UnguardedMutation:
+    """A guarded mutation executed without its lock held."""
+
+    owner: str   #: e.g. ``"BufferPool"``
+    fieldname: str
+    lock_role: str
+    thread: str
+
+
+class ThreadSanitizer:
+    """Process-wide lock-order graph and violation reports."""
+
+    _GUARDED_BY = {
+        "_edges": "_lock",
+        "_reported_pairs": "_lock",
+        "lock_order_violations": "_lock",
+        "unguarded_mutations": "_lock",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: role -> set of roles ever acquired while it was held.
+        self._edges: Dict[str, Set[str]] = {}
+        self._reported_pairs: Set[Tuple[str, str]] = set()
+        self.lock_order_violations: List[LockOrderViolation] = []
+        self.unguarded_mutations: List[UnguardedMutation] = []
+        #: thread id -> roles currently held, in acquisition order.
+        self._held = threading.local()
+
+    # -- per-thread hold tracking ---------------------------------------
+
+    def _held_stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def held_roles(self) -> Tuple[str, ...]:
+        """Roles the calling thread currently holds (outermost first)."""
+        return tuple(self._held_stack())
+
+    # -- hooks called by SanitizedLock ----------------------------------
+
+    def note_acquiring(self, role: str) -> None:
+        """Record order edges for an acquisition attempt.
+
+        Called *before* blocking on the real lock so an inversion is
+        reported even when the process would go on to deadlock.
+        """
+        held = self._held_stack()
+        if role in held:  # reentrant re-acquire: no new ordering info
+            return
+        with self._lock:
+            for prior in held:
+                if prior == role:
+                    continue
+                self._edges.setdefault(prior, set()).add(role)
+                if prior in self._edges.get(role, ()):  # reverse edge exists
+                    pair = tuple(sorted((prior, role)))
+                    if pair not in self._reported_pairs:
+                        self._reported_pairs.add(pair)
+                        self.lock_order_violations.append(
+                            LockOrderViolation(
+                                first=prior,
+                                second=role,
+                                thread=threading.current_thread().name,
+                            )
+                        )
+
+    def note_acquired(self, role: str) -> None:
+        self._held_stack().append(role)
+
+    def note_released(self, role: str) -> None:
+        stack = self._held_stack()
+        # Remove the innermost hold of this role (reentrant-safe).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == role:
+                del stack[i]
+                return
+
+    def note_unguarded(self, owner: str, fieldname: str, lock_role: str) -> None:
+        with self._lock:
+            self.unguarded_mutations.append(
+                UnguardedMutation(
+                    owner=owner,
+                    fieldname=fieldname,
+                    lock_role=lock_role,
+                    thread=threading.current_thread().name,
+                )
+            )
+
+    # -- reporting -------------------------------------------------------
+
+    def reset(self) -> None:
+        with self._lock:
+            self._edges.clear()
+            self._reported_pairs.clear()
+            self.lock_order_violations.clear()
+            self.unguarded_mutations.clear()
+
+    def report(self) -> Dict[str, list]:
+        with self._lock:
+            return {
+                "lock_order_violations": list(self.lock_order_violations),
+                "unguarded_mutations": list(self.unguarded_mutations),
+            }
+
+
+class SanitizedLock:
+    """Wrapper adding acquisition-order tracking to a Lock/RLock.
+
+    Drop-in for the ``with`` protocol plus ``acquire``/``release``/
+    ``locked``.  Reentrancy is delegated to the wrapped lock; the
+    sanitizer only counts the outermost hold per thread.
+    """
+
+    def __init__(self, inner, role: str, sanitizer: ThreadSanitizer):
+        self._inner = inner
+        self.role = role
+        self._sanitizer = sanitizer
+        self._hold_depth = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._hold_depth, "n", 0)
+
+    def _set_depth(self, n: int) -> None:
+        self._hold_depth.n = n
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer.note_acquiring(self.role)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            if self._depth() == 0:
+                self._sanitizer.note_acquired(self.role)
+            self._set_depth(self._depth() + 1)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        depth = self._depth() - 1
+        self._set_depth(depth)
+        if depth == 0:
+            self._sanitizer.note_released(self.role)
+
+    def held_by_current_thread(self) -> bool:
+        return self._depth() > 0
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedLock(role={self.role!r}, inner={self._inner!r})"
+
+
+# -- module-level switchboard ----------------------------------------------
+
+_sanitizer: Optional[ThreadSanitizer] = None
+_state_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """True when sanitizing is active (env var or :func:`enable`)."""
+    return _sanitizer is not None or os.environ.get("REPRO_SANITIZE") == "1"
+
+
+def get_sanitizer() -> ThreadSanitizer:
+    """The process-wide sanitizer (created on first use)."""
+    global _sanitizer
+    with _state_lock:
+        if _sanitizer is None:
+            _sanitizer = ThreadSanitizer()
+        return _sanitizer
+
+
+def enable() -> ThreadSanitizer:
+    """Force sanitizing on (tests); returns the active sanitizer."""
+    return get_sanitizer()
+
+
+def disable() -> None:
+    """Turn sanitizing off and drop the collected reports."""
+    global _sanitizer
+    with _state_lock:
+        _sanitizer = None
+
+
+def maybe_sanitize(lock, role: str):
+    """Wrap ``lock`` for sanitizing when enabled; else return it as-is.
+
+    Locks are wrapped at construction time, so enable sanitizing
+    *before* building the collections under test.
+    """
+    if enabled():
+        return SanitizedLock(lock, role, get_sanitizer())
+    return lock
+
+
+def assert_guarded(lock, owner: str, fieldname: str) -> None:
+    """Runtime guarded-mutation probe (no-op unless sanitizing).
+
+    Call from a mutation site with the lock that is supposed to guard
+    it; records an :class:`UnguardedMutation` when the calling thread
+    does not hold it.
+    """
+    if _sanitizer is None:
+        return
+    if isinstance(lock, SanitizedLock) and not lock.held_by_current_thread():
+        _sanitizer.note_unguarded(owner, fieldname, lock.role)

@@ -50,7 +50,7 @@ class TestRankedList:
         ranked = RankedList.from_metric_scores(
             np.array([0]), np.array([2.0]), higher_is_better=True, weight=3.0
         )
-        assert ranked.scores[0] == 6.0
+        assert np.isclose(ranked.scores[0], 6.0)
 
     def test_rejects_increasing_scores(self):
         with pytest.raises(ValueError):

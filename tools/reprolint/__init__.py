@@ -1,0 +1,40 @@
+"""reprolint — a repo-specific static-analysis suite.
+
+A from-scratch AST linter (no external dependencies) that enforces the
+invariants the Milvus reproduction depends on:
+
+* ``lock-discipline`` — fields declared guarded (via an in-class
+  ``_GUARDED_BY`` mapping or the ``[tool.reprolint.guarded-fields]``
+  table in ``pyproject.toml``) may only be mutated inside a
+  ``with self.<lock>`` block, or in methods whose name ends with the
+  configured locked suffix (default ``_locked``, meaning "caller holds
+  the lock").
+* ``global-rng`` — forbids the global numpy RNG (``np.random.rand`` &
+  friends) and argless stdlib ``random.*`` calls inside ``src/repro``;
+  reproducible recall/nprobe curves require ``np.random.default_rng(seed)``.
+  Docstrings (the quickstart doctest included) are scanned too.
+* ``contract`` — every class registered in the index registry and every
+  metric registered in the metric registry must implement the base-class
+  surface with compatible signatures.
+* hygiene — ``mutable-default``, ``bare-except``, and ``float-eq``
+  (``==``/``!=`` on distance/score values).
+
+Run it as::
+
+    python -m tools.reprolint src tests
+
+Suppress a finding with ``# reprolint: disable=RULE`` on the offending
+line (comma-separated rule names, or ``all``), or for a whole file with
+``# reprolint: disable-file=RULE`` on any line.
+"""
+
+from tools.reprolint.config import LintConfig, load_config
+from tools.reprolint.engine import Violation, lint_paths, lint_source
+
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]

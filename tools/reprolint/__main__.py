@@ -1,0 +1,72 @@
+"""CLI: ``python -m tools.reprolint [paths...]``.
+
+Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage
+errors.  Configuration comes from ``[tool.reprolint]`` in
+``pyproject.toml`` (see :mod:`tools.reprolint.config`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from tools.reprolint.config import load_config
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.rules import ALL_RULES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="repo-specific static analysis for the Milvus reproduction",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--config", default=None,
+        help="pyproject.toml to read [tool.reprolint] from "
+             "(default: ./pyproject.toml when present)",
+    )
+    parser.add_argument(
+        "--no-contracts", action="store_true",
+        help="skip the registry contract checks (no package import)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule.rule_id)
+        print("contract")
+        return 0
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if args.config is not None and not os.path.exists(args.config):
+        missing.append(args.config)
+    if missing:
+        for path in missing:
+            print(f"reprolint: error: no such file or directory: {path}",
+                  file=sys.stderr)
+        return 2
+
+    config = load_config(args.config or "pyproject.toml")
+    violations = lint_paths(
+        args.paths or ["src", "tests"],
+        config=config,
+        contracts=False if args.no_contracts else None,
+    )
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

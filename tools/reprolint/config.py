@@ -1,0 +1,95 @@
+"""Configuration for reprolint, loaded from ``[tool.reprolint]``.
+
+All rule knobs live in one place (``pyproject.toml``) so the invariants
+are declared next to the package metadata rather than scattered across
+the tool.  ``tomllib`` ships with Python >= 3.11; on older interpreters
+the loader degrades to built-in defaults rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+#: dict-method names treated as in-place mutation of a guarded field.
+DEFAULT_MUTATORS: Set[str] = {
+    "append", "appendleft", "extend", "insert", "remove", "discard",
+    "pop", "popitem", "popleft", "clear", "update", "add", "setdefault",
+    "move_to_end", "sort", "reverse",
+}
+
+#: snake_case name segments that mark a value as a distance/score.
+DEFAULT_FLOAT_EQ_NAMES: List[str] = [
+    "score", "scores", "dist", "dists", "distance", "distances", "radius",
+]
+
+
+@dataclass
+class LintConfig:
+    """Resolved reprolint configuration."""
+
+    #: fnmatch patterns (matched against /-separated relative paths)
+    #: excluded from linting entirely.
+    exclude: List[str] = field(default_factory=list)
+    #: path prefixes the determinism (global-rng) rule applies to.
+    rng_paths: List[str] = field(default_factory=lambda: ["src/repro"])
+    #: ``"ClassName.field" -> "lock_attr"`` entries merged with each
+    #: class's in-code ``_GUARDED_BY`` declaration.
+    guarded_fields: Dict[str, str] = field(default_factory=dict)
+    #: methods ending with this suffix run with the lock already held.
+    locked_suffix: str = "_locked"
+    #: method names that count as mutations of a guarded field.
+    mutator_methods: Set[str] = field(default_factory=lambda: set(DEFAULT_MUTATORS))
+    #: name segments that identify distance/score values for float-eq.
+    float_eq_names: List[str] = field(default_factory=lambda: list(DEFAULT_FLOAT_EQ_NAMES))
+    #: run the registry contract checks (imports the package).
+    contracts: bool = True
+    #: directory inserted into sys.path for contract introspection.
+    src_root: str = "src"
+
+    def rng_applies(self, relpath: str) -> bool:
+        rel = relpath.replace(os.sep, "/")
+        return any(rel.startswith(prefix.rstrip("/") + "/") or rel == prefix
+                   for prefix in self.rng_paths)
+
+
+def _read_pyproject(path: str) -> Optional[dict]:
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: fall back to defaults
+        return None
+    try:
+        with open(path, "rb") as fh:
+            return tomllib.load(fh)
+    except (FileNotFoundError, ValueError):
+        return None
+
+
+def load_config(pyproject_path: str = "pyproject.toml") -> LintConfig:
+    """Build a :class:`LintConfig` from ``[tool.reprolint]`` (or defaults)."""
+    cfg = LintConfig()
+    data = _read_pyproject(pyproject_path)
+    if not data:
+        return cfg
+    table = data.get("tool", {}).get("reprolint", {})
+    if not isinstance(table, dict):
+        return cfg
+    if "exclude" in table:
+        cfg.exclude = [str(p) for p in table["exclude"]]
+    if "rng-paths" in table:
+        cfg.rng_paths = [str(p) for p in table["rng-paths"]]
+    if "locked-suffix" in table:
+        cfg.locked_suffix = str(table["locked-suffix"])
+    if "float-eq-names" in table:
+        cfg.float_eq_names = [str(n) for n in table["float-eq-names"]]
+    if "extra-mutators" in table:
+        cfg.mutator_methods |= {str(m) for m in table["extra-mutators"]}
+    if "contracts" in table:
+        cfg.contracts = bool(table["contracts"])
+    if "src-root" in table:
+        cfg.src_root = str(table["src-root"])
+    guarded = table.get("guarded-fields", {})
+    if isinstance(guarded, dict):
+        cfg.guarded_fields = {str(k): str(v) for k, v in guarded.items()}
+    return cfg

@@ -1,0 +1,233 @@
+"""Registry contract checks: uniform index and metric surfaces.
+
+Every class registered in ``repro.index.registry`` and every metric in
+``repro.metrics.registry`` must implement the base-class surface with
+compatible signatures, so ``create_index(name, dim, metric=...)`` and
+the segment build/search/save/load paths work uniformly for all of
+them.  These checks introspect the live registries (imports the
+package) rather than re-deriving registration from the AST — the
+registry IS the source of truth for what is pluggable.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import sys
+from typing import Iterator, List
+
+from tools.reprolint.config import LintConfig
+from tools.reprolint.engine import Violation
+
+RULE = "contract"
+
+#: VectorIndex hooks every registered index must provide (non-abstract).
+INDEX_REQUIRED = ("_add", "_search", "ntotal", "memory_bytes")
+#: public VectorIndex methods checked for signature compatibility when
+#: a subclass overrides them.
+INDEX_PUBLIC = ("train", "add", "search", "range_search", "memory_bytes", "stats")
+
+
+def _location(obj) -> tuple:
+    """Best-effort (relpath, line) for a class or function."""
+    try:
+        path = inspect.getsourcefile(obj) or "<unknown>"
+        line = inspect.getsourcelines(obj)[1]
+    except (OSError, TypeError):
+        return "<unknown>", 1
+    try:
+        path = os.path.relpath(path)
+    except ValueError:
+        pass
+    return path.replace(os.sep, "/"), line
+
+
+def _violation(obj, message: str) -> Violation:
+    path, line = _location(obj)
+    return Violation(path=path, line=line, col=0, rule=RULE, message=message)
+
+
+def _params(fn) -> List[inspect.Parameter]:
+    sig = inspect.signature(fn)
+    return [p for name, p in sig.parameters.items() if name != "self"]
+
+
+def _signature_compatible(name: str, base_fn, sub_fn) -> Iterator[str]:
+    """Yield problems with an override's signature vs the base's."""
+    base_params = _params(base_fn)
+    sub_params = _params(sub_fn)
+    base_named = [
+        p for p in base_params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    sub_named = [
+        p for p in sub_params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    for i, base_param in enumerate(base_named):
+        if i >= len(sub_named):
+            if any(p.kind == p.VAR_POSITIONAL for p in sub_params):
+                break
+            yield f"{name}() drops base parameter {base_param.name!r}"
+            break
+        if sub_named[i].name != base_param.name:
+            yield (
+                f"{name}() renames base parameter {base_param.name!r} "
+                f"to {sub_named[i].name!r}"
+            )
+    for extra in sub_named[len(base_named):]:
+        if extra.default is inspect.Parameter.empty:
+            yield f"{name}() adds required parameter {extra.name!r} (needs a default)"
+    base_has_kwargs = any(p.kind == p.VAR_KEYWORD for p in base_params)
+    sub_has_kwargs = any(p.kind == p.VAR_KEYWORD for p in sub_params)
+    if base_has_kwargs and not sub_has_kwargs:
+        yield f"{name}() must accept **params (base method does)"
+
+
+def _check_index(name: str, cls, base) -> Iterator[Violation]:
+    if not (isinstance(cls, type) and issubclass(cls, base)):
+        yield _violation(cls, f"index {name!r} is not a VectorIndex subclass")
+        return
+    if not cls.index_type:
+        yield _violation(cls, f"index {name!r} has an empty index_type")
+    elif cls.index_type != name:
+        yield _violation(
+            cls, f"index registered as {name!r} but index_type is {cls.index_type!r}"
+        )
+    elif cls.index_type != cls.index_type.upper():
+        yield _violation(
+            cls,
+            f"index_type {cls.index_type!r} must be uppercase "
+            "(create_index uppercases lookups)",
+        )
+    remaining = getattr(cls, "__abstractmethods__", frozenset())
+    if remaining:
+        yield _violation(
+            cls, f"index {name!r} leaves abstract methods unimplemented: "
+            f"{sorted(remaining)}"
+        )
+        return
+    for hook in INDEX_REQUIRED:
+        if not hasattr(cls, hook):
+            yield _violation(cls, f"index {name!r} is missing {hook}")
+
+    init_params = _params(cls.__init__)
+    named = [
+        p for p in init_params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if not named or named[0].name != "dim":
+        yield _violation(
+            cls.__init__,
+            f"index {name!r}: __init__ first parameter must be 'dim' "
+            "(uniform create_index contract)",
+        )
+    else:
+        has_metric = any(p.name == "metric" for p in named) or any(
+            p.kind == p.VAR_KEYWORD for p in init_params
+        )
+        if not has_metric:
+            yield _violation(
+                cls.__init__,
+                f"index {name!r}: __init__ must accept a 'metric' keyword",
+            )
+        for extra in named[1:]:
+            if extra.default is inspect.Parameter.empty:
+                yield _violation(
+                    cls.__init__,
+                    f"index {name!r}: __init__ parameter {extra.name!r} needs a "
+                    "default (create_index passes only dim/metric positionally)",
+                )
+
+    if "_search" in vars(cls) or any("_search" in vars(k) for k in cls.__mro__[1:-1]):
+        search_fn = cls._search
+        search_named = [
+            p for p in _params(search_fn)
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        expected = ["queries", "k"]
+        actual = [p.name for p in search_named[:2]]
+        if actual != expected:
+            yield _violation(
+                search_fn,
+                f"index {name!r}: _search must start with (queries, k), got {actual}",
+            )
+        if not any(p.kind == p.VAR_KEYWORD for p in _params(search_fn)):
+            yield _violation(
+                search_fn,
+                f"index {name!r}: _search must accept **params "
+                "(per-call search parameters are part of the contract)",
+            )
+
+    for method in INDEX_PUBLIC:
+        base_fn = getattr(base, method, None)
+        sub_fn = inspect.getattr_static(cls, method, None)
+        if base_fn is None or sub_fn is None:
+            continue
+        if inspect.getattr_static(base, method) is sub_fn:
+            continue  # not overridden
+        if isinstance(sub_fn, (staticmethod, classmethod)):
+            sub_fn = sub_fn.__func__
+        if isinstance(sub_fn, property):
+            continue
+        for problem in _signature_compatible(method, base_fn, sub_fn):
+            yield _violation(sub_fn, f"index {name!r}: {problem}")
+
+
+def _check_metric(name: str, metric, base, kind_enum) -> Iterator[Violation]:
+    cls = type(metric)
+    if not isinstance(metric, base):
+        yield _violation(cls, f"metric {name!r} is not a Metric instance")
+        return
+    if not metric.name:
+        yield _violation(cls, f"metric {name!r} has an empty name")
+    elif metric.name != name:
+        yield _violation(
+            cls, f"metric registered as {name!r} but .name is {metric.name!r}"
+        )
+    if not isinstance(metric.higher_is_better, bool):
+        yield _violation(cls, f"metric {name!r}: higher_is_better must be a bool")
+    if not isinstance(metric.kind, kind_enum):
+        yield _violation(cls, f"metric {name!r}: kind must be a MetricKind")
+    if getattr(cls, "__abstractmethods__", frozenset()):
+        yield _violation(cls, f"metric {name!r} does not implement pairwise()")
+        return
+    try:
+        worst = metric.worst_value()
+    except Exception as exc:
+        yield _violation(cls, f"metric {name!r}: worst_value() raised {exc!r}")
+        return
+    if metric.is_better(worst, 0.0) or not metric.is_better(0.0, worst):
+        yield _violation(
+            cls,
+            f"metric {name!r}: worst_value() ({worst}) must lose against every "
+            "real score for its higher_is_better direction",
+        )
+
+
+def check_contracts(config: LintConfig) -> List[Violation]:
+    """Introspect both registries; returns contract violations."""
+    src = os.path.abspath(config.src_root)
+    if os.path.isdir(src) and src not in sys.path:
+        sys.path.insert(0, src)
+    try:
+        from repro.index import base as index_base, registry as index_registry
+        from repro.metrics import base as metric_base, registry as metric_registry
+    except Exception as exc:  # package not importable => contract unverifiable
+        return [
+            Violation(
+                path=config.src_root,
+                line=1,
+                col=0,
+                rule=RULE,
+                message=f"cannot import repro registries for contract checks: {exc!r}",
+            )
+        ]
+    violations: List[Violation] = []
+    for name, cls in sorted(index_registry._REGISTRY.items()):
+        violations.extend(_check_index(name, cls, index_base.VectorIndex))
+    for name, metric in sorted(metric_registry._REGISTRY.items()):
+        violations.extend(
+            _check_metric(name, metric, metric_base.Metric, metric_base.MetricKind)
+        )
+    return violations

@@ -1,0 +1,176 @@
+"""reprolint engine: file walking, suppression, rule orchestration.
+
+Rules are pluggable: anything with a ``rule_id`` string and a
+``check(ctx) -> Iterator[Violation]`` method.  AST rules run per file;
+the registry contract checks (which import the package) run once per
+invocation from :mod:`tools.reprolint.contracts`.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from tools.reprolint.config import LintConfig
+
+_SUPPRESS_LINE = re.compile(r"#\s*reprolint:\s*disable=([\w\-,\s]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*reprolint:\s*disable-file=([\w\-,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, printable as ``path:line:col: rule message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything an AST rule needs about one file."""
+
+    path: str
+    relpath: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+def _parse_rule_list(raw: str) -> set:
+    return {token.strip() for token in raw.split(",") if token.strip()}
+
+
+def _file_suppressions(lines: Sequence[str]) -> set:
+    suppressed = set()
+    for line in lines:
+        match = _SUPPRESS_FILE.search(line)
+        if match:
+            suppressed |= _parse_rule_list(match.group(1))
+    return suppressed
+
+
+def _line_suppressions(lines: Sequence[str], lineno: int) -> set:
+    if not (1 <= lineno <= len(lines)):
+        return set()
+    match = _SUPPRESS_LINE.search(lines[lineno - 1])
+    return _parse_rule_list(match.group(1)) if match else set()
+
+
+def apply_suppressions(violations: Iterable[Violation], lines: Sequence[str]) -> List[Violation]:
+    """Drop violations silenced by disable / disable-file comments."""
+    file_level = _file_suppressions(lines)
+    kept = []
+    for violation in violations:
+        silenced = file_level | _line_suppressions(lines, violation.line)
+        if "all" in silenced or violation.rule in silenced:
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    relpath: Optional[str] = None,
+) -> List[Violation]:
+    """Run every AST rule over one source string."""
+    from tools.reprolint.rules import ALL_RULES
+
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="syntax-error",
+                message=str(exc.msg),
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        relpath=relpath if relpath is not None else _relative(path),
+        source=source,
+        tree=tree,
+        config=config,
+    )
+    violations: List[Violation] = []
+    for rule in ALL_RULES:
+        violations.extend(rule.check(ctx))
+    return apply_suppressions(violations, ctx.lines)
+
+
+def _relative(path: str) -> str:
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive on Windows
+        return path.replace(os.sep, "/")
+    return rel.replace(os.sep, "/")
+
+
+def iter_python_files(paths: Sequence[str], config: LintConfig) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    found: List[str] = []
+    for root in paths:
+        if os.path.isfile(root):
+            found.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in {"__pycache__", ".git", ".pytest_cache"}
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(os.path.join(dirpath, name))
+    kept = []
+    for path in dict.fromkeys(found):
+        rel = _relative(path)
+        if any(fnmatch.fnmatch(rel, pattern) for pattern in config.exclude):
+            continue
+        kept.append(path)
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    contracts: Optional[bool] = None,
+) -> List[Violation]:
+    """Lint files/directories; optionally run the registry contract checks."""
+    config = config or LintConfig()
+    violations: List[Violation] = []
+    for path in iter_python_files(paths, config):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            violations.append(
+                Violation(path=path, line=1, col=0, rule="io-error", message=str(exc))
+            )
+            continue
+        violations.extend(lint_source(source, path=path, config=config))
+    run_contracts = config.contracts if contracts is None else contracts
+    if run_contracts:
+        from tools.reprolint.contracts import check_contracts
+
+        violations.extend(check_contracts(config))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations

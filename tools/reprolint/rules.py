@@ -1,0 +1,440 @@
+"""AST rules: lock-discipline, determinism, and hygiene checks.
+
+Every rule consumes a :class:`FileContext` (parsed tree + config) and
+yields :class:`~tools.reprolint.engine.Violation` records.  Rules are
+registered in :data:`ALL_RULES`; adding a rule means adding a class
+with a ``rule_id`` and a ``check`` method — nothing else changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from tools.reprolint.config import LintConfig
+from tools.reprolint.engine import FileContext, Violation
+
+#: numpy.random attributes that are deterministic constructors (allowed);
+#: everything else on the module is the hidden global RNG.
+NP_RANDOM_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "RandomState",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+#: stdlib ``random`` attributes that do NOT touch the module-global RNG.
+STD_RANDOM_ALLOWED = {"Random", "SystemRandom", "getstate", "setstate"}
+
+_DOCSTRING_RNG = re.compile(
+    r"\b(?:np|numpy)\.random\.(?!(?:%s)\b)(\w+)\s*\(" % "|".join(NP_RANDOM_ALLOWED)
+)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> ``attr``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _dotted_chain(node: ast.AST) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a plain chain)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+
+def _class_guards(classdef: ast.ClassDef, config: LintConfig) -> Dict[str, str]:
+    """Guarded-field map for one class: in-code ``_GUARDED_BY`` + config."""
+    guards: Dict[str, str] = {}
+    for stmt in classdef.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "_GUARDED_BY"
+                and isinstance(stmt.value, ast.Dict)
+            ):
+                for key, value in zip(stmt.value.keys, stmt.value.values):
+                    if isinstance(key, ast.Constant) and isinstance(value, ast.Constant):
+                        guards[str(key.value)] = str(value.value)
+    for qualified, lock in config.guarded_fields.items():
+        clsname, _, fieldname = qualified.partition(".")
+        if clsname == classdef.name and fieldname:
+            guards[fieldname] = lock
+    return guards
+
+
+class _MethodLockChecker(ast.NodeVisitor):
+    """Check one method body: guarded mutations must hold the lock."""
+
+    def __init__(self, ctx: FileContext, guards: Dict[str, str], clsname: str):
+        self.ctx = ctx
+        self.guards = guards
+        self.clsname = clsname
+        self.held: List[str] = []
+        self.violations: List[Violation] = []
+
+    # -- lock tracking --------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        added = 0
+        for item in node.items:
+            name = _self_attr(item.context_expr)
+            if name is not None:
+                self.held.append(name)
+                added += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(added):
+            self.held.pop()
+
+    def _fresh_scope(self, node: ast.AST) -> None:
+        # A nested function/lambda may run later, outside the lock.
+        saved, self.held = self.held, []
+        self.generic_visit(node)
+        self.held = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._fresh_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._fresh_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._fresh_scope(node)
+
+    # -- mutation sites -------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node)
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self.ctx.config.mutator_methods:
+            fieldname = _self_attr(func.value)
+            if fieldname in self.guards:
+                self._require(fieldname, node, f"self.{fieldname}.{func.attr}()")
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt, node)
+            return
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        fieldname = _self_attr(target)
+        if fieldname in self.guards:
+            self._require(fieldname, node, f"self.{fieldname}")
+
+    def _require(self, fieldname: str, node: ast.AST, what: str) -> None:
+        lock = self.guards[fieldname]
+        if lock not in self.held:
+            self.violations.append(
+                Violation(
+                    path=self.ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="lock-discipline",
+                    message=(
+                        f"{self.clsname}: {what} is guarded by self.{lock} "
+                        f"but mutated outside `with self.{lock}`"
+                    ),
+                )
+            )
+
+
+class LockDisciplineRule:
+    rule_id = "lock-discipline"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guards = _class_guards(node, ctx.config)
+            if not guards:
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name == "__init__":
+                    continue  # the object is not shared yet
+                if stmt.name.endswith(ctx.config.locked_suffix):
+                    continue  # convention: caller holds the lock
+                args = stmt.args.posonlyargs + stmt.args.args
+                if not args or args[0].arg != "self":
+                    continue  # staticmethod/classmethod
+                checker = _MethodLockChecker(ctx, guards, node.name)
+                for body_stmt in stmt.body:
+                    checker.visit(body_stmt)
+                yield from checker.violations
+
+
+# ---------------------------------------------------------------------------
+# determinism (global RNG)
+# ---------------------------------------------------------------------------
+
+
+class GlobalRngRule:
+    """Forbid hidden-global RNG calls in the library source tree."""
+
+    rule_id = "global-rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.config.rng_applies(ctx.relpath):
+            return
+        numpy_aliases: Set[str] = set()
+        nprandom_aliases: Set[str] = set()
+        stdrandom_aliases: Set[str] = set()
+        banned_direct: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy":
+                        numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random":
+                        nprandom_aliases.add(alias.asname or "numpy")
+                        if alias.asname is None:
+                            numpy_aliases.add("numpy")
+                    elif alias.name == "random":
+                        stdrandom_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            nprandom_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in NP_RANDOM_ALLOWED:
+                            banned_direct[alias.asname or alias.name] = (
+                                f"numpy.random.{alias.name}"
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in STD_RANDOM_ALLOWED:
+                            banned_direct[alias.asname or alias.name] = (
+                                f"random.{alias.name}"
+                            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    ctx, node, numpy_aliases, nprandom_aliases,
+                    stdrandom_aliases, banned_direct,
+                )
+        yield from self._check_docstrings(ctx)
+
+    def _check_call(self, ctx, node, numpy_aliases, nprandom_aliases,
+                    stdrandom_aliases, banned_direct) -> Iterator[Violation]:
+        chain = _dotted_chain(node.func)
+        fn: Optional[str] = None
+        origin = ""
+        if len(chain) >= 3 and chain[0] in numpy_aliases and chain[1] == "random":
+            fn, origin = chain[2], "numpy.random"
+        elif len(chain) == 2 and chain[0] in nprandom_aliases:
+            fn, origin = chain[1], "numpy.random"
+        elif len(chain) == 2 and chain[0] in stdrandom_aliases:
+            fn, origin = chain[1], "random"
+        elif len(chain) == 1 and chain[0] in banned_direct:
+            yield self._violation(ctx, node, banned_direct[chain[0]])
+            return
+        if fn is None:
+            return
+        allowed = NP_RANDOM_ALLOWED if origin == "numpy.random" else STD_RANDOM_ALLOWED
+        if fn not in allowed:
+            yield self._violation(ctx, node, f"{origin}.{fn}")
+
+    def _check_docstrings(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            doc = ast.get_docstring(node, clean=False)
+            if not doc or not node.body:
+                continue
+            doc_node = node.body[0].value  # type: ignore[attr-defined]
+            for offset, line in enumerate(doc.splitlines()):
+                match = _DOCSTRING_RNG.search(line)
+                if match:
+                    yield Violation(
+                        path=ctx.path,
+                        line=doc_node.lineno + offset,
+                        col=match.start(),
+                        rule="global-rng",
+                        message=(
+                            f"docstring example calls numpy.random.{match.group(1)} "
+                            "(global RNG); use np.random.default_rng(seed)"
+                        ),
+                    )
+
+    def _violation(self, ctx: FileContext, node: ast.AST, name: str) -> Violation:
+        return Violation(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule="global-rng",
+            message=(
+                f"{name} uses the hidden global RNG; "
+                "use np.random.default_rng(seed) (or a seeded random.Random)"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# hygiene
+# ---------------------------------------------------------------------------
+
+
+class MutableDefaultRule:
+    rule_id = "mutable-default"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield Violation(
+                        path=ctx.path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        rule="mutable-default",
+                        message=(
+                            f"{name}(): mutable default argument is shared "
+                            "across calls; use None and construct inside"
+                        ),
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "dict", "set", "bytearray"}
+            and not node.args
+            and not node.keywords
+        )
+
+
+class BareExceptRule:
+    rule_id = "bare-except"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Violation(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="bare-except",
+                    message=(
+                        "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                        "catch Exception (or something narrower)"
+                    ),
+                )
+
+
+class FloatEqRule:
+    """``==``/``!=`` on floating distance/score values is order-fragile."""
+
+    rule_id = "float-eq"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        tokens = {t.lower() for t in ctx.config.float_eq_names}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left_scoreish = self._is_scoreish(left, tokens)
+                right_scoreish = self._is_scoreish(right, tokens)
+                if (left_scoreish or right_scoreish) and (
+                    left_scoreish and right_scoreish
+                    or self._is_float_const(left)
+                    or self._is_float_const(right)
+                ):
+                    yield Violation(
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="float-eq",
+                        message=(
+                            "exact ==/!= on a distance/score float; compare "
+                            "with a tolerance (np.isclose / abs diff)"
+                        ),
+                    )
+                    break
+
+    @staticmethod
+    def _terminal_name(node: ast.AST) -> Optional[str]:
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    @classmethod
+    def _is_scoreish(cls, node: ast.AST, tokens: Set[str]) -> bool:
+        name = cls._terminal_name(node)
+        if not name:
+            return False
+        return any(seg in tokens for seg in name.lower().split("_") if seg)
+
+    @staticmethod
+    def _is_float_const(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+ALL_RULES = [
+    LockDisciplineRule(),
+    GlobalRngRule(),
+    MutableDefaultRule(),
+    BareExceptRule(),
+    FloatEqRule(),
+]
