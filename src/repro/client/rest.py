@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.client.sdk import MilvusClient
 from repro.core import MilvusLite, MilvusError
+from repro.utils.retry import RetryExhaustedError, RetryPolicy
 
 
 @dataclass
@@ -45,10 +46,20 @@ class RestResponse:
 
 
 class RestRouter:
-    """Route table + handlers over one embedded server."""
+    """Route table + handlers over one embedded server.
 
-    def __init__(self, server: Optional[MilvusLite] = None):
-        self.client = MilvusClient(server or MilvusLite())
+    A :class:`RetryPolicy` (optional) rides on the underlying SDK
+    client: transient storage faults cost retries, and only an
+    exhausted budget surfaces — as ``503 Service Unavailable``, the
+    REST contract for "try again later".
+    """
+
+    def __init__(
+        self,
+        server: Optional[MilvusLite] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self.client = MilvusClient(server or MilvusLite(), retry=retry)
         self._routes: List[Tuple[str, re.Pattern, object]] = [
             ("POST", re.compile(r"^/collections$"), self._create_collection),
             ("GET", re.compile(r"^/collections$"), self._list_collections),
@@ -74,6 +85,12 @@ class RestRouter:
             if match:
                 try:
                     return handler(body, **match.groupdict())
+                except RetryExhaustedError as exc:
+                    return RestResponse(
+                        503,
+                        {"error": str(exc), "attempts": exc.attempts,
+                         "retryable": True},
+                    )
                 except MilvusError as exc:
                     return RestResponse(400, {"error": str(exc)})
                 except KeyError as exc:

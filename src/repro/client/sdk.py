@@ -14,18 +14,34 @@ from repro.core import (
     ServerConfig,
     VectorField,
 )
+from repro.utils.retry import RetryPolicy
 
 
-def connect(config: Optional[ServerConfig] = None) -> "MilvusClient":
+def connect(
+    config: Optional[ServerConfig] = None, retry: Optional[RetryPolicy] = None
+) -> "MilvusClient":
     """Open a client against a fresh embedded server instance."""
-    return MilvusClient(MilvusLite(config))
+    return MilvusClient(MilvusLite(config), retry=retry)
 
 
 class MilvusClient:
-    """Thin, name-based convenience wrapper around :class:`MilvusLite`."""
+    """Thin, name-based convenience wrapper around :class:`MilvusLite`.
 
-    def __init__(self, server: MilvusLite):
+    An optional :class:`RetryPolicy` shields every data-plane verb
+    (insert/delete/flush/search/...) from transient storage faults:
+    retryable errors cost backed-off re-attempts instead of surfacing,
+    up to the policy's attempt/deadline budget.  Control-plane verbs
+    (create/drop collection) stay un-retried — they are not idempotent.
+    """
+
+    def __init__(self, server: MilvusLite, retry: Optional[RetryPolicy] = None):
         self.server = server
+        self.retry = retry
+
+    def _call(self, fn, *args, **kwargs):
+        if self.retry is not None:
+            return self.retry.call(fn, *args, **kwargs)
+        return fn(*args, **kwargs)
 
     # -- collection management -----------------------------------------
 
@@ -75,22 +91,26 @@ class MilvusClient:
     # -- data plane -------------------------------------------------------
 
     def insert(self, collection: str, data: Dict[str, np.ndarray]) -> np.ndarray:
-        return self.server.get_collection(collection).insert(data)
+        # Safe to retry: the engine acknowledges only after the WAL
+        # append lands, and a transient fault fires before any state
+        # changes, so a retried attempt never double-applies.
+        return self._call(self.server.get_collection(collection).insert, data)
 
     def delete(self, collection: str, ids: Sequence[int]) -> None:
-        self.server.get_collection(collection).delete(ids)
+        self._call(self.server.get_collection(collection).delete, ids)
 
     def flush(self, collection: Optional[str] = None) -> None:
         if collection is None:
-            self.server.flush_all()
+            self._call(self.server.flush_all)
         else:
-            self.server.get_collection(collection).flush()
+            self._call(self.server.get_collection(collection).flush)
 
     def create_index(
         self, collection: str, field: str, index_type: str = "IVF_FLAT", **params
     ) -> int:
-        return self.server.get_collection(collection).create_index(
-            field, index_type, **params
+        return self._call(
+            self.server.get_collection(collection).create_index,
+            field, index_type, **params,
         )
 
     # -- queries -------------------------------------------------------------
@@ -105,8 +125,9 @@ class MilvusClient:
         **params,
     ) -> List[List[Tuple[int, float]]]:
         """Vector query (optionally filtered); returns per-query hit lists."""
-        result = self.server.get_collection(collection).search(
-            field, queries, k, filter=filter, **params
+        result = self._call(
+            self.server.get_collection(collection).search,
+            field, queries, k, filter=filter, **params,
         )
         return [result.row(i) for i in range(result.nq)]
 
@@ -119,12 +140,15 @@ class MilvusClient:
         method: str = "auto",
         **params,
     ) -> List[List[Tuple[int, float]]]:
-        return self.server.get_collection(collection).multi_vector_search(
-            queries, k, weights=weights, method=method, **params
+        return self._call(
+            self.server.get_collection(collection).multi_vector_search,
+            queries, k, weights=weights, method=method, **params,
         )
 
     def get_vectors(self, collection: str, field: str, ids: Sequence[int]) -> np.ndarray:
-        return self.server.get_collection(collection).fetch_vectors(field, ids)
+        return self._call(
+            self.server.get_collection(collection).fetch_vectors, field, ids
+        )
 
     def count(self, collection: str) -> int:
         return self.server.get_collection(collection).num_entities

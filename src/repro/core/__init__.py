@@ -14,6 +14,8 @@ from repro.core.errors import (
     CollectionExistsError,
     SchemaError,
     InvalidQueryError,
+    NodeNotFoundError,
+    NoLiveReadersError,
 )
 from repro.core.schema import (
     VectorField,
@@ -30,6 +32,8 @@ __all__ = [
     "CollectionExistsError",
     "SchemaError",
     "InvalidQueryError",
+    "NodeNotFoundError",
+    "NoLiveReadersError",
     "VectorField",
     "AttributeField",
     "CategoricalField",

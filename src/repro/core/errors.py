@@ -19,3 +19,11 @@ class SchemaError(MilvusError, ValueError):
 
 class InvalidQueryError(MilvusError, ValueError):
     """Malformed query (unknown field, bad parameters, bad filter)."""
+
+
+class NodeNotFoundError(MilvusError, KeyError):
+    """The named cluster node is not a member of this cluster."""
+
+
+class NoLiveReadersError(MilvusError, RuntimeError):
+    """Every reader in the cluster is down; not even a degraded answer."""

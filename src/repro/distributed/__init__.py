@@ -17,7 +17,11 @@ is what the Fig. 10b scalability bench plots.
 from repro.distributed.hashing import ConsistentHashRing
 from repro.distributed.coordinator import Coordinator, ShardMap
 from repro.distributed.node import ReaderNode, WriterNode
-from repro.distributed.cluster import MilvusCluster, ClusterSearchResult
+from repro.distributed.cluster import (
+    MilvusCluster,
+    ClusterSearchResult,
+    RespawnPolicy,
+)
 
 __all__ = [
     "ConsistentHashRing",
@@ -27,4 +31,5 @@ __all__ = [
     "WriterNode",
     "MilvusCluster",
     "ClusterSearchResult",
+    "RespawnPolicy",
 ]

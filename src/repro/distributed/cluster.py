@@ -13,26 +13,51 @@ timings are reported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.errors import NodeNotFoundError, NoLiveReadersError
 from repro.distributed.coordinator import Coordinator
 from repro.distributed.node import ReaderNode, WriterNode
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
 from repro.utils import merge_topk
+from repro.utils.retry import RetryPolicy
+
+
+@dataclass
+class RespawnPolicy:
+    """When/how the coordinator auto-replaces crashed readers.
+
+    ``auto=True`` makes :meth:`MilvusCluster.search` respawn any dead
+    reader (state rebuilt from shared storage) before fanning out,
+    as long as the node is under ``max_respawns_per_node`` — the
+    K8s-style crash-loop backoff cap.  With ``auto=False`` (default)
+    dead readers are merely skipped and reported.
+    """
+
+    auto: bool = False
+    max_respawns_per_node: int = 3
 
 
 @dataclass
 class ClusterSearchResult:
-    """Merged results plus the two timings."""
+    """Merged results plus the two timings and degradation status.
+
+    ``degraded`` is True when at least one shard did not answer;
+    ``missing_shards`` names the readers whose shards are absent from
+    the merged result — the client's signal that recall is partial,
+    not a lie.
+    """
 
     result: SearchResult
     wall_seconds: float
     simulated_parallel_seconds: float
+    degraded: bool = False
+    missing_shards: List[str] = field(default_factory=list)
 
 
 class MilvusCluster:
@@ -46,12 +71,15 @@ class MilvusCluster:
         index_type: str = "IVF_FLAT",
         index_params: Optional[dict] = None,
         shared: Optional[FileSystem] = None,
+        respawn_policy: Optional[RespawnPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if n_readers <= 0:
             raise ValueError("need at least one reader")
         self.shared = shared or InMemoryObjectStore()
         self.coordinator = Coordinator()
-        self.writer = WriterNode(self.shared)
+        self.respawn_policy = respawn_policy or RespawnPolicy()
+        self.writer = WriterNode(self.shared, retry=retry)
         self.metric = get_metric(metric)
         self.dim = dim
         self.readers: Dict[str, ReaderNode] = {}
@@ -69,13 +97,37 @@ class MilvusCluster:
         self.coordinator.register_reader(reader.node_id)
         self.readers[reader.node_id] = reader
 
+    def _reader_or_raise(self, node_id: str) -> ReaderNode:
+        try:
+            return self.readers[node_id]
+        except KeyError:
+            raise NodeNotFoundError(
+                f"unknown reader node {node_id!r}; cluster has "
+                f"{sorted(self.readers)}"
+            ) from None
+
     def crash_reader(self, node_id: str) -> None:
-        self.readers[node_id].crash()
+        self._reader_or_raise(node_id).crash()
 
     def restart_reader(self, node_id: str) -> None:
         """K8s-style replacement: same identity, state from shared storage."""
-        dead = self.readers[node_id]
+        dead = self._reader_or_raise(node_id)
         self.readers[node_id] = ReaderNode.respawn(dead)
+
+    def _auto_respawn(self) -> List[str]:
+        """Respawn dead readers the policy allows; returns their ids."""
+        respawned = []
+        for node_id, reader in list(self.readers.items()):
+            if reader.alive:
+                continue
+            if self.coordinator.respawns_of(node_id) >= (
+                self.respawn_policy.max_respawns_per_node
+            ):
+                continue  # crash-looping node: leave it down, degrade
+            self.coordinator.record_respawn(node_id)
+            self.readers[node_id] = ReaderNode.respawn(reader)
+            respawned.append(node_id)
+        return respawned
 
     # -- write path -----------------------------------------------------------
 
@@ -102,6 +154,16 @@ class MilvusCluster:
     ) -> ClusterSearchResult:
         """Fan out to all live readers, merge, and report timings.
 
+        Partial failure degrades instead of raising: crashed readers
+        (whether found dead up front or dying mid-fan-out) are
+        skipped, and the result carries ``degraded=True`` plus the
+        list of ``missing_shards`` so callers know recall is partial.
+        Only when *no* reader can answer does the call raise
+        :class:`~repro.core.errors.NoLiveReadersError`.  When the
+        cluster's :class:`RespawnPolicy` has ``auto=True``, dead
+        readers under the respawn cap are replaced (state rebuilt from
+        shared storage) before the fan-out.
+
         ``auto_refresh=True`` gives read-your-writes at the cluster
         level: every reader consumes pending shard logs before serving
         (at the cost of an extra shared-storage listing per query).
@@ -109,18 +171,36 @@ class MilvusCluster:
         import time
 
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if self.respawn_policy.auto:
+            self._auto_respawn()
         live = [r for r in self.readers.values() if r.alive]
+        missing = [n for n, r in self.readers.items() if not r.alive]
         if not live:
-            raise RuntimeError("no live readers")
+            raise NoLiveReadersError(
+                f"all {len(self.readers)} readers are down"
+            )
         if auto_refresh:
             for reader in live:
                 if reader.refresh():
                     reader.build_index()
         started = time.perf_counter()
         before = {r.node_id: r.busy_seconds for r in live}
-        partials = [r.search(queries, k, **search_params) for r in live]
+        partials = []
+        answered = []
+        for reader in live:
+            try:
+                partials.append(reader.search(queries, k, **search_params))
+                answered.append(reader)
+            except (RuntimeError, IOError):
+                # Died between the liveness check and its turn in the
+                # fan-out (or its shared-storage read failed): degrade.
+                missing.append(reader.node_id)
+        if not partials:
+            raise NoLiveReadersError(
+                f"all {len(self.readers)} readers failed during fan-out"
+            )
         wall = time.perf_counter() - started
-        per_node = [r.busy_seconds - before[r.node_id] for r in live]
+        per_node = [r.busy_seconds - before[r.node_id] for r in answered]
 
         merged = SearchResult.empty(len(queries), k, self.metric)
         for qi in range(len(queries)):
@@ -135,6 +215,8 @@ class MilvusCluster:
             result=merged,
             wall_seconds=wall,
             simulated_parallel_seconds=max(per_node) if per_node else 0.0,
+            degraded=bool(missing),
+            missing_shards=sorted(missing),
         )
 
     # -- introspection ----------------------------------------------------------------

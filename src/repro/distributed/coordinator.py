@@ -40,6 +40,9 @@ class Coordinator:
         self._leader = self._replicas[0]
         self.shard_map = ShardMap(ring=ConsistentHashRing())
         self.metadata: Dict[str, object] = {}
+        #: reader id -> times the coordinator respawned it (K8s-style
+        #: restart accounting; the cluster's RespawnPolicy caps this).
+        self.respawn_counts: Dict[str, int] = {}
 
     # -- HA behaviour -----------------------------------------------------
 
@@ -83,6 +86,23 @@ class Coordinator:
 
     def route(self, row_id: int) -> str:
         return self.shard_map.owner_of(row_id)
+
+    # -- reader lifecycle accounting ----------------------------------------
+
+    def record_respawn(self, reader_id: str) -> int:
+        """Count one auto-respawn of ``reader_id``; returns the new total.
+
+        Respawning is a metadata write: it requires quorum, like every
+        other coordinator mutation.
+        """
+        if not self.has_quorum():
+            raise RuntimeError("coordinator has no quorum; respawn refused")
+        total = self.respawn_counts.get(reader_id, 0) + 1
+        self.respawn_counts[reader_id] = total
+        return total
+
+    def respawns_of(self, reader_id: str) -> int:
+        return self.respawn_counts.get(reader_id, 0)
 
     def set_metadata(self, key: str, value) -> None:
         if not self.has_quorum():

@@ -24,6 +24,7 @@ from repro.index import create_index
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics import get_metric
 from repro.storage.filesystem import FileSystem
+from repro.utils.retry import RetryPolicy
 
 
 class WriterNode:
@@ -31,12 +32,20 @@ class WriterNode:
 
     Atomicity on crash comes from the log objects themselves: a batch
     is visible iff its log object was fully written (the WAL argument
-    of Sec. 5.3).
+    of Sec. 5.3).  A :class:`RetryPolicy` makes the append survive a
+    flaky shared store: transient put failures are retried up to the
+    policy's budget before the error reaches the caller.
     """
 
-    def __init__(self, shared: FileSystem, node_id: str = "writer-0"):
+    def __init__(
+        self,
+        shared: FileSystem,
+        node_id: str = "writer-0",
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.shared = shared
         self.node_id = node_id
+        self.retry = retry
         self._seq = self._recover_seq()
 
     def _recover_seq(self) -> int:
@@ -60,7 +69,10 @@ class WriterNode:
         )
         path = f"shardlog/{self._seq:012d}-{shard}.log"
         self._seq += 1
-        self.shared.write(path, buf.getvalue())
+        if self.retry is not None:
+            self.retry.call(self.shared.write, path, buf.getvalue())
+        else:
+            self.shared.write(path, buf.getvalue())
         return path
 
 

@@ -4,7 +4,10 @@ Components:
 
 * :mod:`repro.storage.filesystem` — multi-storage abstraction (local
   filesystem, simulated S3 object store, simulated HDFS).
-* :mod:`repro.storage.wal` — write-ahead log for durability.
+* :mod:`repro.storage.wal` — write-ahead log for durability
+  (CRC-framed records, torn-tail recovery).
+* :mod:`repro.storage.faults` — deterministic fault injection
+  (torn writes, transient errors, corruption, crash points).
 * :mod:`repro.storage.attributes` — sorted (key, row-id) attribute
   columns with page min/max skip pointers (Snowflake-style).
 * :mod:`repro.storage.segment` — immutable columnar segments, the unit
@@ -27,7 +30,8 @@ from repro.storage.segment import Segment
 from repro.storage.memtable import MemTable
 from repro.storage.merge import TieredMergePolicy, MergeTask
 from repro.storage.manifest import Manifest, Snapshot
-from repro.storage.wal import WriteAheadLog, WalRecord
+from repro.storage.wal import WriteAheadLog, WalRecord, WalCorruptionError
+from repro.storage.faults import FaultPlan, FaultRule, FaultyFileSystem, SimulatedCrash
 from repro.storage.lsm import LSMManager, LSMConfig
 from repro.storage.bufferpool import BufferPool
 
@@ -45,6 +49,11 @@ __all__ = [
     "Snapshot",
     "WriteAheadLog",
     "WalRecord",
+    "WalCorruptionError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyFileSystem",
+    "SimulatedCrash",
     "LSMManager",
     "LSMConfig",
     "BufferPool",

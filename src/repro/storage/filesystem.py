@@ -66,11 +66,19 @@ class LocalFileSystem(FileSystem):
         return full
 
     def write(self, path: str, data: bytes) -> None:
+        """Atomic, durable write: temp file + fsync + ``os.replace``.
+
+        A crash at any point leaves either the old object or the new
+        one — never a torn mix — which the WAL and manifest recovery
+        paths rely on.
+        """
         full = self._full(path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
         tmp = full + ".tmp"
         with open(tmp, "wb") as fh:
             fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, full)
         self.bytes_written += len(data)
 
@@ -93,6 +101,8 @@ class LocalFileSystem(FileSystem):
         found = []
         for dirpath, __, filenames in os.walk(self.root):
             for name in filenames:
+                if name.endswith(".tmp"):
+                    continue  # in-flight write abandoned by a crash
                 rel = os.path.relpath(os.path.join(dirpath, name), self.root)
                 rel = rel.replace(os.sep, "/")
                 if rel.startswith(prefix):

@@ -16,7 +16,9 @@ manifest (snapshot isolation), and the bufferpool:
 
 from __future__ import annotations
 
+import json
 import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,8 +65,10 @@ class LSMManager:
     which has its own internal lock.  ``self._index_lock`` is a leaf
     lock for the index-spec catalog, which is also mutated from the
     manifest's GC callback (taking the main lock there would invert
-    the lsm -> manifest order).  Lock order: lsm -> manifest ->
-    {bufferpool, index-specs, fs}; reprolint's lock-discipline rule
+    the lsm -> manifest order).  Lock order: lsm -> {manifest, wal} ->
+    {bufferpool, index-specs, fs}; the fault-injection wrapper's
+    bookkeeping lock ("faults") sits just above fs and is never held
+    across an inner filesystem call.  reprolint's lock-discipline rule
     enforces the ``_GUARDED_BY`` map below.
     """
 
@@ -76,6 +80,8 @@ class LSMManager:
         "_last_flush_time": "_lock",
         "flush_count": "_lock",
         "merge_count": "_lock",
+        "_flushed_lsn": "_lock",
+        "_manifest_seq": "_lock",
         "_index_specs": "_index_lock",
     }
 
@@ -105,6 +111,7 @@ class LSMManager:
         self._next_segment_id = 0
         self._last_flush_time = 0.0
         self._flushed_lsn = -1
+        self._manifest_seq = 0
         self.flush_count = 0
         self.merge_count = 0
         #: segment id -> {field: (index_type, params)} for segments
@@ -194,14 +201,21 @@ class LSMManager:
                 self.manifest.commit(new_tombstones=new_tombstones)
             else:
                 return None
-            self._persist_manifest()
+            # Durable ordering for crash safety: record the flushed LSN
+            # in the manifest *before* truncating the WAL.  A crash
+            # between the two replays records <= _flushed_lsn as no-ops
+            # (recover() skips them), so flush is idempotent under any
+            # crash point.
+            if self.wal is not None:
+                self._flushed_lsn = self.wal.next_lsn - 1
+            self._persist_manifest_locked()
 
             self._memtable = self._new_memtable()
             self.flush_count += 1
             if now_seconds is not None:
                 self._last_flush_time = now_seconds
             if self.wal is not None:
-                self.wal.truncate_through(self.wal.next_lsn - 1)
+                self.wal.truncate_through(self._flushed_lsn)
             if self.config.auto_merge:
                 self.maybe_merge()
             self._maybe_build_indexes()
@@ -242,7 +256,7 @@ class LSMManager:
             self.manifest.commit(
                 add=[new_id], remove=list(segment_ids), clear_tombstones=cleared
             )
-            self._persist_manifest()
+            self._persist_manifest_locked()
             self.merge_count += 1
             return new_id
         finally:
@@ -485,42 +499,108 @@ class LSMManager:
         for field in dead_fields:
             self.fs.delete(self._index_path(segment_id, field))
 
-    def _persist_manifest(self) -> None:
-        """Write the durable catalog: live segments + tombstones + counters."""
-        import json
+    def _manifest_file(self, seq: int) -> str:
+        return f"manifest/{seq:012d}.mf"
 
+    def _manifest_versions(self) -> List[Tuple[int, str]]:
+        """(seq, path) for every persisted manifest version, ascending."""
+        versions = []
+        for path in self.fs.listdir("manifest/"):
+            try:
+                seq = int(path.rsplit("/", 1)[-1].split(".")[0])
+            except ValueError:
+                continue
+            versions.append((seq, path))
+        versions.sort()
+        return versions
+
+    def _persist_manifest_locked(self) -> None:
+        """Write the durable catalog as a new checksummed version.
+
+        Versions are append-only: the new file lands (checksummed)
+        before any older version is deleted, so a crash — even one
+        that tears this very write — always leaves a valid manifest to
+        recover from.
+        """
+        assert_guarded(self._lock, "LSMManager", "_manifest_seq")
+        self._manifest_seq += 1
         state = {
             "live_segments": list(self.manifest.live_segment_ids()),
             "tombstones": self.manifest.current_tombstones().tolist(),
             "next_segment_id": self._next_segment_id,
+            "flushed_lsn": self._flushed_lsn,
+            "seq": self._manifest_seq,
         }
-        self.fs.write("MANIFEST", json.dumps(state).encode())
+        payload = json.dumps(state, sort_keys=True)
+        blob = json.dumps(
+            {"crc": zlib.crc32(payload.encode()), "state": state}, sort_keys=True
+        ).encode()
+        self.fs.write(self._manifest_file(self._manifest_seq), blob)
+        for seq, path in self._manifest_versions():
+            if seq < self._manifest_seq:
+                self.fs.delete(path)
+
+    def _load_manifest_state_locked(self) -> Optional[dict]:
+        """Newest intact manifest state, dropping any torn/corrupt tail.
+
+        Scans versions newest-first; a version whose JSON or CRC is
+        broken (a write torn by a crash) is deleted and the previous
+        version wins.  Falls back to the legacy un-checksummed
+        ``MANIFEST`` object for pre-versioning filesystems.
+        """
+        versions = self._manifest_versions()
+        if versions:
+            # Never reuse a seq that has a (possibly torn) file on disk.
+            self._manifest_seq = max(seq for seq, __ in versions)
+        for seq, path in reversed(versions):
+            try:
+                doc = json.loads(self.fs.read(path).decode())
+                state = doc["state"]
+                payload = json.dumps(state, sort_keys=True)
+                if zlib.crc32(payload.encode()) != doc["crc"]:
+                    raise ValueError("manifest checksum mismatch")
+            except (ValueError, KeyError, UnicodeDecodeError):
+                # Torn by a crash mid-write: unacknowledged, discard.
+                self.fs.delete(path)
+                continue
+            return state
+        if self.fs.exists("MANIFEST"):
+            return json.loads(self.fs.read("MANIFEST").decode())
+        return None
 
     def recover(self) -> int:
         """Rebuild state from the filesystem after a crash.
 
-        Re-registers persisted segments and tombstones from the durable
-        MANIFEST, then replays the WAL tail into the MemTable.  Returns
-        the number of WAL records replayed.  Only meaningful on a
-        freshly constructed manager pointed at an existing filesystem.
+        Re-registers persisted segments and tombstones from the newest
+        intact manifest version, garbage-collects orphan segment/index
+        files left by a crash mid-flush or mid-merge, re-runs the
+        interrupted WAL checkpoint, and replays the WAL tail (records
+        past the durable ``flushed_lsn``) into the MemTable.  Returns
+        the number of WAL records replayed.  Idempotent: crashing
+        during recovery and recovering again reaches the same state.
+        Only meaningful on a freshly constructed manager pointed at an
+        existing filesystem.
         """
-        import json
-
         with self._lock:
             if self.manifest.current_version != 0 or len(self._memtable):
                 raise RuntimeError("recover() must run on a freshly constructed manager")
-            if self.fs.exists("MANIFEST"):
-                state = json.loads(self.fs.read("MANIFEST").decode())
+            state = self._load_manifest_state_locked()
+            if state is not None:
                 self._next_segment_id = state["next_segment_id"]
+                self._flushed_lsn = state.get("flushed_lsn", -1)
                 tombs = np.array(state["tombstones"], dtype=np.int64)
                 self.manifest.commit(
                     add=state["live_segments"],
                     new_tombstones=tombs if len(tombs) else None,
                 )
+            self._gc_orphans_locked()
             if self.wal is None:
                 return 0
+            # Finish the checkpoint a crash may have interrupted, then
+            # replay only records the manifest does not already cover.
+            self.wal.truncate_through(self._flushed_lsn)
             replayed = 0
-            for record in self.wal.replay():
+            for record in self.wal.replay(from_lsn=self._flushed_lsn + 1):
                 if record.kind == "insert":
                     self._memtable.insert(
                         record.row_ids, record.vectors, record.attributes,
@@ -532,3 +612,27 @@ class LSMManager:
                     )
                 replayed += 1
             return replayed
+
+    def _gc_orphans_locked(self) -> None:
+        """Delete segment/index files not referenced by the manifest.
+
+        A crash between persisting a segment and committing the
+        manifest (flush or merge) leaves the file orphaned; its rows
+        are still covered by the WAL / the merge inputs, so the file
+        is garbage, and its id will be reused.
+        """
+        live = set(self.manifest.live_segment_ids())
+        for path in self.fs.listdir("segments/"):
+            try:
+                seg_id = int(path.rsplit("/", 1)[-1].split(".")[0])
+            except ValueError:
+                continue
+            if seg_id not in live:
+                self.fs.delete(path)
+        for path in self.fs.listdir("indexes/"):
+            try:
+                seg_id = int(path.rsplit("/", 1)[-1].split("__")[0])
+            except ValueError:
+                continue
+            if seg_id not in live:
+                self.fs.delete(path)

@@ -1,5 +1,9 @@
-"""Shared utilities: top-k heaps, result merging, validation, sanitizer."""
+"""Shared utilities: top-k heaps, result merging, validation, retry, sanitizer."""
 
+from repro.utils.retry import (
+    RetryExhaustedError,
+    RetryPolicy,
+)
 from repro.utils.sanitizer import (
     ThreadSanitizer,
     assert_guarded,
@@ -18,6 +22,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "RetryExhaustedError",
+    "RetryPolicy",
     "ThreadSanitizer",
     "assert_guarded",
     "maybe_sanitize",

@@ -1,0 +1,134 @@
+"""Bounded, seeded retry with exponential backoff.
+
+Transient faults (a flaky shared object store, a reader momentarily
+unreachable) should cost a client a retry, not an exception.
+:class:`RetryPolicy` is the one retry implementation for the whole
+stack — the REST router, the SDK, and the writer's shard-log append
+all wrap their fallible calls in one.
+
+Design points:
+
+* **bounded** — at most ``max_attempts`` tries, and an optional
+  per-call ``deadline`` budget accounted over the *planned* sleeps, so
+  behaviour is deterministic rather than wall-clock dependent;
+* **seeded jitter** — backoff is ``base_delay * multiplier**i`` capped
+  at ``max_delay``, spread by ``±jitter`` drawn from a private
+  ``random.Random(seed)``, so two runs of a chaos schedule sleep the
+  same amounts;
+* **selective** — only exception types in ``retryable`` are retried;
+  anything else (including :class:`~repro.storage.faults.SimulatedCrash`)
+  propagates immediately;
+* **injectable sleep** — tests pass ``sleep=lambda s: None`` to run a
+  full backoff schedule instantly while still recording it.
+
+When attempts run out the last error is wrapped in
+:class:`RetryExhaustedError` (chained via ``__cause__``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, List, Optional, Tuple, Type
+
+__all__ = ["RetryExhaustedError", "RetryPolicy"]
+
+
+class RetryExhaustedError(RuntimeError):
+    """A retried call failed on every permitted attempt.
+
+    ``attempts`` is how many times the call ran; the final underlying
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, attempts: int):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass
+class RetryPolicy:
+    """Retry configuration + execution (see module docstring).
+
+    One instance may be shared across calls; per-call state is local
+    to :meth:`call`, only the aggregate counters and the jitter RNG
+    live on the instance.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    retryable: Tuple[Type[Exception], ...] = (IOError, TimeoutError, ConnectionError)
+    deadline: Optional[float] = None
+    sleep: Optional[Callable[[float], None]] = None
+    # -- aggregate counters (introspection) --
+    calls: int = field(default=0, init=False)
+    retries: int = field(default=0, init=False)
+    total_sleep: float = field(default=0.0, init=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+        self._rng = Random(self.seed)
+
+    def _delay(self, attempt: int) -> float:
+        """Planned sleep after failed attempt ``attempt`` (1-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return raw
+
+    def preview_delays(self) -> List[float]:
+        """The backoff schedule a fresh call would sleep through.
+
+        Consumes the same RNG stream as a real call, so use a
+        dedicated instance when previewing (tests do).
+        """
+        return [self._delay(i) for i in range(1, self.max_attempts)]
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` under this policy.
+
+        Returns the first successful result; raises
+        :class:`RetryExhaustedError` when attempts (or the deadline
+        budget) run out, and re-raises non-retryable errors as-is.
+        """
+        self.calls += 1
+        sleeper = self.sleep if self.sleep is not None else time.sleep
+        slept = 0.0
+        last_exc: Optional[Exception] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except self.retryable as exc:
+                last_exc = exc
+                if attempt == self.max_attempts:
+                    break
+                delay = self._delay(attempt)
+                if self.deadline is not None and slept + delay > self.deadline:
+                    break
+                self.retries += 1
+                slept += delay
+                self.total_sleep += delay
+                sleeper(delay)
+        raise RetryExhaustedError(
+            f"{getattr(fn, '__name__', fn)!r} failed after {attempt} attempt(s): "
+            f"{last_exc}",
+            attempts=attempt,
+        ) from last_exc
+
+    def wrap(self, fn: Callable) -> Callable:
+        """Decorator form: a callable running ``fn`` under this policy."""
+
+        def wrapped(*args, **kwargs):
+            return self.call(fn, *args, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapped.__doc__ = fn.__doc__
+        return wrapped
