@@ -61,13 +61,13 @@ def best_time(fn, repeats: int = 3) -> float:
     """Minimum wall-clock over ``repeats`` runs — robust to noise spikes
     on shared machines, which matters because several figure tests
     assert relative timings."""
-    import time
+    from repro.obs import Stopwatch
 
     best = float("inf")
     for __ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
+        with Stopwatch() as sw:
+            fn()
+        best = min(best, sw.seconds)
     return best
 
 

@@ -34,7 +34,7 @@ MODULES = [
 
 def run_all(stream=None) -> None:
     out = stream or sys.stdout
-    started = time.time()
+    started = time.perf_counter()
     for name in MODULES:
         print(f"\n{'#' * 16} {name}", file=out)
         module = importlib.import_module(name)
@@ -43,7 +43,7 @@ def run_all(stream=None) -> None:
         else:
             with contextlib.redirect_stdout(out):
                 module.main()
-    print(f"\nall reports done in {time.time() - started:.0f}s", file=out)
+    print(f"\nall reports done in {time.perf_counter() - started:.0f}s", file=out)
 
 
 def main() -> None:

@@ -1,14 +1,20 @@
-"""Measurement primitives shared by every table/figure benchmark."""
+"""Measurement primitives shared by every table/figure benchmark.
+
+All timings go through :class:`repro.obs.Stopwatch` — the one
+perf_counter-based primitive — so the bench harness doubles as a
+profiling hook: with observability enabled, measurements land in the
+active registry's histograms for free.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.datasets import recall_at_k
+from repro.obs import Stopwatch
 
 
 def measure_throughput(
@@ -24,10 +30,9 @@ def measure_throughput(
     """
     best = np.inf
     for __ in range(max(1, repeats)):
-        started = time.perf_counter()
-        search_fn(queries)
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
+        with Stopwatch("bench_search_seconds") as sw:
+            search_fn(queries)
+        best = min(best, sw.seconds)
     return len(queries) / best if best > 0 else float("inf")
 
 
@@ -54,15 +59,16 @@ def recall_throughput_curve(
     """
     points: List[CurvePoint] = []
     for params in param_grid:
-        started = time.perf_counter()
-        result = search_fn(queries, k, **params)
-        elapsed = time.perf_counter() - started
+        with Stopwatch("bench_search_seconds") as sw:
+            result = search_fn(queries, k, **params)
         recall = recall_at_k(result.ids, truth_ids)
         points.append(
             CurvePoint(
                 param=dict(params),
                 recall=recall,
-                throughput=len(queries) / elapsed if elapsed > 0 else float("inf"),
+                throughput=(
+                    len(queries) / sw.seconds if sw.seconds > 0 else float("inf")
+                ),
             )
         )
     return points

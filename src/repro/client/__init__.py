@@ -7,7 +7,9 @@ server; the REST layer is a transport-agnostic JSON request router
 (dict in, dict out) that a web framework would mount directly.
 """
 
-from repro.client.sdk import MilvusClient, connect
+from repro.client.sdk import ClusterClient, MilvusClient, connect
 from repro.client.rest import RestRouter, RestResponse
 
-__all__ = ["MilvusClient", "connect", "RestRouter", "RestResponse"]
+__all__ = [
+    "ClusterClient", "MilvusClient", "connect", "RestRouter", "RestResponse",
+]

@@ -17,12 +17,21 @@ POST     /collections/{name}/search          vector / filtered search
 POST     /collections/{name}/multi_search    multi-vector search
 POST     /collections/{name}/index           build index
 POST     /flush                              flush one or all collections
+GET      /metrics                            Prometheus text exposition
+GET      /traces                             known trace ids
+GET      /traces/{trace_id}                  one query's span tree
+GET      /slowlog                            slow-query ring buffer
 =======  ==================================  =============================
+
+The observability routes read the process-global handle from
+:mod:`repro.obs`; with observability disabled ``/metrics`` returns the
+placeholder comment and ``/traces`` is empty.
 """
 
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -30,6 +39,7 @@ import numpy as np
 
 from repro.client.sdk import MilvusClient
 from repro.core import MilvusLite, MilvusError
+from repro.obs import get_obs
 from repro.utils.retry import RetryExhaustedError, RetryPolicy
 
 
@@ -73,11 +83,30 @@ class RestRouter:
             ("POST", re.compile(r"^/flush$"), self._flush),
             ("GET", re.compile(r"^/stats$"), self._server_stats),
             ("GET", re.compile(r"^/collections/(?P<name>\w+)/stats$"), self._collection_stats),
+            ("GET", re.compile(r"^/metrics$"), self._metrics),
+            ("GET", re.compile(r"^/traces$"), self._traces),
+            ("GET", re.compile(r"^/traces/(?P<trace_id>\w+)$"), self._trace),
+            ("GET", re.compile(r"^/slowlog$"), self._slowlog),
         ]
 
     def handle(self, method: str, path: str, body: Optional[dict] = None) -> RestResponse:
-        """Dispatch one request; errors map to 4xx with a message body."""
-        body = body or {}
+        """Dispatch one request; errors map to 4xx with a message body.
+
+        Every request runs inside a ``rest.request`` span and lands in
+        ``rest_requests_total{method,status}`` / ``rest_request_seconds``.
+        """
+        obs = get_obs()
+        with obs.tracer.span("rest.request", method=method.upper(), path=path):
+            started = time.perf_counter()
+            response = self._dispatch(method, path, body or {})
+            elapsed = time.perf_counter() - started
+        obs.registry.counter(
+            "rest_requests_total", method=method.upper(), status=response.status
+        ).inc()
+        obs.registry.histogram("rest_request_seconds").observe(elapsed)
+        return response
+
+    def _dispatch(self, method: str, path: str, body: dict) -> RestResponse:
         for route_method, pattern, handler in self._routes:
             if route_method != method.upper():
                 continue
@@ -201,3 +230,30 @@ class RestRouter:
             return RestResponse(404, {"error": f"collection {name!r} not found"})
         collection = self.client.server.get_collection(name)
         return RestResponse(200, collection.lsm.stats())
+
+    # -- observability ------------------------------------------------------
+
+    def _metrics(self, body: dict) -> RestResponse:
+        """Prometheus text exposition; the body carries the rendered text."""
+        return RestResponse(200, {
+            "content_type": "text/plain; version=0.0.4",
+            "text": get_obs().registry.render_prometheus(),
+        })
+
+    def _traces(self, body: dict) -> RestResponse:
+        return RestResponse(200, {"trace_ids": get_obs().tracer.trace_ids()})
+
+    def _trace(self, body: dict, trace_id: str) -> RestResponse:
+        tree = get_obs().tracer.trace_tree(trace_id)
+        if tree is None:
+            return RestResponse(404, {"error": f"trace {trace_id!r} not found"})
+        return RestResponse(200, tree)
+
+    def _slowlog(self, body: dict) -> RestResponse:
+        log = get_obs().slow_query_log
+        return RestResponse(200, {
+            "threshold_seconds": log.threshold_seconds,
+            "observed": log.observed,
+            "recorded": log.recorded,
+            "entries": [entry.to_dict() for entry in log.entries()],
+        })

@@ -1,4 +1,10 @@
-"""Python SDK, mirroring the pymilvus verb set over an embedded server."""
+"""Python SDK, mirroring the pymilvus verb set over an embedded server.
+
+Client-side observability: each query verb opens a root span
+(``sdk.search``, ``client.search``) so a single SDK call yields a
+retrievable trace tree spanning client -> server/cluster -> readers ->
+index search -> storage reads (see docs/INTERNALS.md §12).
+"""
 
 from __future__ import annotations
 
@@ -14,6 +20,7 @@ from repro.core import (
     ServerConfig,
     VectorField,
 )
+from repro.obs import get_obs
 from repro.utils.retry import RetryPolicy
 
 
@@ -125,10 +132,13 @@ class MilvusClient:
         **params,
     ) -> List[List[Tuple[int, float]]]:
         """Vector query (optionally filtered); returns per-query hit lists."""
-        result = self._call(
-            self.server.get_collection(collection).search,
-            field, queries, k, filter=filter, **params,
-        )
+        with get_obs().tracer.span(
+            "sdk.search", collection=collection, field=field, k=k
+        ):
+            result = self._call(
+                self.server.get_collection(collection).search,
+                field, queries, k, filter=filter, **params,
+            )
         return [result.row(i) for i in range(result.nq)]
 
     def multi_vector_search(
@@ -152,3 +162,36 @@ class MilvusClient:
 
     def count(self, collection: str) -> int:
         return self.server.get_collection(collection).num_entities
+
+
+class ClusterClient:
+    """SDK facade over a :class:`~repro.distributed.cluster.MilvusCluster`.
+
+    The distributed twin of :class:`MilvusClient`: same retry
+    semantics, and every query opens a ``client.search`` root span so
+    one SDK call produces a full trace tree — client -> cluster fan-out
+    -> every reader -> index search.
+    """
+
+    def __init__(self, cluster, retry: Optional[RetryPolicy] = None):
+        self.cluster = cluster
+        self.retry = retry
+
+    def _call(self, fn, *args, **kwargs):
+        if self.retry is not None:
+            return self.retry.call(fn, *args, **kwargs)
+        return fn(*args, **kwargs)
+
+    def insert(self, row_ids: np.ndarray, vectors: np.ndarray) -> None:
+        with get_obs().tracer.span("client.insert", rows=len(row_ids)):
+            self._call(self.cluster.insert, row_ids, vectors)
+
+    def sync(self, build_indexes: bool = True) -> None:
+        self._call(self.cluster.sync, build_indexes=build_indexes)
+
+    def search(self, queries: np.ndarray, k: int, **params):
+        """Fan-out query; returns the cluster's ClusterSearchResult
+        (including ``trace_id`` when tracing is on)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        with get_obs().tracer.span("client.search", nq=len(queries), k=k):
+            return self._call(self.cluster.search, queries, k, **params)

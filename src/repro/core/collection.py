@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.core.errors import InvalidQueryError, SchemaError
 from repro.core.schema import CollectionSchema
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
+from repro.obs import get_obs
 from repro.storage import LSMConfig, LSMManager
 from repro.storage.filesystem import FileSystem
 from repro.storage.manifest import Snapshot
@@ -192,6 +194,32 @@ class Collection:
           ``("color", "in", ["red", "blue"])``, served from the
           inverted-list / bitmap categorical indexes.
         """
+        obs = get_obs()
+        with obs.tracer.span(
+            "collection.search", collection=self.schema.name, field=field, k=k,
+            filtered=filter is not None,
+        ) as span:
+            started = time.perf_counter()
+            result = self._search_impl(
+                field, queries, k, filter, snapshot, **search_params
+            )
+            elapsed = time.perf_counter() - started
+        obs.registry.histogram("collection_search_seconds").observe(elapsed)
+        obs.slow_query_log.observe(
+            "collection.search", elapsed, trace_id=span.trace_id,
+            collection=self.schema.name, field=field, k=k,
+        )
+        return result
+
+    def _search_impl(
+        self,
+        field: str,
+        queries: np.ndarray,
+        k: int,
+        filter: Optional[AttributeFilter],
+        snapshot: Optional[Snapshot],
+        **search_params,
+    ) -> SearchResult:
         self.schema.vector_field(field)
         if filter is None:
             return self._lsm.search(field, queries, k, snapshot=snapshot, **search_params)

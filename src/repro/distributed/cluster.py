@@ -13,6 +13,7 @@ timings are reported:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -23,6 +24,7 @@ from repro.distributed.coordinator import Coordinator
 from repro.distributed.node import ReaderNode, WriterNode
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
+from repro.obs import get_obs
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
 from repro.utils import merge_topk
 from repro.utils.retry import RetryPolicy
@@ -51,6 +53,13 @@ class ClusterSearchResult:
     ``missing_shards`` names the readers whose shards are absent from
     the merged result — the client's signal that recall is partial,
     not a lie.
+
+    ``per_node_seconds`` is each answering reader's serve time for
+    *this* call (span-derived, so concurrent searches never
+    double-count); ``simulated_parallel_seconds`` is its max.  Lazy
+    index builds triggered by the query are reported separately as
+    ``index_build_seconds`` instead of polluting node latency.
+    ``trace_id`` links to the query's span tree when tracing is on.
     """
 
     result: SearchResult
@@ -58,6 +67,9 @@ class ClusterSearchResult:
     simulated_parallel_seconds: float
     degraded: bool = False
     missing_shards: List[str] = field(default_factory=list)
+    per_node_seconds: Dict[str, float] = field(default_factory=dict)
+    index_build_seconds: float = 0.0
+    trace_id: Optional[str] = None
 
 
 class MilvusCluster:
@@ -116,6 +128,7 @@ class MilvusCluster:
 
     def _auto_respawn(self) -> List[str]:
         """Respawn dead readers the policy allows; returns their ids."""
+        obs = get_obs()
         respawned = []
         for node_id, reader in list(self.readers.items()):
             if reader.alive:
@@ -125,7 +138,9 @@ class MilvusCluster:
             ):
                 continue  # crash-looping node: leave it down, degrade
             self.coordinator.record_respawn(node_id)
-            self.readers[node_id] = ReaderNode.respawn(reader)
+            with obs.tracer.span("cluster.respawn", node=node_id):
+                self.readers[node_id] = ReaderNode.respawn(reader)
+            obs.registry.counter("cluster_respawns_total", node=node_id).inc()
             respawned.append(node_id)
         return respawned
 
@@ -133,12 +148,17 @@ class MilvusCluster:
 
     def insert(self, row_ids: np.ndarray, vectors: np.ndarray) -> None:
         """Shard the batch by row id and ship per-shard logs."""
+        obs = get_obs()
         row_ids = np.asarray(row_ids, dtype=np.int64)
         vectors = np.asarray(vectors, dtype=np.float32)
-        owners = np.array([self.coordinator.route(int(r)) for r in row_ids])
-        for shard in np.unique(owners):
-            mask = owners == shard
-            self.writer.append_shard_log(str(shard), row_ids[mask], vectors[mask])
+        with obs.tracer.span("cluster.insert", rows=len(row_ids)):
+            owners = np.array([self.coordinator.route(int(r)) for r in row_ids])
+            for shard in np.unique(owners):
+                mask = owners == shard
+                self.writer.append_shard_log(
+                    str(shard), row_ids[mask], vectors[mask]
+                )
+        obs.registry.counter("cluster_insert_rows_total").inc(len(row_ids))
 
     def sync(self, build_indexes: bool = True) -> None:
         """Have every reader consume pending logs (and index)."""
@@ -167,56 +187,98 @@ class MilvusCluster:
         ``auto_refresh=True`` gives read-your-writes at the cluster
         level: every reader consumes pending shard logs before serving
         (at the cost of an extra shared-storage listing per query).
+
+        Per-node latency is timed locally around each reader's call for
+        *this* query (the old scheme diffed cumulative
+        ``busy_seconds``, which double-counts whenever searches overlap
+        and silently absorbed lazy index builds).  Builds are hoisted
+        via :meth:`ReaderNode.ensure_index` and reported separately as
+        ``index_build_seconds``.
         """
-        import time
-
+        obs = get_obs()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        if self.respawn_policy.auto:
-            self._auto_respawn()
-        live = [r for r in self.readers.values() if r.alive]
-        missing = [n for n, r in self.readers.items() if not r.alive]
-        if not live:
-            raise NoLiveReadersError(
-                f"all {len(self.readers)} readers are down"
-            )
-        if auto_refresh:
+        injected0 = float(getattr(self.shared, "injected_latency_seconds", 0.0))
+        with obs.tracer.span(
+            "cluster.search", nq=len(queries), k=k
+        ) as root:
+            trace_id = root.trace_id
+            if self.respawn_policy.auto:
+                self._auto_respawn()
+            live = [r for r in self.readers.values() if r.alive]
+            missing = [n for n, r in self.readers.items() if not r.alive]
+            if not live:
+                raise NoLiveReadersError(
+                    f"all {len(self.readers)} readers are down"
+                )
+            if auto_refresh:
+                for reader in live:
+                    if reader.refresh():
+                        reader.build_index()
+            index_build_seconds = 0.0
+            started = time.perf_counter()
+            partials = []
+            per_node: Dict[str, float] = {}
             for reader in live:
-                if reader.refresh():
-                    reader.build_index()
-        started = time.perf_counter()
-        before = {r.node_id: r.busy_seconds for r in live}
-        partials = []
-        answered = []
-        for reader in live:
-            try:
-                partials.append(reader.search(queries, k, **search_params))
-                answered.append(reader)
-            except (RuntimeError, IOError):
-                # Died between the liveness check and its turn in the
-                # fan-out (or its shared-storage read failed): degrade.
-                missing.append(reader.node_id)
-        if not partials:
-            raise NoLiveReadersError(
-                f"all {len(self.readers)} readers failed during fan-out"
-            )
-        wall = time.perf_counter() - started
-        per_node = [r.busy_seconds - before[r.node_id] for r in answered]
+                try:
+                    index_build_seconds += reader.ensure_index()
+                    node_started = time.perf_counter()
+                    partials.append(reader.search(queries, k, **search_params))
+                    per_node[reader.node_id] = (
+                        time.perf_counter() - node_started
+                    )
+                except (RuntimeError, IOError):
+                    # Died between the liveness check and its turn in the
+                    # fan-out (or its shared-storage read failed): degrade.
+                    missing.append(reader.node_id)
+            if not partials:
+                raise NoLiveReadersError(
+                    f"all {len(self.readers)} readers failed during fan-out"
+                )
+            wall = time.perf_counter() - started
 
-        merged = SearchResult.empty(len(queries), k, self.metric)
-        for qi in range(len(queries)):
-            parts = [
-                (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
-                for p in partials
-            ]
-            ids, scores = merge_topk(parts, k, self.metric.higher_is_better)
-            merged.ids[qi, : len(ids)] = ids
-            merged.scores[qi, : len(scores)] = scores
+            merged = SearchResult.empty(len(queries), k, self.metric)
+            for qi in range(len(queries)):
+                parts = [
+                    (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
+                    for p in partials
+                ]
+                ids, scores = merge_topk(parts, k, self.metric.higher_is_better)
+                merged.ids[qi, : len(ids)] = ids
+                merged.scores[qi, : len(scores)] = scores
+
+        registry = obs.registry
+        registry.counter("cluster_searches_total").inc()
+        registry.histogram("cluster_search_seconds").observe(wall)
+        if index_build_seconds:
+            registry.histogram("cluster_lazy_index_build_seconds").observe(
+                index_build_seconds
+            )
+        if missing:
+            registry.counter("cluster_degraded_searches_total").inc()
+            registry.counter("cluster_missing_shards_total").inc(len(missing))
+        injected = (
+            float(getattr(self.shared, "injected_latency_seconds", 0.0))
+            - injected0
+        )
+        obs.slow_query_log.observe(
+            "cluster.search",
+            wall + max(0.0, injected),
+            trace_id=trace_id,
+            nq=len(queries),
+            k=k,
+            degraded=bool(missing),
+        )
         return ClusterSearchResult(
             result=merged,
             wall_seconds=wall,
-            simulated_parallel_seconds=max(per_node) if per_node else 0.0,
+            simulated_parallel_seconds=(
+                max(per_node.values()) if per_node else 0.0
+            ),
             degraded=bool(missing),
             missing_shards=sorted(missing),
+            per_node_seconds=per_node,
+            index_build_seconds=index_build_seconds,
+            trace_id=trace_id,
         )
 
     # -- introspection ----------------------------------------------------------------

@@ -23,6 +23,7 @@ import numpy as np
 from repro.index import create_index
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics import get_metric
+from repro.obs import get_obs
 from repro.storage.filesystem import FileSystem
 from repro.utils.retry import RetryPolicy
 
@@ -61,18 +62,26 @@ class WriterNode:
         self, shard: str, row_ids: np.ndarray, vectors: np.ndarray
     ) -> str:
         """Write one insert-log object for ``shard``; returns its path."""
-        buf = io.BytesIO()
-        np.savez(
-            buf,
-            row_ids=np.asarray(row_ids, dtype=np.int64),
-            vectors=np.asarray(vectors, dtype=np.float32),
-        )
-        path = f"shardlog/{self._seq:012d}-{shard}.log"
-        self._seq += 1
-        if self.retry is not None:
-            self.retry.call(self.shared.write, path, buf.getvalue())
-        else:
-            self.shared.write(path, buf.getvalue())
+        obs = get_obs()
+        with obs.tracer.span("writer.append_shard_log", shard=shard):
+            started = time.perf_counter()
+            buf = io.BytesIO()
+            np.savez(
+                buf,
+                row_ids=np.asarray(row_ids, dtype=np.int64),
+                vectors=np.asarray(vectors, dtype=np.float32),
+            )
+            path = f"shardlog/{self._seq:012d}-{shard}.log"
+            self._seq += 1
+            if self.retry is not None:
+                self.retry.call(self.shared.write, path, buf.getvalue())
+            else:
+                self.shared.write(path, buf.getvalue())
+            elapsed = time.perf_counter() - started
+        registry = obs.registry
+        registry.counter("writer_shardlog_appends_total").inc()
+        registry.counter("writer_shardlog_rows_total").inc(len(row_ids))
+        registry.histogram("writer_shardlog_append_seconds").observe(elapsed)
         return path
 
 
@@ -82,8 +91,9 @@ class ReaderNode:
     ``refresh()`` pulls any unseen log objects for this shard from
     shared storage (read/write separation: the writer never talks to
     readers directly).  ``busy_seconds`` accumulates the node's own
-    search compute time, which the cluster uses for simulated parallel
-    timing.
+    *successful* search compute time (introspection only; the cluster
+    derives per-node latency from per-call span timings, since
+    cumulative deltas double-count under concurrent searches).
     """
 
     def __init__(
@@ -149,20 +159,56 @@ class ReaderNode:
 
     # -- query serving -----------------------------------------------------------
 
-    def search(self, queries: np.ndarray, k: int, **search_params) -> SearchResult:
-        """Shard-local top-k; accumulates this node's busy time."""
+    def ensure_index(self) -> float:
+        """Build the local index if data arrived without one; returns the
+        seconds spent building (0.0 when already built or empty).
+
+        Split out of :meth:`search` so lazy index construction is
+        observable as its *own* cost: the cluster calls this before
+        timing the fan-out, keeping per-node search latency free of
+        build time (which used to pollute the Fig. 10b numbers
+        whenever a reader built lazily inside ``search``).
+        """
         self._check_alive()
-        if self._index is None:
+        if self._index is not None or self._vectors is None or not len(self._vectors):
+            return 0.0
+        obs = get_obs()
+        with obs.tracer.span("reader.index_build", node=self.node_id,
+                             index_type=self.index_type):
+            started = time.perf_counter()
             self.build_index()
+            elapsed = time.perf_counter() - started
+        obs.registry.counter("reader_lazy_index_builds_total").inc()
+        obs.registry.histogram("reader_lazy_index_build_seconds").observe(elapsed)
+        return elapsed
+
+    def search(self, queries: np.ndarray, k: int, **search_params) -> SearchResult:
+        """Shard-local top-k; accumulates this node's busy time.
+
+        ``queries_served``/``busy_seconds`` are accounted **only on
+        success**: a query that raises (reader crashed mid-fan-out, a
+        shared-storage read failed) was not served and must not count
+        — the cluster's degraded-read statistics rely on that.
+        """
+        self._check_alive()
+        self.ensure_index()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        obs = get_obs()
         started = time.perf_counter()
-        try:
+        with obs.tracer.span("reader.search", node=self.node_id, nq=len(queries)):
             if self._index is None:
-                queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-                return SearchResult.empty(len(queries), k, self.metric)
-            return self._index.search(queries, k, **search_params)
-        finally:
-            self.busy_seconds += time.perf_counter() - started
-            self.queries_served += int(np.atleast_2d(queries).shape[0])
+                result = SearchResult.empty(len(queries), k, self.metric)
+            else:
+                with obs.tracer.span("index.search", node=self.node_id,
+                                     index_type=self.index_type):
+                    result = self._index.search(queries, k, **search_params)
+        elapsed = time.perf_counter() - started
+        self.busy_seconds += elapsed
+        self.queries_served += int(queries.shape[0])
+        obs.registry.counter(
+            "reader_queries_served_total", node=self.node_id
+        ).inc(queries.shape[0])
+        return result
 
     # -- lifecycle (K8s-style) ------------------------------------------------------
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hetero.gpu import GPUDevice
+from repro.obs import get_obs
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,9 @@ class SegmentScheduler:
         self._busy_until[dev_id] = end
         assignment = Assignment(task, dev_id, start, end)
         self.assignments.append(assignment)
+        get_obs().registry.counter(
+            "hetero_dispatch_total", device=f"gpu-{dev_id}"
+        ).inc()
         return assignment
 
     def dispatch_all(self, tasks: Sequence[SearchTask]) -> List[Assignment]:

@@ -1,0 +1,184 @@
+"""repro.obs — the dependency-free observability layer.
+
+Three cooperating pieces, bundled behind one process-global (but
+injectable) :class:`Observability` handle:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  bounded-memory histograms (p50/p95/p99 without stored samples),
+  rendered in Prometheus text format by ``GET /metrics``;
+* :class:`~repro.obs.tracing.Tracer` — per-query span trees with
+  ambient (contextvar) parenting, retrievable via
+  ``GET /traces/<trace_id>``;
+* :class:`~repro.obs.slowlog.SlowQueryLog` — threshold-gated ring of
+  slow queries, each linking to its trace.
+
+Switchboard (mirrors :mod:`repro.utils.sanitizer`): observability is
+**off by default** and every instrumented call site then runs against
+shared null objects — one no-op method call of overhead.  Turn it on
+with ``REPRO_OBS=1`` in the environment, or programmatically::
+
+    from repro import obs
+    handle = obs.enable()                    # fresh registry/tracer/log
+    handle = obs.enable(registry=my_registry)  # injected (tests)
+    ...
+    obs.disable()
+
+Call sites fetch the handle per call (``obs.get_obs()``), so enabling
+or injecting takes effect immediately, including for objects built
+earlier.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.slowlog import (
+    NullSlowQueryLog,
+    NULL_SLOW_LOG,
+    SlowQuery,
+    SlowQueryLog,
+)
+from repro.obs.tracing import NullTracer, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "SlowQuery",
+    "SlowQueryLog",
+    "NullSlowQueryLog",
+    "Observability",
+    "Stopwatch",
+    "enabled",
+    "enable",
+    "disable",
+    "get_obs",
+]
+
+
+class Observability:
+    """One registry + tracer + slow-query log, travelling together."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_query_log: Optional[SlowQueryLog] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.slow_query_log = (
+            slow_query_log if slow_query_log is not None else SlowQueryLog()
+        )
+
+
+class _NullObservability:
+    """The disabled-path handle: all three members are shared no-ops."""
+
+    registry = NULL_REGISTRY
+    tracer = NULL_TRACER
+    slow_query_log = NULL_SLOW_LOG
+
+
+_NULL_OBS = _NullObservability()
+
+_obs: Optional[Observability] = None
+_state_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """True when observability is active (env var or :func:`enable`)."""
+    return _obs is not None or os.environ.get("REPRO_OBS") == "1"
+
+
+def get_obs():
+    """The active :class:`Observability` handle, or the shared null one.
+
+    This is the single accessor every instrumented call site uses; the
+    disabled path is one global read plus an environ get.
+    """
+    global _obs
+    if _obs is not None:
+        return _obs
+    if os.environ.get("REPRO_OBS") == "1":
+        with _state_lock:
+            if _obs is None:
+                _obs = Observability()
+            return _obs
+    return _NULL_OBS
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    slow_query_log: Optional[SlowQueryLog] = None,
+) -> Observability:
+    """Force observability on; optionally inject components (tests).
+
+    Replaces any previously active handle, so a test gets a clean
+    registry by simply calling ``obs.enable()`` again.
+    """
+    global _obs
+    with _state_lock:
+        _obs = Observability(registry, tracer, slow_query_log)
+        return _obs
+
+
+def disable() -> None:
+    """Turn observability off and drop the collected data.
+
+    Note: with ``REPRO_OBS=1`` in the environment a fresh handle is
+    created on the next :func:`get_obs` (same contract as the
+    sanitizer's env switch).
+    """
+    global _obs
+    with _state_lock:
+        _obs = None
+
+
+class Stopwatch:
+    """The one timing primitive for benchmarks and profiling hooks.
+
+    ``with Stopwatch() as sw: ...`` then read ``sw.seconds``.  Always
+    :func:`time.perf_counter` — the monotonic high-resolution clock —
+    never ``time.time()``, which steps with wall-clock adjustments and
+    must not be used for durations anywhere in this tree.  Passing a
+    histogram name records the measurement into the active registry::
+
+        with Stopwatch("bench_search_seconds"):
+            engine.search(queries, k)
+    """
+
+    __slots__ = ("metric", "started", "seconds")
+
+    def __init__(self, metric: Optional[str] = None):
+        self.metric = metric
+        self.started = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self.started
+        if self.metric is not None:
+            get_obs().registry.histogram(self.metric).observe(self.seconds)

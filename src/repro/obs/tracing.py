@@ -1,0 +1,272 @@
+"""Structured tracing: per-query span trees with parent/child links.
+
+A :class:`Span` is one timed region of one query's execution; spans
+form a tree via ``parent_id``, and the whole tree shares one
+``trace_id``.  Propagation is ambient: the active span lives in a
+:mod:`contextvars` context variable, so the SDK opens a root span and
+every instrumented layer below it (REST -> cluster fan-out -> reader
+-> index search -> LSM/bufferpool reads) parents itself automatically
+— no plumbing of ids through call signatures.
+
+Ids are sequence numbers from the tracer's own counter (``t000001``,
+``s000042``), not wall-clock or RNG material, so traces are
+deterministic under the repo's determinism rules and replayable in
+tests.
+
+Memory is bounded twice over: at most ``max_traces`` traces are
+retained (LRU by start order) and at most ``max_spans_per_trace``
+spans are kept per trace (overflow increments ``dropped_spans``
+instead of growing).
+
+When observability is off, :data:`NULL_TRACER` hands out one shared
+:class:`NullSpan`; entering it is two no-op method calls.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.sanitizer import maybe_sanitize
+
+__all__ = ["Span", "Tracer", "NullSpan", "NullTracer", "NULL_TRACER"]
+
+#: the innermost active span of the current execution context.
+_CURRENT: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed, named region of a query's execution."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name",
+        "start", "end", "attrs", "_tracer", "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        attrs: Dict[str, object],
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.attrs = attrs
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        self._tracer._record(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration * 1e3:.3f}ms)"
+        )
+
+
+class Tracer:
+    """Creates spans and retains finished traces in a bounded store."""
+
+    #: lock-discipline declaration consumed by tools/reprolint.
+    _GUARDED_BY = {
+        "_traces": "_lock",
+        "_seq": "_lock",
+        "dropped_spans": "_lock",
+    }
+
+    def __init__(self, max_traces: int = 256, max_spans_per_trace: int = 512):
+        if max_traces < 1 or max_spans_per_trace < 1:
+            raise ValueError("trace store bounds must be >= 1")
+        self.max_traces = max_traces
+        self.max_spans_per_trace = max_spans_per_trace
+        self._lock = maybe_sanitize(threading.Lock(), "obs")
+        #: trace_id -> finished spans, oldest trace first.
+        self._traces: "OrderedDict[str, List[Span]]" = OrderedDict()
+        self._seq = 0
+        self.dropped_spans = 0
+
+    # -- span creation -----------------------------------------------------
+
+    def _next_id(self, prefix: str) -> str:
+        with self._lock:
+            self._seq += 1
+            return f"{prefix}{self._seq:06d}"
+
+    def span(self, name: str, **attrs) -> Span:
+        """A context manager for one timed region.
+
+        Child of the context's active span when one exists (same
+        trace); otherwise the root of a fresh trace.
+        """
+        parent = _CURRENT.get()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._next_id("t")
+            parent_id = None
+        return Span(self, trace_id, self._next_id("s"), parent_id, name, attrs)
+
+    def current_span(self) -> Optional[Span]:
+        return _CURRENT.get()
+
+    def current_trace_id(self) -> Optional[str]:
+        span = _CURRENT.get()
+        return span.trace_id if span is not None else None
+
+    # -- storage -----------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                spans = []
+                self._traces[span.trace_id] = spans
+                while len(self._traces) > self.max_traces:
+                    self._traces.popitem(last=False)
+            if len(spans) >= self.max_spans_per_trace:
+                self.dropped_spans += 1
+                return
+            spans.append(span)
+
+    def get_trace(self, trace_id: str) -> Optional[List[Span]]:
+        """Finished spans of one trace (children precede parents), or None."""
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            return list(spans) if spans is not None else None
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def trace_tree(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """The trace as a nested dict: roots with recursive ``children``.
+
+        Spans whose parent was dropped (store overflow) are promoted to
+        roots rather than lost.
+        """
+        spans = self.get_trace(trace_id)
+        if spans is None:
+            return None
+        by_id = {span.span_id: span.to_dict() for span in spans}
+        for node in by_id.values():
+            node["children"] = []
+        roots: List[Dict[str, object]] = []
+        for span in spans:
+            node = by_id[span.span_id]
+            parent = by_id.get(span.parent_id) if span.parent_id else None
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        for node in by_id.values():
+            node["children"].sort(key=lambda child: child["start"])
+        roots.sort(key=lambda node: node["start"])
+        return {"trace_id": trace_id, "num_spans": len(spans), "roots": roots}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self.dropped_spans = 0
+
+
+class NullSpan:
+    """Shared no-op span: safe to nest, never records anything."""
+
+    trace_id: Optional[str] = None
+    span_id = ""
+    parent_id: Optional[str] = None
+    name = ""
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in when observability is off."""
+
+    dropped_spans = 0
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def current_trace_id(self) -> None:
+        return None
+
+    def get_trace(self, trace_id: str) -> None:
+        return None
+
+    def trace_ids(self) -> List[str]:
+        return []
+
+    def trace_tree(self, trace_id: str) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -16,6 +16,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Optional
 
+from repro.obs import get_obs
 from repro.storage.segment import Segment
 from repro.utils import ensure_positive
 from repro.utils.sanitizer import assert_guarded, maybe_sanitize
@@ -58,7 +59,8 @@ class BufferPool:
     def get(self, segment_id: int, pin: bool = False) -> Segment:
         """Fetch a segment, loading it on a miss (possibly evicting)."""
         with self._lock:
-            if segment_id in self._cache:
+            hit = segment_id in self._cache
+            if hit:
                 self.hits += 1
                 self._cache.move_to_end(segment_id)
                 segment = self._cache[segment_id]
@@ -68,7 +70,14 @@ class BufferPool:
                 self._insert_locked(segment_id, segment)
             if pin:
                 self._pins[segment_id] = self._pins.get(segment_id, 0) + 1
-            return segment
+            resident = self._bytes
+        registry = get_obs().registry
+        if hit:
+            registry.counter("bufferpool_hits_total").inc()
+        else:
+            registry.counter("bufferpool_misses_total").inc()
+        registry.gauge("bufferpool_resident_bytes").set(resident)
+        return segment
 
     def put(self, segment: Segment, pin: bool = False) -> None:
         """Install a freshly created segment (e.g. right after flush)."""
@@ -130,6 +139,8 @@ class BufferPool:
             segment = self._cache.pop(victim)
             self._bytes -= segment.memory_bytes()
             self.evictions += 1
+            # "obs" is a leaf lock role: safe under the pool lock.
+            get_obs().registry.counter("bufferpool_evictions_total").inc()
 
     # -- introspection -----------------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -26,6 +27,7 @@ import numpy as np
 
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
+from repro.obs import get_obs
 from repro.storage.bufferpool import BufferPool
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
 from repro.storage.manifest import Manifest, Snapshot
@@ -68,8 +70,11 @@ class LSMManager:
     the lsm -> manifest order).  Lock order: lsm -> {manifest, wal} ->
     {bufferpool, index-specs, fs}; the fault-injection wrapper's
     bookkeeping lock ("faults") sits just above fs and is never held
-    across an inner filesystem call.  reprolint's lock-discipline rule
-    enforces the ``_GUARDED_BY`` map below.
+    across an inner filesystem call; the observability instruments
+    ("obs") are a strict leaf — any engine lock may be held while an
+    instrument updates, and an instrument never acquires anything
+    else.  reprolint's lock-discipline rule enforces the
+    ``_GUARDED_BY`` map below.
     """
 
     #: lock-discipline declaration consumed by tools/reprolint.
@@ -145,12 +150,20 @@ class LSMManager:
         categoricals: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         """Log and buffer an insert batch; may trigger an auto-flush."""
-        with self._lock:
-            if self.wal is not None:
-                self.wal.append_insert(row_ids, vectors, attributes, categoricals)
-            self._memtable.insert(row_ids, vectors, attributes, categoricals)
-            if self._memtable.approx_bytes >= self.config.memtable_flush_bytes:
-                self.flush()
+        obs = get_obs()
+        with obs.tracer.span("lsm.insert", rows=len(row_ids)):
+            started = time.perf_counter()
+            with self._lock:
+                if self.wal is not None:
+                    self.wal.append_insert(
+                        row_ids, vectors, attributes, categoricals
+                    )
+                self._memtable.insert(row_ids, vectors, attributes, categoricals)
+                if self._memtable.approx_bytes >= self.config.memtable_flush_bytes:
+                    self.flush()
+            elapsed = time.perf_counter() - started
+        obs.registry.counter("lsm_insert_rows_total").inc(len(row_ids))
+        obs.registry.histogram("lsm_insert_seconds").observe(elapsed)
 
     def delete(self, row_ids: np.ndarray) -> None:
         """Log and buffer deletes (out-of-place: tombstones only)."""
@@ -179,6 +192,17 @@ class LSMManager:
         Returns the new segment id, or None when only deletes (or
         nothing) were pending.
         """
+        obs = get_obs()
+        with obs.tracer.span("lsm.flush"):
+            started = time.perf_counter()
+            segment_id = self._flush_locked(now_seconds)
+            elapsed = time.perf_counter() - started
+        if segment_id is not None:
+            obs.registry.counter("lsm_flushes_total").inc()
+            obs.registry.histogram("lsm_flush_seconds").observe(elapsed)
+        return segment_id
+
+    def _flush_locked(self, now_seconds: Optional[float] = None) -> Optional[int]:
         with self._lock:
             new_tombstones = (
                 np.unique(np.concatenate(self._pending_deletes))
@@ -242,6 +266,16 @@ class LSMManager:
 
     def _execute_merge_locked(self, segment_ids: Tuple[int, ...]) -> int:
         assert_guarded(self._lock, "LSMManager", "_next_segment_id")
+        obs = get_obs()
+        with obs.tracer.span("lsm.merge", inputs=len(segment_ids)):
+            started = time.perf_counter()
+            merged_id = self._merge_segments_locked(segment_ids)
+            elapsed = time.perf_counter() - started
+        obs.registry.counter("lsm_merges_total").inc()
+        obs.registry.histogram("lsm_merge_seconds").observe(elapsed)
+        return merged_id
+
+    def _merge_segments_locked(self, segment_ids: Tuple[int, ...]) -> int:
         tombstones = self.manifest.current_tombstones()
         segments = [self.bufferpool.get(s, pin=True) for s in segment_ids]
         try:
@@ -265,6 +299,22 @@ class LSMManager:
 
     # -- index building --------------------------------------------------------
 
+    def _build_segment_index(
+        self, segment: Segment, seg_id: int, fieldname: str, itype: str,
+        params: dict,
+    ) -> None:
+        """Build and catalog one segment index, timed and counted."""
+        obs = get_obs()
+        with obs.tracer.span(
+            "index.build", segment=seg_id, field=fieldname, index_type=itype
+        ):
+            started = time.perf_counter()
+            segment.build_index(fieldname, itype, **params)
+            elapsed = time.perf_counter() - started
+        obs.registry.counter("index_builds_total", index_type=itype).inc()
+        obs.registry.histogram("index_build_seconds").observe(elapsed)
+        self._record_index(seg_id, fieldname, itype, params)
+
     def _maybe_build_indexes(self) -> None:
         for seg_id in self.manifest.live_segment_ids():
             segment = self.bufferpool.get(seg_id)
@@ -276,12 +326,9 @@ class LSMManager:
                 if self._index_queue is not None:
                     self._index_queue.put((seg_id, fieldname))
                 else:
-                    segment.build_index(
-                        fieldname, self.config.index_type, **self.config.index_params
-                    )
-                    self._record_index(
-                        seg_id, fieldname, self.config.index_type,
-                        self.config.index_params,
+                    self._build_segment_index(
+                        segment, seg_id, fieldname, self.config.index_type,
+                        dict(self.config.index_params),
                     )
 
     def _index_builder_loop(self) -> None:
@@ -299,12 +346,9 @@ class LSMManager:
                 segment = self.bufferpool.get(seg_id)
                 if segment.has_index(fieldname):
                     continue
-                segment.build_index(
-                    fieldname, self.config.index_type, **self.config.index_params
-                )
-                self._record_index(
-                    seg_id, fieldname, self.config.index_type,
-                    self.config.index_params,
+                self._build_segment_index(
+                    segment, seg_id, fieldname, self.config.index_type,
+                    dict(self.config.index_params),
                 )
             finally:
                 self._index_queue.task_done()
@@ -333,8 +377,7 @@ class LSMManager:
             segment = self.bufferpool.get(seg_id)
             if segment.num_rows == 0:
                 continue
-            segment.build_index(field, itype, **merged_params)
-            self._record_index(seg_id, field, itype, merged_params)
+            self._build_segment_index(segment, seg_id, field, itype, merged_params)
             count += 1
         return count
 
@@ -378,6 +421,7 @@ class LSMManager:
 
         Acquires (and releases) a fresh snapshot when none is given.
         """
+        obs = get_obs()
         metric = get_metric(self.vector_specs[field][1])
         owned = snapshot is None
         snap = self.snapshot() if owned else snapshot
@@ -385,29 +429,38 @@ class LSMManager:
             queries = np.asarray(queries, dtype=np.float32)
             if queries.ndim == 1:
                 queries = queries[np.newaxis, :]
-            partials = []
-            for seg_id in snap.segment_ids:
-                segment = self.bufferpool.get(seg_id, pin=True)
-                try:
-                    partials.append(
-                        segment.search(
-                            field, queries, k,
-                            exclude=snap.tombstones,
-                            row_filter=row_filter,
-                            **search_params,
-                        )
-                    )
-                finally:
-                    self.bufferpool.unpin(seg_id)
-            result = SearchResult.empty(len(queries), k, metric)
-            for qi in range(len(queries)):
-                parts = [
-                    (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
-                    for p in partials
-                ]
-                ids, scores = merge_topk(parts, k, metric.higher_is_better)
-                result.ids[qi, : len(ids)] = ids
-                result.scores[qi, : len(scores)] = scores
+            with obs.tracer.span(
+                "lsm.search", field=field, nq=len(queries), k=k,
+                segments=len(snap.segment_ids),
+            ):
+                started = time.perf_counter()
+                partials = []
+                for seg_id in snap.segment_ids:
+                    segment = self.bufferpool.get(seg_id, pin=True)
+                    try:
+                        with obs.tracer.span("segment.search", segment=seg_id):
+                            partials.append(
+                                segment.search(
+                                    field, queries, k,
+                                    exclude=snap.tombstones,
+                                    row_filter=row_filter,
+                                    **search_params,
+                                )
+                            )
+                    finally:
+                        self.bufferpool.unpin(seg_id)
+                result = SearchResult.empty(len(queries), k, metric)
+                for qi in range(len(queries)):
+                    parts = [
+                        (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
+                        for p in partials
+                    ]
+                    ids, scores = merge_topk(parts, k, metric.higher_is_better)
+                    result.ids[qi, : len(ids)] = ids
+                    result.scores[qi, : len(scores)] = scores
+                elapsed = time.perf_counter() - started
+            obs.registry.counter("lsm_searches_total").inc()
+            obs.registry.histogram("lsm_search_seconds").observe(elapsed)
             return result
         finally:
             if owned:

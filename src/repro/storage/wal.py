@@ -34,12 +34,14 @@ import io
 import json
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import get_obs
 from repro.storage.filesystem import FileSystem
 from repro.utils.sanitizer import maybe_sanitize
 
@@ -193,8 +195,14 @@ class WriteAheadLog:
         # The LSN counter advances only after the write lands: a write
         # that raises (torn, transient) was never acknowledged, and its
         # LSN is reused by the next append.
-        self.fs.write(self._path(record.lsn), record.to_bytes())
+        obs = get_obs()
+        with obs.tracer.span("wal.append", kind=record.kind):
+            started = time.perf_counter()
+            self.fs.write(self._path(record.lsn), record.to_bytes())
+            elapsed = time.perf_counter() - started
         self._next_lsn += 1
+        obs.registry.counter("wal_appends_total", kind=record.kind).inc()
+        obs.registry.histogram("wal_append_seconds").observe(elapsed)
         return record.lsn
 
     def _scan_locked(self, from_lsn: int) -> List[Tuple[int, str]]:

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, List, Optional, Tuple, Type
 
+from repro.obs import get_obs
+
 __all__ = ["RetryExhaustedError", "RetryPolicy"]
 
 
@@ -114,9 +116,11 @@ class RetryPolicy:
                 if self.deadline is not None and slept + delay > self.deadline:
                     break
                 self.retries += 1
+                get_obs().registry.counter("retry_retries_total").inc()
                 slept += delay
                 self.total_sleep += delay
                 sleeper(delay)
+        get_obs().registry.counter("retry_exhausted_total").inc()
         raise RetryExhaustedError(
             f"{getattr(fn, '__name__', fn)!r} failed after {attempt} attempt(s): "
             f"{last_exc}",

@@ -194,6 +194,10 @@ class TestCluster:
             cluster.insert(np.arange(len(data)), data)
             cluster.sync()
             cluster.search(queries, 10)  # warm-up
-            res = cluster.search(queries, 10)
-            times[n] = res.simulated_parallel_seconds
+            # Best-of-3: single sub-millisecond measurements are jittery
+            # enough on shared machines to flip the comparison.
+            times[n] = min(
+                cluster.search(queries, 10).simulated_parallel_seconds
+                for __ in range(3)
+            )
         assert times[4] < times[1]
