@@ -29,6 +29,7 @@ MODULES = [
     "bench_ablation_blocksize",
     "bench_ablation_batched_ivf",
     "bench_ablation_categorical",
+    "bench_ablation_parallel",
 ]
 
 

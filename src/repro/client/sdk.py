@@ -131,7 +131,13 @@ class MilvusClient:
         filter: Optional[Tuple[str, float, float]] = None,
         **params,
     ) -> List[List[Tuple[int, float]]]:
-        """Vector query (optionally filtered); returns per-query hit lists."""
+        """Vector query (optionally filtered); returns per-query hit lists.
+
+        ``params`` ride through to :meth:`Collection.search` — index
+        knobs (``nprobe``, ``ef``) plus the intra-query parallelism
+        knobs ``parallel=`` / ``pool_size=`` (see :mod:`repro.exec`;
+        parallel results are bit-identical to serial).
+        """
         with get_obs().tracer.span(
             "sdk.search", collection=collection, field=field, k=k
         ):
@@ -191,7 +197,12 @@ class ClusterClient:
 
     def search(self, queries: np.ndarray, k: int, **params):
         """Fan-out query; returns the cluster's ClusterSearchResult
-        (including ``trace_id`` when tracing is on)."""
+        (including ``trace_id`` when tracing is on).
+
+        ``params`` ride through to :meth:`MilvusCluster.search`,
+        including ``parallel=`` / ``pool_size=`` / ``node_timeout=``
+        for pooled reader fan-out (see :mod:`repro.exec`).
+        """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         with get_obs().tracer.span("client.search", nq=len(queries), k=k):
             return self._call(self.cluster.search, queries, k, **params)

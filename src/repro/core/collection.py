@@ -177,9 +177,16 @@ class Collection:
         k: int,
         filter: Optional[AttributeFilter] = None,
         snapshot: Optional[Snapshot] = None,
+        parallel: Optional[bool] = None,
+        pool_size: Optional[int] = None,
         **search_params,
     ) -> SearchResult:
         """Vector query, optionally with an attribute range filter.
+
+        ``parallel`` / ``pool_size`` control intra-query parallelism:
+        segment scans fan out over the shared worker pool (see
+        :mod:`repro.exec`); ``None`` defers to ``REPRO_PARALLEL`` /
+        ``REPRO_POOL_SIZE``.  Results are bit-identical either way.
 
         With a filter the collection runs the attribute-first bitmap
         strategy per segment (strategy B of Sec. 4.1): the attribute
@@ -201,7 +208,8 @@ class Collection:
         ) as span:
             started = time.perf_counter()
             result = self._search_impl(
-                field, queries, k, filter, snapshot, **search_params
+                field, queries, k, filter, snapshot,
+                parallel=parallel, pool_size=pool_size, **search_params
             )
             elapsed = time.perf_counter() - started
         obs.registry.histogram("collection_search_seconds").observe(elapsed)
@@ -218,11 +226,16 @@ class Collection:
         k: int,
         filter: Optional[AttributeFilter],
         snapshot: Optional[Snapshot],
+        parallel: Optional[bool] = None,
+        pool_size: Optional[int] = None,
         **search_params,
     ) -> SearchResult:
         self.schema.vector_field(field)
         if filter is None:
-            return self._lsm.search(field, queries, k, snapshot=snapshot, **search_params)
+            return self._lsm.search(
+                field, queries, k, snapshot=snapshot,
+                parallel=parallel, pool_size=pool_size, **search_params
+            )
         owned = snapshot is None
         snap = self._lsm.snapshot() if owned else snapshot
         try:
@@ -232,7 +245,8 @@ class Collection:
                 queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
                 return SearchResult.empty(len(queries), k, metric)
             return self._lsm.search(
-                field, queries, k, snapshot=snap, row_filter=admissible, **search_params
+                field, queries, k, snapshot=snap, row_filter=admissible,
+                parallel=parallel, pool_size=pool_size, **search_params
             )
         finally:
             if owned:

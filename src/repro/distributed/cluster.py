@@ -22,11 +22,12 @@ import numpy as np
 from repro.core.errors import NodeNotFoundError, NoLiveReadersError
 from repro.distributed.coordinator import Coordinator
 from repro.distributed.node import ReaderNode, WriterNode
+from repro.exec import ExecTimeoutError, QueryExecutor
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
-from repro.utils import merge_topk
+from repro.utils import merge_topk_batch
 from repro.utils.retry import RetryPolicy
 
 
@@ -170,7 +171,14 @@ class MilvusCluster:
     # -- read path ---------------------------------------------------------------
 
     def search(
-        self, queries: np.ndarray, k: int, auto_refresh: bool = False, **search_params
+        self,
+        queries: np.ndarray,
+        k: int,
+        auto_refresh: bool = False,
+        parallel: Optional[bool] = None,
+        pool_size: Optional[int] = None,
+        node_timeout: Optional[float] = None,
+        **search_params,
     ) -> ClusterSearchResult:
         """Fan out to all live readers, merge, and report timings.
 
@@ -194,6 +202,14 @@ class MilvusCluster:
         and silently absorbed lazy index builds).  Builds are hoisted
         via :meth:`ReaderNode.ensure_index` and reported separately as
         ``index_build_seconds``.
+
+        With ``parallel`` on (or ``REPRO_PARALLEL=1``) the fan-out runs
+        readers concurrently on the shared worker pool (see
+        :mod:`repro.exec`); per-reader results come back in reader
+        order, so the merged result is bit-identical to the serial
+        fan-out, and the degraded/missing-shards semantics above are
+        unchanged (a task that raises or exceeds ``node_timeout``
+        seconds just marks its shard missing).
         """
         obs = get_obs()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
@@ -210,41 +226,58 @@ class MilvusCluster:
                 raise NoLiveReadersError(
                     f"all {len(self.readers)} readers are down"
                 )
-            if auto_refresh:
-                for reader in live:
-                    if reader.refresh():
-                        reader.build_index()
             index_build_seconds = 0.0
             started = time.perf_counter()
+
+            def serve(reader: ReaderNode):
+                # Each task returns (build_seconds, partial, node_seconds);
+                # the timed window sits inside the fan-out wall window,
+                # so max(per_node) <= wall holds in both modes.  The
+                # refresh runs inside the task so a shared-storage read
+                # failure degrades this shard instead of failing the
+                # whole query.
+                if auto_refresh and reader.refresh():
+                    reader.build_index()
+                build = reader.ensure_index()
+                node_started = time.perf_counter()
+                partial = reader.search(queries, k, **search_params)
+                return build, partial, time.perf_counter() - node_started
+
+            executor = QueryExecutor(
+                parallel=parallel, pool_size=pool_size, timeout=node_timeout
+            )
+            settled = executor.map_settled(
+                [lambda r=reader: serve(r) for reader in live],
+                label="reader.search",
+                # Died between the liveness check and its turn in the
+                # fan-out (or its shared-storage read failed, or it ran
+                # past node_timeout): degrade, don't raise.
+                catch=(RuntimeError, IOError, ExecTimeoutError),
+            )
             partials = []
             per_node: Dict[str, float] = {}
-            for reader in live:
-                try:
-                    index_build_seconds += reader.ensure_index()
-                    node_started = time.perf_counter()
-                    partials.append(reader.search(queries, k, **search_params))
-                    per_node[reader.node_id] = (
-                        time.perf_counter() - node_started
-                    )
-                except (RuntimeError, IOError):
-                    # Died between the liveness check and its turn in the
-                    # fan-out (or its shared-storage read failed): degrade.
+            for reader, (value, error) in zip(live, settled):
+                if error is not None:
                     missing.append(reader.node_id)
+                    continue
+                build, partial, node_seconds = value
+                index_build_seconds += build
+                partials.append(partial)
+                per_node[reader.node_id] = node_seconds
             if not partials:
                 raise NoLiveReadersError(
                     f"all {len(self.readers)} readers failed during fan-out"
                 )
             wall = time.perf_counter() - started
 
-            merged = SearchResult.empty(len(queries), k, self.metric)
-            for qi in range(len(queries)):
-                parts = [
-                    (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
-                    for p in partials
-                ]
-                ids, scores = merge_topk(parts, k, self.metric.higher_is_better)
-                merged.ids[qi, : len(ids)] = ids
-                merged.scores[qi, : len(scores)] = scores
+            ids, scores = merge_topk_batch(
+                [(p.ids, p.scores) for p in partials],
+                k,
+                self.metric.higher_is_better,
+                nq=len(queries),
+                dtype=np.float64,
+            )
+            merged = SearchResult(ids, scores)
 
         registry = obs.registry
         registry.counter("cluster_searches_total").inc()

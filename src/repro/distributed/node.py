@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -26,6 +27,7 @@ from repro.metrics import get_metric
 from repro.obs import get_obs
 from repro.storage.filesystem import FileSystem
 from repro.utils.retry import RetryPolicy
+from repro.utils.sanitizer import maybe_sanitize
 
 
 class WriterNode:
@@ -94,7 +96,18 @@ class ReaderNode:
     *successful* search compute time (introspection only; the cluster
     derives per-node latency from per-call span timings, since
     cumulative deltas double-count under concurrent searches).
+
+    The serving counters are guarded by ``_stats_lock`` (leaf role
+    ``"reader-stats"``): with pooled fan-out, two concurrent cluster
+    searches can serve from the same reader on different worker
+    threads, and unguarded ``+=`` on a float drops updates.
     """
+
+    #: lock-discipline declaration consumed by tools/reprolint.
+    _GUARDED_BY = {
+        "busy_seconds": "_stats_lock",
+        "queries_served": "_stats_lock",
+    }
 
     def __init__(
         self,
@@ -115,6 +128,7 @@ class ReaderNode:
         self._ids: Optional[np.ndarray] = None
         self._consumed: set = set()
         self._index: Optional[VectorIndex] = None
+        self._stats_lock = maybe_sanitize(threading.Lock(), "reader-stats")
         self.busy_seconds = 0.0
         self.queries_served = 0
         self.alive = True
@@ -203,8 +217,9 @@ class ReaderNode:
                                      index_type=self.index_type):
                     result = self._index.search(queries, k, **search_params)
         elapsed = time.perf_counter() - started
-        self.busy_seconds += elapsed
-        self.queries_served += int(queries.shape[0])
+        with self._stats_lock:
+            self.busy_seconds += elapsed
+            self.queries_served += int(queries.shape[0])
         obs.registry.counter(
             "reader_queries_served_total", node=self.node_id
         ).inc(queries.shape[0])

@@ -4,13 +4,36 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exec.normcache import NormCache
 from repro.index.ivf_common import IVFIndexBase
+from repro.metrics.dense import cosine_pairwise, l2_squared_pairwise
 
 
 class IVFFlatIndex(IVFIndexBase):
-    """IVF with uncompressed residents — best recall of the IVF family."""
+    """IVF with uncompressed residents — best recall of the IVF family.
+
+    Bucket scans reuse data-side kernel precomputations (``|x|^2``
+    norms for L2, unit rows for cosine) from a :class:`NormCache`, so
+    repeated probes of the same bucket cost one GEMM plus cached adds.
+    The cache is invalidated wholesale on every ``add`` — appends
+    mutate bucket contents in place — and only engages for a bucket's
+    full compacted code block (a ``row_filter`` slices codes into a
+    fresh array, which is scored directly).
+    """
 
     index_type = "IVF_FLAT"
+
+    def __init__(self, dim: int, **kwargs):
+        super().__init__(dim, **kwargs)
+        self.kernel_cache = NormCache()
+
+    def _add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        super()._add(vectors, ids)
+        self.kernel_cache.invalidate()
+
+    def _is_full_bucket(self, codes: np.ndarray, list_no: int) -> bool:
+        blocks = self.lists.codes[list_no]
+        return len(blocks) == 1 and codes is blocks[0]
 
     def _encode(self, vectors: np.ndarray, list_no: int) -> np.ndarray:
         return vectors.astype(np.float32, copy=True)
@@ -18,4 +41,14 @@ class IVFFlatIndex(IVFIndexBase):
     def _scan_list(
         self, queries: np.ndarray, codes: np.ndarray, list_no: int
     ) -> np.ndarray:
+        if self._is_full_bucket(codes, list_no):
+            if self.metric.name == "l2":
+                norms = self.kernel_cache.squared_norms(list_no, codes)
+                return l2_squared_pairwise(queries, codes, data_sq_norms=norms)
+            if self.metric.name == "cosine":
+                unit = self.kernel_cache.unit_rows(list_no, codes)
+                return cosine_pairwise(queries, codes, data_unit=unit)
         return self.metric.pairwise(queries, codes)
+
+    def memory_bytes(self) -> int:
+        return super().memory_bytes() + self.kernel_cache.memory_bytes()

@@ -23,12 +23,42 @@ def _as_2d_float(arr: np.ndarray) -> np.ndarray:
     return out
 
 
-def l2_squared_pairwise(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distances between every query and data row."""
+def squared_norms(rows: np.ndarray) -> np.ndarray:
+    """Per-row ``|x|^2``, the data-side term of the L2 expansion.
+
+    Row-wise, so slicing the result by a row mask equals computing it
+    on the sliced rows — the property the per-segment norm cache relies
+    on when a filter selects a subset of a segment.
+    """
+    rows = _as_2d_float(rows)
+    return np.einsum("ij,ij->i", rows, rows)
+
+
+def unit_rows(rows: np.ndarray) -> np.ndarray:
+    """Rows normalized to unit L2 norm; zero rows stay zero (not NaN)."""
+    rows = _as_2d_float(rows)
+    norms = np.linalg.norm(rows, axis=1, keepdims=True)
+    return np.divide(rows, norms, out=np.zeros_like(rows), where=norms > 0)
+
+
+def l2_squared_pairwise(
+    queries: np.ndarray,
+    data: np.ndarray,
+    data_sq_norms: np.ndarray | None = None,
+) -> np.ndarray:
+    """Squared Euclidean distances between every query and data row.
+
+    ``data_sq_norms`` optionally supplies precomputed
+    :func:`squared_norms` of ``data`` (e.g. from a segment's kernel
+    cache), skipping the data-side einsum.
+    """
     queries = _as_2d_float(queries)
     data = _as_2d_float(data)
     q_norms = np.einsum("ij,ij->i", queries, queries)[:, np.newaxis]
-    x_norms = np.einsum("ij,ij->i", data, data)[np.newaxis, :]
+    if data_sq_norms is None:
+        x_norms = np.einsum("ij,ij->i", data, data)[np.newaxis, :]
+    else:
+        x_norms = np.asarray(data_sq_norms)[np.newaxis, :]
     dots = queries @ data.T
     dists = q_norms + x_norms - 2.0 * dots
     # Rounding in the expansion can produce tiny negatives.
@@ -41,18 +71,19 @@ def inner_product_pairwise(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
     return _as_2d_float(queries) @ _as_2d_float(data).T
 
 
-def cosine_pairwise(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+def cosine_pairwise(
+    queries: np.ndarray,
+    data: np.ndarray,
+    data_unit: np.ndarray | None = None,
+) -> np.ndarray:
     """Cosine similarities between every query and data row.
 
     Zero vectors score 0 against everything rather than NaN so that the
-    metric stays total.
+    metric stays total.  ``data_unit`` optionally supplies precomputed
+    :func:`unit_rows` of ``data``.
     """
-    queries = _as_2d_float(queries)
-    data = _as_2d_float(data)
-    q_norms = np.linalg.norm(queries, axis=1, keepdims=True)
-    x_norms = np.linalg.norm(data, axis=1, keepdims=True)
-    q_unit = np.divide(queries, q_norms, out=np.zeros_like(queries), where=q_norms > 0)
-    x_unit = np.divide(data, x_norms, out=np.zeros_like(data), where=x_norms > 0)
+    q_unit = unit_rows(queries)
+    x_unit = unit_rows(data) if data_unit is None else _as_2d_float(data_unit)
     return q_unit @ x_unit.T
 
 

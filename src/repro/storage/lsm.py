@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exec import QueryExecutor
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
@@ -35,7 +36,7 @@ from repro.storage.memtable import MemTable
 from repro.storage.merge import TieredMergePolicy
 from repro.storage.segment import Segment, VectorSpecs
 from repro.storage.wal import WriteAheadLog
-from repro.utils import merge_topk
+from repro.utils import merge_topk_batch
 from repro.utils.sanitizer import assert_guarded, maybe_sanitize
 
 
@@ -415,11 +416,17 @@ class LSMManager:
         k: int,
         snapshot: Optional[Snapshot] = None,
         row_filter: Optional[np.ndarray] = None,
+        parallel: Optional[bool] = None,
+        pool_size: Optional[int] = None,
         **search_params,
     ) -> SearchResult:
         """Top-k over all segments visible in ``snapshot``.
 
         Acquires (and releases) a fresh snapshot when none is given.
+        With ``parallel`` on (or ``REPRO_PARALLEL=1``), segment scans
+        fan out over the shared worker pool; results are returned in
+        segment order either way, so parallel output is bit-identical
+        to serial (see ``repro.exec``).
         """
         obs = get_obs()
         metric = get_metric(self.vector_specs[field][1])
@@ -434,30 +441,35 @@ class LSMManager:
                 segments=len(snap.segment_ids),
             ):
                 started = time.perf_counter()
-                partials = []
-                for seg_id in snap.segment_ids:
+
+                def scan(seg_id: int) -> SearchResult:
+                    # Pin inside the task so the segment stays resident
+                    # for exactly the duration of its own scan.
                     segment = self.bufferpool.get(seg_id, pin=True)
                     try:
                         with obs.tracer.span("segment.search", segment=seg_id):
-                            partials.append(
-                                segment.search(
-                                    field, queries, k,
-                                    exclude=snap.tombstones,
-                                    row_filter=row_filter,
-                                    **search_params,
-                                )
+                            return segment.search(
+                                field, queries, k,
+                                exclude=snap.tombstones,
+                                row_filter=row_filter,
+                                **search_params,
                             )
                     finally:
                         self.bufferpool.unpin(seg_id)
-                result = SearchResult.empty(len(queries), k, metric)
-                for qi in range(len(queries)):
-                    parts = [
-                        (p.ids[qi][p.ids[qi] >= 0], p.scores[qi][p.ids[qi] >= 0])
-                        for p in partials
-                    ]
-                    ids, scores = merge_topk(parts, k, metric.higher_is_better)
-                    result.ids[qi, : len(ids)] = ids
-                    result.scores[qi, : len(scores)] = scores
+
+                executor = QueryExecutor(parallel=parallel, pool_size=pool_size)
+                partials = executor.map_ordered(
+                    [lambda seg_id=s: scan(seg_id) for s in snap.segment_ids],
+                    label="segment.search",
+                )
+                ids, scores = merge_topk_batch(
+                    [(p.ids, p.scores) for p in partials],
+                    k,
+                    metric.higher_is_better,
+                    nq=len(queries),
+                    dtype=np.float64,
+                )
+                result = SearchResult(ids, scores)
                 elapsed = time.perf_counter() - started
             obs.registry.counter("lsm_searches_total").inc()
             obs.registry.histogram("lsm_search_seconds").observe(elapsed)
@@ -475,10 +487,16 @@ class LSMManager:
         try:
             total = 0
             for seg_id in snap.segment_ids:
-                segment = self.bufferpool.get(seg_id)
-                total += segment.num_rows - int(
-                    segment.contains_mask(snap.tombstones).sum()
-                )
+                # Pin like the search path: an unpinned segment can be
+                # evicted (and invalidated) by a concurrent flush/merge
+                # mid-read.
+                segment = self.bufferpool.get(seg_id, pin=True)
+                try:
+                    total += segment.num_rows - int(
+                        segment.contains_mask(snap.tombstones).sum()
+                    )
+                finally:
+                    self.bufferpool.unpin(seg_id)
             return total
         finally:
             self.release(snap)

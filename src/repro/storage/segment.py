@@ -26,9 +26,11 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exec.normcache import NormCache
 from repro.index import create_index
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics import get_metric
+from repro.metrics.dense import cosine_pairwise, l2_squared_pairwise
 from repro.storage.attributes import AttributeColumn, merge_columns
 from repro.storage.categorical import CategoricalColumn
 from repro.utils import topk_from_scores
@@ -63,6 +65,10 @@ class Segment:
         self.categoricals = dict(categoricals or {})
         self.vector_specs = dict(vector_specs)
         self.indexes: Dict[str, VectorIndex] = {}
+        # Data-side kernel precomputations (|x|^2 norms, unit rows).
+        # Segments are immutable after sealing, so the cache is never
+        # invalidated — it lives and dies with the segment object.
+        self.kernel_cache = NormCache()
 
     # -- basic properties ---------------------------------------------------
 
@@ -79,6 +85,7 @@ class Segment:
         total += sum(c.memory_bytes() for c in self.attributes.values())
         total += sum(c.memory_bytes() for c in self.categoricals.values())
         total += sum(ix.memory_bytes() for ix in self.indexes.values())
+        total += self.kernel_cache.memory_bytes()
         return total
 
     # -- row access -----------------------------------------------------------
@@ -160,6 +167,25 @@ class Segment:
             mask = allow if mask is None else (mask & allow)
         return mask
 
+    def _pairwise_scores(self, metric, field, queries, data, mask) -> np.ndarray:
+        """``metric.pairwise`` with the data-side term from the cache.
+
+        Norms/unit rows are cached for the *full* field matrix and
+        sliced by ``mask`` — both are row-wise, so slicing the cached
+        result is bit-identical to computing it on the sliced rows.
+        """
+        if metric.name == "l2":
+            norms = self.kernel_cache.squared_norms(field, self.vectors[field])
+            if mask is not None:
+                norms = norms[mask]
+            return l2_squared_pairwise(queries, data, data_sq_norms=norms)
+        if metric.name == "cosine":
+            unit = self.kernel_cache.unit_rows(field, self.vectors[field])
+            if mask is not None:
+                unit = unit[mask]
+            return cosine_pairwise(queries, data, data_unit=unit)
+        return metric.pairwise(queries, data)
+
     def _brute_force(self, metric, field, queries, k, exclude, row_filter) -> SearchResult:
         mask = self._admissible_mask(exclude, row_filter)
         data = self.vectors[field]
@@ -170,7 +196,7 @@ class Segment:
         result = SearchResult.empty(len(queries), k, metric)
         if len(data) == 0:
             return result
-        scores = metric.pairwise(queries, data)
+        scores = self._pairwise_scores(metric, field, queries, data, mask)
         for qi in range(len(queries)):
             top_ids, top_scores = topk_from_scores(
                 scores[qi], k, metric.higher_is_better, ids=ids

@@ -13,6 +13,7 @@ from repro.utils.topk import (
     TopKHeap,
     topk_from_scores,
     merge_topk,
+    merge_topk_batch,
     merge_result_lists,
 )
 from repro.utils.validation import (
@@ -30,6 +31,7 @@ __all__ = [
     "TopKHeap",
     "topk_from_scores",
     "merge_topk",
+    "merge_topk_batch",
     "merge_result_lists",
     "ensure_matrix",
     "ensure_positive",

@@ -48,8 +48,33 @@ class TopKHeap:
         return False
 
     def push_many(self, ids: Sequence[int], scores: Sequence[float]) -> None:
-        """Offer a batch of candidates."""
-        for item_id, score in zip(ids, scores):
+        """Offer a batch of candidates.
+
+        Hot path in graph-index search: candidates worse than the
+        current ``worst_score()`` are dropped by one vectorized compare
+        before the Python-level heap loop.  The prefilter uses the
+        worst score at batch start — conservative, since pushes only
+        tighten it — and :meth:`push` still re-checks each survivor,
+        so results are identical to the per-element loop.
+        """
+        ids = np.asarray(ids)
+        scores = np.asarray(scores)
+        if len(ids) == 0:
+            return
+        start = 0
+        if not self.is_full():
+            fill = min(self.k - len(self._heap), len(ids))
+            for i in range(fill):
+                self.push(int(ids[i]), float(scores[i]))
+            start = fill
+            if start >= len(ids):
+                return
+        worst = self.worst_score()
+        if self.higher_is_better:
+            mask = scores[start:] > worst
+        else:
+            mask = scores[start:] < worst
+        for item_id, score in zip(ids[start:][mask], scores[start:][mask]):
             self.push(int(item_id), float(score))
 
     def worst_score(self) -> float:
@@ -106,11 +131,14 @@ def merge_topk(
     parts: Iterable[Tuple[np.ndarray, np.ndarray]],
     k: int,
     higher_is_better: bool = False,
+    dtype: np.dtype | type | None = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Merge several already-computed (ids, scores) partial results.
 
     This is the per-thread heap merge of the cache-aware design and the
-    per-segment merge used by LSM search.
+    per-segment merge used by LSM search.  ``dtype`` pins the score
+    dtype of the empty result (default float32); non-empty results keep
+    the input dtype as before.
     """
     all_ids: List[np.ndarray] = []
     all_scores: List[np.ndarray] = []
@@ -119,10 +147,71 @@ def merge_topk(
             all_ids.append(np.asarray(ids, dtype=np.int64))
             all_scores.append(np.asarray(scores))
     if not all_ids:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        empty_dtype = np.dtype(dtype) if dtype is not None else np.float32
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=empty_dtype)
     ids_cat = np.concatenate(all_ids)
     scores_cat = np.concatenate(all_scores)
     return topk_from_scores(scores_cat, k, higher_is_better, ids=ids_cat)
+
+
+def merge_topk_batch(
+    partials: Sequence[Tuple[np.ndarray, np.ndarray]],
+    k: int,
+    higher_is_better: bool = False,
+    nq: int | None = None,
+    dtype: np.dtype | type | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge padded ``(nq, k_i)`` partial results for *all* queries at once.
+
+    Each partial is an ``(ids, scores)`` pair in the
+    :class:`~repro.index.base.SearchResult` convention: ids padded with
+    ``-1``, scores padded with the metric's worst value.  Replaces the
+    per-query Python merge loop with one concatenate + ``argpartition``
+    + stable argsort over the whole query block.
+
+    Pad slots are keyed to ``+inf`` so they sort after every real
+    candidate; surviving pads come back as ``(-1, worst)``.  Output is
+    always ``(nq, k)``.  Score dtype follows the inputs (``dtype``
+    overrides); ``nq`` is only required when ``partials`` is empty.
+    """
+    worst = -np.inf if higher_is_better else np.inf
+    parts = [
+        (np.atleast_2d(np.asarray(ids, dtype=np.int64)), np.atleast_2d(scores))
+        for ids, scores in partials
+    ]
+    parts = [(ids, scores) for ids, scores in parts if ids.shape[1] > 0]
+    if not parts:
+        if nq is None:
+            raise ValueError("nq is required when partials are empty")
+        out_dtype = np.dtype(dtype) if dtype is not None else np.float32
+        return (
+            np.full((nq, k), -1, dtype=np.int64),
+            np.full((nq, k), worst, dtype=out_dtype),
+        )
+    ids_cat = np.concatenate([ids for ids, __ in parts], axis=1)
+    scores_cat = np.concatenate([scores for __, scores in parts], axis=1)
+    if dtype is not None:
+        scores_cat = scores_cat.astype(dtype, copy=False)
+    n, total = ids_cat.shape
+    if nq is not None and nq != n:
+        raise ValueError(f"partials have {n} queries, expected {nq}")
+    keyed = -scores_cat if higher_is_better else scores_cat.copy()
+    keyed[ids_cat < 0] = np.inf
+    k_eff = min(k, total)
+    if k_eff < total:
+        sel = np.argpartition(keyed, k_eff - 1, axis=1)[:, :k_eff]
+    else:
+        sel = np.broadcast_to(np.arange(total), (n, total))
+    order = np.argsort(np.take_along_axis(keyed, sel, axis=1), axis=1, kind="stable")
+    idx = np.take_along_axis(sel, order, axis=1)
+    out_ids = np.take_along_axis(ids_cat, idx, axis=1)
+    out_scores = np.take_along_axis(scores_cat, idx, axis=1)
+    out_scores[out_ids < 0] = worst
+    if k_eff < k:
+        pad = k - k_eff
+        out_ids = np.pad(out_ids, ((0, 0), (0, pad)), constant_values=-1)
+        out_scores = np.pad(out_scores, ((0, 0), (0, pad)), constant_values=worst)
+    return out_ids, out_scores
 
 
 def merge_result_lists(

@@ -345,9 +345,17 @@ class TestTraceChain:
         assert root["name"] == "client.search"
         (cluster_span,) = root["children"]
         assert cluster_span["name"] == "cluster.search"
-        reader_spans = [
-            c for c in cluster_span["children"] if c["name"] == "reader.search"
-        ]
+
+        # With REPRO_PARALLEL=1 each reader call is wrapped in an
+        # "exec.task" span, so search the whole subtree rather than
+        # only direct children.
+        def collect(span, name):
+            found = [c for c in span["children"] if c["name"] == name]
+            for child in span["children"]:
+                found.extend(collect(child, name))
+            return found
+
+        reader_spans = collect(cluster_span, "reader.search")
         assert {s["attrs"]["node"] for s in reader_spans} == {
             "reader-0", "reader-1",
         }
