@@ -16,16 +16,16 @@ writes ``BENCH_parallel.json``.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 
 import numpy as np
 import pytest
 
-from repro.bench import measure_throughput, print_series
+from repro.bench import emit_bench_json, measure_throughput, print_series
 from repro.datasets import random_queries, sift_like
 from repro.exec import shutdown_pool
+from repro.obs.profile import QueryProfile
 from repro.storage import LSMConfig, LSMManager
 
 DIM = 64
@@ -55,8 +55,17 @@ def build_lsm():
     return lsm, queries
 
 
+def _profiled_counters(fn) -> dict:
+    """Work counters of one profiled run of ``fn`` (outside the timed
+    window, so profiling overhead never skews the qps numbers)."""
+    with QueryProfile("bench") as prof:
+        fn()
+    return prof.total_counters()
+
+
 def run_sweep():
-    """Returns (rows, identical): per-mode QPS plus the equivalence bit."""
+    """Returns (rows, identical): per-mode QPS + counters plus the
+    equivalence bit."""
     lsm, queries = build_lsm()
     reference = lsm.search("emb", queries, K, parallel=False)
     lsm.search("emb", queries, K, parallel=False)  # warm the norm caches
@@ -67,6 +76,7 @@ def run_sweep():
             lambda q: lsm.search("emb", q, K, parallel=False),
             queries, repeats=3,
         ),
+        _profiled_counters(lambda: lsm.search("emb", queries, K, parallel=False)),
     )]
     identical = True
     for size in POOL_SIZES:
@@ -81,6 +91,9 @@ def run_sweep():
             measure_throughput(
                 lambda q, s=size: lsm.search("emb", q, K, parallel=True, pool_size=s),
                 queries, repeats=3,
+            ),
+            _profiled_counters(
+                lambda s=size: lsm.search("emb", queries, K, parallel=True, pool_size=s)
             ),
         ))
     shutdown_pool()
@@ -103,7 +116,7 @@ def test_pooled_throughput_sane(sweep):
     hard gate here is only 'no pathological overhead' — main() reports
     the actual speedup for multi-core runs."""
     rows, __ = sweep
-    qps = {label: q for label, __, q in rows}
+    qps = {row[0]: row[2] for row in rows}
     assert qps["pool=4"] > 0.4 * qps["serial"]
 
 
@@ -126,14 +139,15 @@ def main(out_path: str = "BENCH_parallel.json"):
           f"dim={DIM}, {NUM_QUERIES} queries, cores={os.cpu_count()})")
     rows, identical = run_sweep()
     serial_qps = rows[0][2]
-    labels = [label for label, *__ in rows]
-    speedups = [qps / serial_qps for *__, qps in rows]
-    for (label, __, qps), speedup in zip(rows, speedups):
+    labels = [row[0] for row in rows]
+    speedups = [row[2] / serial_qps for row in rows]
+    for (label, __, qps, ___), speedup in zip(rows, speedups):
         print(f"  {label:8s} {qps:8.1f} qps   speedup {speedup:4.2f}x")
     print_series("speedup vs serial", labels, [f"{s:.2f}" for s in speedups])
     print(f"  parallel bit-identical to serial: {identical}")
-    payload = {
-        "workload": {
+    emit_bench_json(
+        "parallel",
+        workload={
             "segments": SEGMENTS,
             "rows_per_segment": ROWS_PER_SEGMENT,
             "dim": DIM,
@@ -141,16 +155,14 @@ def main(out_path: str = "BENCH_parallel.json"):
             "k": K,
             "cpu_count": os.cpu_count(),
         },
-        "series": [
+        series=[
             {"mode": label, "pool_size": size, "qps": qps,
-             "speedup_vs_serial": qps / serial_qps}
-            for label, size, qps in rows
+             "speedup_vs_serial": qps / serial_qps, "counters": counters}
+            for label, size, qps, counters in rows
         ],
-        "bit_identical": identical,
-    }
-    with open(out_path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-    print(f"  wrote {out_path}")
+        out_path=out_path,
+        bit_identical=identical,
+    )
 
 
 if __name__ == "__main__":

@@ -16,8 +16,9 @@ import time
 import numpy as np
 import pytest
 
-from repro.bench import print_series
+from repro.bench import emit_bench_json, print_series
 from repro.filtering import AttributeFilterEngine, PartitionedFilterEngine
+from repro.obs.profile import QueryProfile
 
 from common import attribute_bundle, selectivity_to_range
 
@@ -129,6 +130,8 @@ def test_benchmark_strategy_e(benchmark):
 
 
 def main():
+    entries = []
+    engine, __, queries = engines()
     for k, label in [(10, "Fig. 14a (k=10 scaled from k=50)"),
                      (100, "Fig. 14b (k=100 scaled from k=500)")]:
         print(f"=== {label} ===")
@@ -139,6 +142,22 @@ def main():
                 [f"sel={s}" for s, __ in points],
                 [f"{t * 1000:.2f} ms/q" for __, t in points],
             )
+            for sel, latency in points:
+                entry = {
+                    "k": k, "strategy": name, "selectivity": sel,
+                    "latency_seconds": latency,
+                }
+                if name == "D":
+                    lo, hi = selectivity_to_range(sel)
+                    with QueryProfile("bench") as prof:
+                        engine.strategy_d(queries[0], lo, hi, k, nprobe=NPROBE)
+                    entry["counters"] = prof.total_counters()
+                entries.append(entry)
+    emit_bench_json(
+        "fig14_attr_strategies",
+        workload={"selectivities": list(SELECTIVITIES), "nprobe": NPROBE, "nq": NQ},
+        series=entries,
+    )
 
 
 if __name__ == "__main__":

@@ -22,8 +22,9 @@ from repro.baselines import (
     SPTAGLikeEngine,
     VearchLikeEngine,
 )
-from repro.bench import print_series
+from repro.bench import emit_bench_json, print_series
 from repro.datasets import exact_ground_truth, recall_at_k
+from repro.obs.profile import QueryProfile
 
 from common import K, deep_bundle, sift_bundle
 
@@ -43,21 +44,38 @@ def _curve(engine, queries, truth, param_name, values, nq=None):
     return points
 
 
-def run_figure(bundle, metric):
+def _counters(engine, queries, param_name, values):
+    """Work counters per knob value (profiled outside timed windows)."""
+    out = []
+    for value in values:
+        with QueryProfile("bench") as prof:
+            engine.search(queries, K, **{param_name: value})
+        out.append(prof.total_counters())
+    return out
+
+
+def run_figure(bundle, metric, with_counters=False):
     data, queries, truth = bundle
     curves = {}
+    counters = {}
 
     milvus = MilvusEngine(index_type="IVF_FLAT", metric=metric, nlist=128)
     milvus.fit(data)
     curves["Milvus_IVF_FLAT"] = _curve(milvus, queries, truth, "nprobe", NPROBES)
+    if with_counters:
+        counters["Milvus_IVF_FLAT"] = _counters(milvus, queries, "nprobe", NPROBES)
 
     sq8 = MilvusEngine(index_type="IVF_SQ8", metric=metric, nlist=128)
     sq8.fit(data)
     curves["Milvus_IVF_SQ8"] = _curve(sq8, queries, truth, "nprobe", NPROBES)
+    if with_counters:
+        counters["Milvus_IVF_SQ8"] = _counters(sq8, queries, "nprobe", NPROBES)
 
     pq = MilvusEngine(index_type="IVF_PQ", metric=metric, nlist=128, m=8)
     pq.fit(data)
     curves["Milvus_IVF_PQ"] = _curve(pq, queries, truth, "nprobe", NPROBES)
+    if with_counters:
+        counters["Milvus_IVF_PQ"] = _counters(pq, queries, "nprobe", NPROBES)
 
     vearch = VearchLikeEngine(index_type="IVF_FLAT", metric=metric, nlist=128)
     vearch.fit(data)
@@ -89,6 +107,8 @@ def run_figure(bundle, metric):
         elapsed = time.perf_counter() - started
         points.append((recall_at_k(result.ids, truth[:10]), 10 / elapsed))
     curves["SystemC (relational+IVF)"] = points
+    if with_counters:
+        return curves, counters
     return curves
 
 
@@ -143,18 +163,29 @@ def test_benchmark_vearch_like(benchmark):
 
 
 def main():
-    for name, bundle, metric in [
-        ("SIFT-like (Fig. 8a)", sift_bundle(), "l2"),
-        ("Deep-like (Fig. 8b)", deep_bundle(), "ip"),
+    entries = []
+    for name, dataset, bundle, metric in [
+        ("SIFT-like (Fig. 8a)", "sift", sift_bundle(), "l2"),
+        ("Deep-like (Fig. 8b)", "deep", deep_bundle(), "ip"),
     ]:
         print(f"=== Figure 8: {name}, k={K} ===")
-        curves = run_figure(bundle, metric)
+        curves, counters = run_figure(bundle, metric, with_counters=True)
         for series, points in curves.items():
             print_series(
                 series,
                 [f"recall={r:.3f}" for r, __ in points],
                 [f"{q:.0f} qps" for __, q in points],
             )
+            for i, (recall, qps) in enumerate(points):
+                entry = {
+                    "dataset": dataset, "system": series, "point": i,
+                    "recall": recall, "qps": qps,
+                }
+                if series in counters:
+                    entry["counters"] = counters[series][i]
+                entries.append(entry)
+    emit_bench_json("fig8_ivf", workload={"k": K, "nprobes": list(NPROBES)},
+                    series=entries)
 
 
 if __name__ == "__main__":

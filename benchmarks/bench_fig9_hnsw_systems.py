@@ -17,9 +17,10 @@ import time
 import numpy as np
 import pytest
 
-from repro.bench import print_series
+from repro.bench import emit_bench_json, print_series
 from repro.datasets import exact_ground_truth, recall_at_k, sift_like, random_queries
 from repro.index import HNSWIndex
+from repro.obs.profile import QueryProfile
 
 N = 6000
 DIM = 32
@@ -176,12 +177,32 @@ def test_benchmark_hnsw_search(benchmark):
 
 def main():
     print(f"=== Figure 9: HNSW, n={N}, k={K} ===")
-    for name, points in run_figure().items():
+    entries = []
+    curves = run_figure()
+    __, queries, ___, index = setup()
+    milvus_counters = []
+    for ef in EFS:
+        with QueryProfile("bench") as prof:
+            index.search(queries, K, ef=ef)
+        milvus_counters.append(prof.total_counters())
+    for name, points in curves.items():
         print_series(
             name,
             [f"recall={r:.3f}" for r, __ in points],
             [f"{q:.0f} qps" for __, q in points],
         )
+        for i, (recall, qps) in enumerate(points):
+            entry = {
+                "system": name, "ef": EFS[i], "recall": recall, "qps": qps,
+            }
+            if name == "Milvus_HNSW":
+                entry["counters"] = milvus_counters[i]
+            entries.append(entry)
+    emit_bench_json(
+        "fig9_hnsw",
+        workload={"n": N, "dim": DIM, "nq": NQ, "k": K, "efs": list(EFS)},
+        series=entries,
+    )
 
 
 if __name__ == "__main__":

@@ -5,7 +5,14 @@ from repro.bench.runner import (
     recall_throughput_curve,
     CurvePoint,
 )
-from repro.bench.report import print_table, print_series, format_table
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    MEASUREMENT_KEYS,
+    emit_bench_json,
+    format_table,
+    print_series,
+    print_table,
+)
 
 __all__ = [
     "measure_throughput",
@@ -14,4 +21,7 @@ __all__ = [
     "print_table",
     "print_series",
     "format_table",
+    "emit_bench_json",
+    "BENCH_SCHEMA_VERSION",
+    "MEASUREMENT_KEYS",
 ]

@@ -16,10 +16,13 @@ DELETE   /collections/{name}/entities        delete by ids
 POST     /collections/{name}/search          vector / filtered search
 POST     /collections/{name}/multi_search    multi-vector search
 POST     /collections/{name}/index           build index
+POST     /explain                            EXPLAIN/ANALYZE one search
 POST     /flush                              flush one or all collections
 GET      /metrics                            Prometheus text exposition
 GET      /traces                             known trace ids
 GET      /traces/{trace_id}                  one query's span tree
+GET      /profiles                           retained profile trace ids
+GET      /profiles/{trace_id}                one query's work profile
 GET      /slowlog                            slow-query ring buffer
 =======  ==================================  =============================
 
@@ -80,12 +83,15 @@ class RestRouter:
             ("POST", re.compile(r"^/collections/(?P<name>\w+)/search$"), self._search),
             ("POST", re.compile(r"^/collections/(?P<name>\w+)/multi_search$"), self._multi_search),
             ("POST", re.compile(r"^/collections/(?P<name>\w+)/index$"), self._index),
+            ("POST", re.compile(r"^/explain$"), self._explain),
             ("POST", re.compile(r"^/flush$"), self._flush),
             ("GET", re.compile(r"^/stats$"), self._server_stats),
             ("GET", re.compile(r"^/collections/(?P<name>\w+)/stats$"), self._collection_stats),
             ("GET", re.compile(r"^/metrics$"), self._metrics),
             ("GET", re.compile(r"^/traces$"), self._traces),
             ("GET", re.compile(r"^/traces/(?P<trace_id>\w+)$"), self._trace),
+            ("GET", re.compile(r"^/profiles$"), self._profiles),
+            ("GET", re.compile(r"^/profiles/(?P<trace_id>\w+)$"), self._profile),
             ("GET", re.compile(r"^/slowlog$"), self._slowlog),
         ]
 
@@ -169,24 +175,27 @@ class RestRouter:
         self.client.delete(name, body["ids"])
         return RestResponse(200, {"deleted": len(body["ids"])})
 
+    @staticmethod
+    def _parse_filter(filter_spec):
+        if filter_spec is None:
+            return None
+        if "op" in filter_spec:
+            # categorical: {"attribute": "color", "op": "in"|"==",
+            #               "values": [...]} (single value for "==")
+            op = filter_spec["op"]
+            values = filter_spec["values"]
+            if op == "==" and isinstance(values, list):
+                values = values[0]
+            return (filter_spec["attribute"], op, values)
+        return (
+            filter_spec["attribute"],
+            float(filter_spec["low"]),
+            float(filter_spec["high"]),
+        )
+
     def _search(self, body: dict, name: str) -> RestResponse:
         queries = np.asarray(body["queries"], dtype=np.float32)
-        filter_spec = body.get("filter")
-        if filter_spec is not None:
-            if "op" in filter_spec:
-                # categorical: {"attribute": "color", "op": "in"|"==",
-                #               "values": [...]} (single value for "==")
-                op = filter_spec["op"]
-                values = filter_spec["values"]
-                if op == "==" and isinstance(values, list):
-                    values = values[0]
-                filter_spec = (filter_spec["attribute"], op, values)
-            else:
-                filter_spec = (
-                    filter_spec["attribute"],
-                    float(filter_spec["low"]),
-                    float(filter_spec["high"]),
-                )
+        filter_spec = self._parse_filter(body.get("filter"))
         hits = self.client.search(
             name, body["field"], queries, int(body.get("k", 10)),
             filter=filter_spec, **body.get("params", {}),
@@ -195,6 +204,26 @@ class RestRouter:
             "hits": [
                 [{"id": int(i), "score": float(s)} for i, s in row] for row in hits
             ]
+        })
+
+    def _explain(self, body: dict) -> RestResponse:
+        """EXPLAIN/ANALYZE: run the search, return plan + work profile."""
+        name = body["collection"]
+        if not self.client.has_collection(name):
+            return RestResponse(404, {"error": f"collection {name!r} not found"})
+        queries = np.asarray(body["queries"], dtype=np.float32)
+        filter_spec = self._parse_filter(body.get("filter"))
+        explained = self.client.search(
+            name, body["field"], queries, int(body.get("k", 10)),
+            filter=filter_spec, explain=True, **body.get("params", {}),
+        )
+        return RestResponse(200, {
+            "hits": [
+                [{"id": int(i), "score": float(s)} for i, s in row]
+                for row in explained["hits"]
+            ],
+            "plan": explained["plan"],
+            "profile": explained["profile"],
         })
 
     def _multi_search(self, body: dict, name: str) -> RestResponse:
@@ -248,6 +277,15 @@ class RestRouter:
         if tree is None:
             return RestResponse(404, {"error": f"trace {trace_id!r} not found"})
         return RestResponse(200, tree)
+
+    def _profiles(self, body: dict) -> RestResponse:
+        return RestResponse(200, {"profile_ids": get_obs().profiler.profile_ids()})
+
+    def _profile(self, body: dict, trace_id: str) -> RestResponse:
+        profile = get_obs().profiler.get(trace_id)
+        if profile is None:
+            return RestResponse(404, {"error": f"profile {trace_id!r} not found"})
+        return RestResponse(200, profile.to_dict())
 
     def _slowlog(self, body: dict) -> RestResponse:
         log = get_obs().slow_query_log

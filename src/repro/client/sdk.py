@@ -129,22 +129,35 @@ class MilvusClient:
         queries: np.ndarray,
         k: int,
         filter: Optional[Tuple[str, float, float]] = None,
+        explain: bool = False,
         **params,
-    ) -> List[List[Tuple[int, float]]]:
+    ):
         """Vector query (optionally filtered); returns per-query hit lists.
 
         ``params`` ride through to :meth:`Collection.search` — index
         knobs (``nprobe``, ``ef``) plus the intra-query parallelism
         knobs ``parallel=`` / ``pool_size=`` (see :mod:`repro.exec`;
         parallel results are bit-identical to serial).
+
+        With ``explain=True`` the return value is instead a dict with
+        ``"hits"`` (the same per-query lists), ``"plan"`` (the planner
+        dump from :func:`repro.obs.explain.explain_search`), and
+        ``"profile"`` (the executed query's work-counter tree).
         """
         with get_obs().tracer.span(
             "sdk.search", collection=collection, field=field, k=k
         ):
             result = self._call(
                 self.server.get_collection(collection).search,
-                field, queries, k, filter=filter, **params,
+                field, queries, k, filter=filter, explain=explain, **params,
             )
+        if explain:
+            hits = [result.result.row(i) for i in range(result.result.nq)]
+            return {
+                "hits": hits,
+                "plan": result.plan,
+                "profile": result.profile.to_dict(),
+            }
         return [result.row(i) for i in range(result.nq)]
 
     def multi_vector_search(

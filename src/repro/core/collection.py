@@ -27,6 +27,8 @@ from repro.core.schema import CollectionSchema
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
+from repro.obs.explain import ExplainedResult, explain_search
+from repro.obs.profile import QueryProfile, current_node, profile_stage
 from repro.storage import LSMConfig, LSMManager
 from repro.storage.filesystem import FileSystem
 from repro.storage.manifest import Snapshot
@@ -179,6 +181,7 @@ class Collection:
         snapshot: Optional[Snapshot] = None,
         parallel: Optional[bool] = None,
         pool_size: Optional[int] = None,
+        explain: bool = False,
         **search_params,
     ) -> SearchResult:
         """Vector query, optionally with an attribute range filter.
@@ -187,6 +190,14 @@ class Collection:
         segment scans fan out over the shared worker pool (see
         :mod:`repro.exec`); ``None`` defers to ``REPRO_PARALLEL`` /
         ``REPRO_POOL_SIZE``.  Results are bit-identical either way.
+
+        ``explain=True`` returns an :class:`ExplainedResult` instead:
+        the same results plus the planner dump
+        (:func:`~repro.obs.explain.explain_search`) and the executed
+        :class:`~repro.obs.profile.QueryProfile` with exact work
+        counters.  Works with observability off; with it on, every
+        search is profiled and retained by trace id
+        (``GET /profiles/{trace_id}``).
 
         With a filter the collection runs the attribute-first bitmap
         strategy per segment (strategy B of Sec. 4.1): the attribute
@@ -202,21 +213,44 @@ class Collection:
           inverted-list / bitmap categorical indexes.
         """
         obs = get_obs()
+        # explain always gets its own profile; otherwise profile every
+        # top-level search when observability is on (nested searches —
+        # e.g. from the multi-vector searcher — land in the ambient
+        # profile as stages instead of spawning their own).
+        profile = None
+        if explain or (obs.profiler.enabled and current_node() is None):
+            profile = QueryProfile(
+                "collection.search",
+                collection=self.schema.name, field=field, k=int(k),
+            )
         with obs.tracer.span(
             "collection.search", collection=self.schema.name, field=field, k=k,
             filtered=filter is not None,
         ) as span:
             started = time.perf_counter()
-            result = self._search_impl(
-                field, queries, k, filter, snapshot,
-                parallel=parallel, pool_size=pool_size, **search_params
+            stage = profile if profile is not None else profile_stage(
+                "collection.search", collection=self.schema.name, field=field,
             )
+            with stage:
+                result = self._search_impl(
+                    field, queries, k, filter, snapshot,
+                    parallel=parallel, pool_size=pool_size, **search_params
+                )
             elapsed = time.perf_counter() - started
+        if profile is not None:
+            obs.profiler.record(span.trace_id, profile)
         obs.registry.histogram("collection_search_seconds").observe(elapsed)
         obs.slow_query_log.observe(
             "collection.search", elapsed, trace_id=span.trace_id,
+            profile=profile,
             collection=self.schema.name, field=field, k=k,
         )
+        if explain:
+            plan = explain_search(
+                self, field, queries=queries, k=k, filter=filter,
+                parallel=parallel, pool_size=pool_size, **search_params
+            )
+            return ExplainedResult(result=result, plan=plan, profile=profile)
         return result
 
     def _search_impl(
@@ -239,7 +273,9 @@ class Collection:
         owned = snapshot is None
         snap = self._lsm.snapshot() if owned else snapshot
         try:
-            admissible = self._filter_rows(filter, snap)
+            with profile_stage("collection.filter", spec=str(filter)) as stage:
+                admissible = self._filter_rows(filter, snap)
+                stage.set_attr("admissible_rows", int(len(admissible)))
             if len(admissible) == 0:
                 metric = get_metric(self.schema.vector_field(field).metric)
                 queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))

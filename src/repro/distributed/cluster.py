@@ -26,6 +26,7 @@ from repro.exec import ExecTimeoutError, QueryExecutor
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
+from repro.obs.profile import QueryProfile, current_node, profile_stage
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
 from repro.utils import merge_topk_batch
 from repro.utils.retry import RetryPolicy
@@ -71,6 +72,9 @@ class ClusterSearchResult:
     per_node_seconds: Dict[str, float] = field(default_factory=dict)
     index_build_seconds: float = 0.0
     trace_id: Optional[str] = None
+    #: per-shard work-counter profile; populated with ``explain=True``
+    #: or when the profiler is enabled (see :mod:`repro.obs.profile`).
+    profile: Optional[QueryProfile] = None
 
 
 class MilvusCluster:
@@ -178,6 +182,7 @@ class MilvusCluster:
         parallel: Optional[bool] = None,
         pool_size: Optional[int] = None,
         node_timeout: Optional[float] = None,
+        explain: bool = False,
         **search_params,
     ) -> ClusterSearchResult:
         """Fan out to all live readers, merge, and report timings.
@@ -214,9 +219,17 @@ class MilvusCluster:
         obs = get_obs()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         injected0 = float(getattr(self.shared, "injected_latency_seconds", 0.0))
+        profile = None
+        if explain or (obs.profiler.enabled and current_node() is None):
+            profile = QueryProfile("cluster.search", nq=len(queries), k=int(k))
+        pstage = (
+            profile.root
+            if profile is not None
+            else profile_stage("cluster.search", nq=len(queries), k=int(k))
+        )
         with obs.tracer.span(
             "cluster.search", nq=len(queries), k=k
-        ) as root:
+        ) as root, pstage:
             trace_id = root.trace_id
             if self.respawn_policy.auto:
                 self._auto_respawn()
@@ -229,25 +242,35 @@ class MilvusCluster:
             index_build_seconds = 0.0
             started = time.perf_counter()
 
-            def serve(reader: ReaderNode):
+            def serve(reader: ReaderNode, stage):
                 # Each task returns (build_seconds, partial, node_seconds);
                 # the timed window sits inside the fan-out wall window,
                 # so max(per_node) <= wall holds in both modes.  The
                 # refresh runs inside the task so a shared-storage read
                 # failure degrades this shard instead of failing the
                 # whole query.
-                if auto_refresh and reader.refresh():
-                    reader.build_index()
-                build = reader.ensure_index()
-                node_started = time.perf_counter()
-                partial = reader.search(queries, k, **search_params)
-                return build, partial, time.perf_counter() - node_started
+                with stage:
+                    if auto_refresh and reader.refresh():
+                        reader.build_index()
+                    build = reader.ensure_index()
+                    node_started = time.perf_counter()
+                    partial = reader.search(queries, k, **search_params)
+                    return build, partial, time.perf_counter() - node_started
 
             executor = QueryExecutor(
                 parallel=parallel, pool_size=pool_size, timeout=node_timeout
             )
             settled = executor.map_settled(
-                [lambda r=reader: serve(r) for reader in live],
+                # Per-shard stages are pre-created here, in submission
+                # order on the coordinating thread (default args bind at
+                # list-build time), and entered inside the worker — see
+                # repro.obs.profile on fan-out determinism.
+                [
+                    lambda r=reader, stage=pstage.stage(
+                        "shard.search", node=reader.node_id
+                    ): serve(r, stage)
+                    for reader in live
+                ],
                 label="reader.search",
                 # Died between the liveness check and its turn in the
                 # fan-out (or its shared-storage read failed, or it ran
@@ -293,6 +316,8 @@ class MilvusCluster:
             float(getattr(self.shared, "injected_latency_seconds", 0.0))
             - injected0
         )
+        if profile is not None:
+            obs.profiler.record(trace_id, profile)
         obs.slow_query_log.observe(
             "cluster.search",
             wall + max(0.0, injected),
@@ -300,6 +325,7 @@ class MilvusCluster:
             nq=len(queries),
             k=k,
             degraded=bool(missing),
+            profile=profile,
         )
         return ClusterSearchResult(
             result=merged,
@@ -312,6 +338,7 @@ class MilvusCluster:
             per_node_seconds=per_node,
             index_build_seconds=index_build_seconds,
             trace_id=trace_id,
+            profile=profile,
         )
 
     # -- introspection ----------------------------------------------------------------

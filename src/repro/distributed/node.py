@@ -25,6 +25,7 @@ from repro.index import create_index
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics import get_metric
 from repro.obs import get_obs
+from repro.obs.profile import profile_count
 from repro.storage.filesystem import FileSystem
 from repro.utils.retry import RetryPolicy
 from repro.utils.sanitizer import maybe_sanitize
@@ -143,7 +144,9 @@ class ReaderNode:
         for path in self.shared.listdir("shardlog/"):
             if not path.endswith(suffix) or path in self._consumed:
                 continue
-            with np.load(io.BytesIO(self.shared.read(path))) as archive:
+            blob = self.shared.read(path)
+            profile_count("bytes_read", len(blob))
+            with np.load(io.BytesIO(blob)) as archive:
                 row_ids = archive["row_ids"]
                 vectors = archive["vectors"]
             if self._vectors is None:

@@ -38,6 +38,7 @@ import numpy as np
 from repro.metrics.dense import squared_norms as _squared_norms
 from repro.metrics.dense import unit_rows as _unit_rows
 from repro.obs import get_obs
+from repro.obs.profile import profile_count
 from repro.utils.sanitizer import maybe_sanitize
 
 __all__ = ["NormCache"]
@@ -65,6 +66,7 @@ class NormCache:
         registry = get_obs().registry
         if value is not None:
             registry.counter("normcache_hits_total", kind=kind).inc()
+            profile_count("normcache_hits")
             return value
         # Compute outside the lock (it is a leaf); a concurrent miss on
         # the same key computes twice and last-write-wins — benign,
@@ -73,6 +75,7 @@ class NormCache:
         with self._lock:
             self._entries[full_key] = value
         registry.counter("normcache_misses_total", kind=kind).inc()
+        profile_count("normcache_misses")
         return value
 
     def squared_norms(self, key: Hashable, data: np.ndarray) -> np.ndarray:

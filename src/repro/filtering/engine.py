@@ -16,6 +16,7 @@ from repro.filtering.cost import CostModel
 from repro.index import create_index
 from repro.index.base import VectorIndex
 from repro.metrics import get_metric
+from repro.obs.profile import current_node, profile_attr, profile_stage
 from repro.storage.attributes import AttributeColumn
 from repro.utils import topk_from_scores
 
@@ -84,6 +85,11 @@ class AttributeFilterEngine:
         candidates = self.column.range_query(low, high)
         if len(candidates) == 0:
             return self._empty("A", exact=True)
+        node = current_node()
+        if node is not None:
+            node.count("rows_scanned", len(candidates))
+            node.count("distance_evals", len(candidates))
+            node.count("candidates_pruned", len(self.ids) - len(candidates))
         pos = np.searchsorted(self.ids, np.sort(candidates))
         cand_vectors = self.vectors[pos]
         scores = self.metric.pairwise(np.atleast_2d(query), cand_vectors)[0]
@@ -132,6 +138,9 @@ class AttributeFilterEngine:
                 pos = np.searchsorted(self.ids, found_ids)
                 values = self._attr_by_row[pos]
                 passing = (values >= low) & (values <= high)
+                node = current_node()
+                if node is not None:
+                    node.count("candidates_pruned", int((~passing).sum()))
                 found_ids, found_scores = found_ids[passing], found_scores[passing]
             if len(found_ids) >= k or fetch_eff >= self.index.ntotal:
                 return FilterResult(
@@ -162,6 +171,7 @@ class AttributeFilterEngine:
         nprobe = int(search_params.get("nprobe", 8))
         costs = self.estimate_costs(low, high, k, nprobe=nprobe)
         choice = costs.best()
+        profile_attr("cost_choice", choice)
         if choice == "A":
             result = self.strategy_a(query, low, high, k)
         elif choice == "B":
@@ -177,15 +187,19 @@ class AttributeFilterEngine:
         strategy: str = "D", **search_params,
     ) -> FilterResult:
         strategy = strategy.upper()
-        if strategy == "A":
-            return self.strategy_a(query, low, high, k)
-        if strategy == "B":
-            return self.strategy_b(query, low, high, k, **search_params)
-        if strategy == "C":
-            return self.strategy_c(query, low, high, k, **search_params)
-        if strategy == "D":
-            return self.strategy_d(query, low, high, k, **search_params)
-        raise ValueError(f"unknown strategy {strategy!r} (A/B/C/D)")
+        with profile_stage("filter.search", requested=strategy) as stage:
+            if strategy == "A":
+                result = self.strategy_a(query, low, high, k)
+            elif strategy == "B":
+                result = self.strategy_b(query, low, high, k, **search_params)
+            elif strategy == "C":
+                result = self.strategy_c(query, low, high, k, **search_params)
+            elif strategy == "D":
+                result = self.strategy_d(query, low, high, k, **search_params)
+            else:
+                raise ValueError(f"unknown strategy {strategy!r} (A/B/C/D)")
+            stage.set_attr("strategy", result.strategy)
+        return result
 
     def vector_only(self, query: np.ndarray, k: int, **search_params) -> FilterResult:
         """Pure vector search — used by strategy E on covered partitions."""

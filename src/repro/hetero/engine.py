@@ -19,6 +19,7 @@ from repro.hetero.gpu import GPUDevice
 from repro.hetero.scheduler import SearchTask, SegmentScheduler
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
+from repro.obs.profile import profile_stage
 from repro.storage.lsm import LSMManager
 from repro.utils import merge_topk
 
@@ -70,13 +71,19 @@ class GPUSearchEngine:
                         n=segment.num_rows,
                         dim=self.lsm.vector_specs[field][0],
                     )
-                    assignments.append(self.scheduler.dispatch(task))
-                    partials.append(
-                        segment.search(
-                            field, queries, k, exclude=snap.tombstones,
-                            **search_params,
+                    assignment = self.scheduler.dispatch(task)
+                    assignments.append(assignment)
+                    with profile_stage(
+                        "hetero.segment",
+                        segment=seg_id,
+                        device=f"gpu-{assignment.device_id}",
+                    ):
+                        partials.append(
+                            segment.search(
+                                field, queries, k, exclude=snap.tombstones,
+                                **search_params,
+                            )
                         )
-                    )
                 finally:
                     self.lsm.bufferpool.unpin(seg_id)
             result = SearchResult.empty(len(queries), k, metric)

@@ -66,6 +66,10 @@ class SegmentScheduler:
     def num_devices(self) -> int:
         return len(self._devices)
 
+    def devices(self) -> Dict[int, GPUDevice]:
+        """Registered devices (read-only copy for planners/EXPLAIN)."""
+        return dict(self._devices)
+
     # -- scheduling ----------------------------------------------------------
 
     def task_cost(self, device: GPUDevice, task: SearchTask) -> float:

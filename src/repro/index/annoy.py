@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics.base import MetricKind
+from repro.obs.profile import current_node
 from repro.utils import ensure_positive, topk_from_scores
 
 
@@ -139,10 +140,13 @@ class AnnoyIndex(VectorIndex):
         budget = search_k if search_k is not None else self.n_trees * self.leaf_size * 2
         budget = max(budget, k)
         result = SearchResult.empty(len(queries), k, self.metric)
+        rows_scanned = distance_evals = 0
         for qi, vec in enumerate(queries):
             candidates = self._collect_candidates(vec, budget)
             if len(candidates) == 0:
                 continue
+            rows_scanned += len(candidates)
+            distance_evals += len(candidates)
             scores = self.metric.pairwise(
                 vec[np.newaxis, :], self._vectors[candidates]
             )[0]
@@ -151,6 +155,10 @@ class AnnoyIndex(VectorIndex):
             )
             result.ids[qi, : len(top_ids)] = top_ids
             result.scores[qi, : len(top_scores)] = top_scores
+        node = current_node()
+        if node is not None:
+            node.count("rows_scanned", rows_scanned)
+            node.count("distance_evals", distance_evals)
         return result
 
     def _collect_candidates(self, vec: np.ndarray, budget: int) -> np.ndarray:
@@ -165,6 +173,7 @@ class AnnoyIndex(VectorIndex):
         seen = set()
         collected: List[np.ndarray] = []
         count = 0
+        pushes = 0
         while heap and count < budget:
             neg_margin, tree_no, node_idx = heapq.heappop(heap)
             node = self._trees[tree_no][node_idx]
@@ -179,6 +188,10 @@ class AnnoyIndex(VectorIndex):
             near, far = (node.left, node.right) if side <= 0 else (node.right, node.left)
             heapq.heappush(heap, (neg_margin, tree_no, near))
             heapq.heappush(heap, (max(neg_margin, -abs(side)), tree_no, far))
+            pushes += 2
+        pnode = current_node()
+        if pnode is not None:
+            pnode.count("heap_pushes", pushes)
         if not collected:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(collected)

@@ -7,6 +7,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.obs.profile import current_node
 from repro.utils import topk_from_scores
 
 _SCAN_CHUNK = 16384
@@ -56,6 +57,10 @@ class FlatIndex(VectorIndex):
         if params:
             raise TypeError(f"FLAT takes no search params, got {sorted(params)}")
         data, ids = self._compacted()
+        node = current_node()
+        if node is not None:
+            node.count("rows_scanned", len(data))
+            node.count("distance_evals", len(queries) * len(data))
         result = SearchResult.empty(len(queries), k, self.metric)
         # Chunk over data so the (m, chunk) score matrix stays bounded.
         partials = [[] for __ in range(len(queries))]

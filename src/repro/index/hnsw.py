@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics.base import MetricKind
+from repro.obs.profile import current_node
 from repro.utils import ensure_positive
 
 
@@ -63,6 +64,9 @@ class HNSWIndex(VectorIndex):
     # -- distances (always lower-is-better internally) ---------------------
 
     def _dist(self, query: np.ndarray, nodes) -> np.ndarray:
+        node = current_node()
+        if node is not None:
+            node.count("distance_evals", len(nodes))
         data = self._data[np.asarray(nodes, dtype=np.int64)]
         scores = self.metric.pairwise(query[np.newaxis, :], data)[0]
         return -scores if self.metric.higher_is_better else scores
@@ -158,6 +162,7 @@ class HNSWIndex(VectorIndex):
         while len(results) > ef:
             heapq.heappop(results)
 
+        pushes = 0
         while candidates:
             dist, node = heapq.heappop(candidates)
             worst = -results[0][0]
@@ -173,8 +178,13 @@ class HNSWIndex(VectorIndex):
                 if len(results) < ef or nd < -results[0][0]:
                     heapq.heappush(candidates, (nd, nn))
                     heapq.heappush(results, (-nd, nn))
+                    pushes += 1
                     if len(results) > ef:
                         heapq.heappop(results)
+        pnode = current_node()
+        if pnode is not None:
+            pnode.count("heap_pushes", pushes)
+            pnode.count("rows_scanned", len(visited))
         out = sorted(((-d, n) for d, n in results))
         return out
 

@@ -22,6 +22,7 @@ from repro.index.base import SearchResult, VectorIndex
 from repro.index.kmeans import KMeans, assign_to_centroids
 from repro.metrics.base import MetricKind
 from repro.metrics.dense import l2_squared_pairwise
+from repro.obs.profile import current_node
 from repro.utils import ensure_positive, merge_topk, topk_from_scores
 
 DEFAULT_NLIST = 128
@@ -126,6 +127,10 @@ class IVFIndexBase(VectorIndex):
     def select_buckets(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
         """Step 1: the ``nprobe`` closest buckets per query, best-first."""
         nprobe = min(ensure_positive(nprobe, "nprobe"), self.nlist)
+        node = current_node()
+        if node is not None:
+            # Coarse step: every query is scored against every centroid.
+            node.count("distance_evals", len(queries) * len(self.centroids))
         coarse = l2_squared_pairwise(queries, self.centroids)
         part = np.argpartition(coarse, nprobe - 1, axis=1)[:, :nprobe]
         row_scores = np.take_along_axis(coarse, part, axis=1)
@@ -151,14 +156,19 @@ class IVFIndexBase(VectorIndex):
             raise TypeError(f"unknown search params: {sorted(params)}")
         bucket_ids = self.select_buckets(queries, nprobe)
         result = SearchResult.empty(len(queries), k, self.metric)
+        node = current_node()
+        buckets_probed = rows_scanned = pruned = 0
         for qi in range(len(queries)):
             parts = []
             for list_no in bucket_ids[qi]:
                 ids, codes = self.lists.get(int(list_no))
                 if len(ids) == 0:
                     continue
+                buckets_probed += 1
+                rows_scanned += len(ids)
                 if row_filter is not None:
                     keep = _sorted_membership(ids, row_filter)
+                    pruned += len(ids) - int(keep.sum())
                     if not keep.any():
                         continue
                     ids = ids[keep]
@@ -170,6 +180,11 @@ class IVFIndexBase(VectorIndex):
             top_ids, top_scores = merge_topk(parts, k, self.metric.higher_is_better)
             result.ids[qi, : len(top_ids)] = top_ids
             result.scores[qi, : len(top_scores)] = top_scores
+        if node is not None:
+            node.count("buckets_probed", buckets_probed)
+            node.count("rows_scanned", rows_scanned)
+            if pruned:
+                node.count("candidates_pruned", pruned)
         return result
 
     def _range_search(

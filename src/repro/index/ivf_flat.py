@@ -7,6 +7,7 @@ import numpy as np
 from repro.exec.normcache import NormCache
 from repro.index.ivf_common import IVFIndexBase
 from repro.metrics.dense import cosine_pairwise, l2_squared_pairwise
+from repro.obs.profile import profile_count
 
 
 class IVFFlatIndex(IVFIndexBase):
@@ -41,6 +42,7 @@ class IVFFlatIndex(IVFIndexBase):
     def _scan_list(
         self, queries: np.ndarray, codes: np.ndarray, list_no: int
     ) -> np.ndarray:
+        profile_count("distance_evals", len(queries) * len(codes))
         if self._is_full_bucket(codes, list_no):
             if self.metric.name == "l2":
                 norms = self.kernel_cache.squared_norms(list_no, codes)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.index.ivf_common import IVFIndexBase
 from repro.index.kmeans import KMeans
+from repro.obs.profile import profile_count
 from repro.utils import ensure_matrix, ensure_positive
 
 
@@ -155,6 +156,7 @@ class IVFPQIndex(IVFIndexBase):
         # ADC table construction is O(m * ksub * dsub) per query — far
         # cheaper than the gather over the bucket, so rebuilding per
         # scan keeps the code path simple.
+        profile_count("distance_evals", len(queries) * len(codes))
         tables = self.pq.build_tables(queries, self.metric.name)
         return ProductQuantizer.adc_scan(tables, codes)
 

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.index.ivf_common import IVFIndexBase
+from repro.obs.profile import profile_count
 from repro.utils import ensure_matrix
 
 
@@ -79,4 +80,5 @@ class IVFSQ8Index(IVFIndexBase):
     def _scan_list(
         self, queries: np.ndarray, codes: np.ndarray, list_no: int
     ) -> np.ndarray:
+        profile_count("distance_evals", len(queries) * len(codes))
         return self.metric.pairwise(queries, self.sq.decode(codes))

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics.base import MetricKind
+from repro.obs.profile import current_node
 from repro.utils import ensure_positive
 
 _KNN_CHUNK = 2048
@@ -222,6 +223,9 @@ class NSGIndex(VectorIndex):
     # -- query -------------------------------------------------------------------
 
     def _dist(self, query: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        node = current_node()
+        if node is not None:
+            node.count("distance_evals", len(nodes))
         scores = self.metric.pairwise(query[np.newaxis, :], self._vectors[nodes])[0]
         return -scores if self.metric.higher_is_better else scores
 
@@ -248,6 +252,7 @@ class NSGIndex(VectorIndex):
         visited = {entry}
         candidates = [(d0, entry)]
         results = [(-d0, entry)]
+        pushes = 0
         while candidates:
             dist, node = heapq.heappop(candidates)
             if len(results) >= pool and dist > -results[0][0]:
@@ -262,8 +267,13 @@ class NSGIndex(VectorIndex):
                 if len(results) < pool or nd < -results[0][0]:
                     heapq.heappush(candidates, (nd, nn))
                     heapq.heappush(results, (-nd, nn))
+                    pushes += 1
                     if len(results) > pool:
                         heapq.heappop(results)
+        pnode = current_node()
+        if pnode is not None:
+            pnode.count("heap_pushes", pushes)
+            pnode.count("rows_scanned", len(visited))
         return sorted((-d, n) for d, n in results)
 
     # -- introspection ----------------------------------------------------------

@@ -10,7 +10,11 @@ injectable) :class:`Observability` handle:
   ambient (contextvar) parenting, retrievable via
   ``GET /traces/<trace_id>``;
 * :class:`~repro.obs.slowlog.SlowQueryLog` — threshold-gated ring of
-  slow queries, each linking to its trace.
+  slow queries, each linking to its trace (and, since the profiling
+  layer landed, embedding the offending query's profile);
+* :class:`~repro.obs.profile.Profiler` — bounded store of per-query
+  :class:`~repro.obs.profile.QueryProfile` trees (stage timings +
+  exact work counters), retrievable via ``GET /profiles/<trace_id>``.
 
 Switchboard (mirrors :mod:`repro.utils.sanitizer`): observability is
 **off by default** and every instrumented call site then runs against
@@ -44,6 +48,18 @@ from repro.obs.metrics import (
     NullRegistry,
     NULL_REGISTRY,
 )
+from repro.obs.profile import (
+    NullProfiler,
+    NULL_PROFILER,
+    NULL_STAGE,
+    Profiler,
+    ProfileNode,
+    QueryProfile,
+    current_node,
+    profile_attr,
+    profile_count,
+    profile_stage,
+)
 from repro.obs.slowlog import (
     NullSlowQueryLog,
     NULL_SLOW_LOG,
@@ -65,6 +81,16 @@ __all__ = [
     "SlowQuery",
     "SlowQueryLog",
     "NullSlowQueryLog",
+    "ProfileNode",
+    "QueryProfile",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "NULL_STAGE",
+    "current_node",
+    "profile_count",
+    "profile_attr",
+    "profile_stage",
     "Observability",
     "Stopwatch",
     "enabled",
@@ -75,27 +101,30 @@ __all__ = [
 
 
 class Observability:
-    """One registry + tracer + slow-query log, travelling together."""
+    """One registry + tracer + slow-query log + profiler, together."""
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         slow_query_log: Optional[SlowQueryLog] = None,
+        profiler: Optional[Profiler] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.slow_query_log = (
             slow_query_log if slow_query_log is not None else SlowQueryLog()
         )
+        self.profiler = profiler if profiler is not None else Profiler()
 
 
 class _NullObservability:
-    """The disabled-path handle: all three members are shared no-ops."""
+    """The disabled-path handle: all members are shared no-ops."""
 
     registry = NULL_REGISTRY
     tracer = NULL_TRACER
     slow_query_log = NULL_SLOW_LOG
+    profiler = NULL_PROFILER
 
 
 _NULL_OBS = _NullObservability()
@@ -130,6 +159,7 @@ def enable(
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     slow_query_log: Optional[SlowQueryLog] = None,
+    profiler: Optional[Profiler] = None,
 ) -> Observability:
     """Force observability on; optionally inject components (tests).
 
@@ -138,7 +168,7 @@ def enable(
     """
     global _obs
     with _state_lock:
-        _obs = Observability(registry, tracer, slow_query_log)
+        _obs = Observability(registry, tracer, slow_query_log, profiler)
         return _obs
 
 

@@ -61,11 +61,22 @@ def _labelset(labels: Dict[str, object]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format escaping for label values.
+
+    Backslash first (so later escapes are not double-escaped), then the
+    quote delimiter, then literal newlines — per the exposition-format
+    spec.  Hostile values (shard names, user-supplied collection names)
+    must not be able to break out of the label quoting or inject lines.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _render_labels(labels: LabelSet, extra: Iterable[Tuple[str, str]] = ()) -> str:
     pairs = list(labels) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 

@@ -8,6 +8,14 @@ in a bounded ring (oldest evicted first) together with their trace id,
 so a slow entry links straight to its span tree via
 ``GET /traces/<trace_id>``.
 
+When query profiling collected a :class:`~repro.obs.profile
+.QueryProfile` for the offending query, the caller passes it to
+:meth:`SlowQueryLog.observe` and the rendered profile tree is embedded
+in the entry — answering *where the work went* (distance evals, rows
+scanned, candidates pruned) without a second run.  Memory stays
+bounded: the ring caps entries and each profile tree caps its own
+children (``MAX_CHILDREN_PER_NODE``).
+
 Injected fault latency (see :meth:`FaultPlan.latency
 <repro.storage.faults.FaultPlan.latency>`) is *accounted*, not slept;
 callers fold it into the latency they report so chaos tests can assert
@@ -35,15 +43,19 @@ class SlowQuery:
     threshold_seconds: float  #: the threshold in force when recorded
     trace_id: Optional[str] = None
     detail: Dict[str, object] = field(default_factory=dict)
+    profile: Optional[Dict[str, object]] = None  #: rendered QueryProfile
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        entry = {
             "name": self.name,
             "seconds": self.seconds,
             "threshold_seconds": self.threshold_seconds,
             "trace_id": self.trace_id,
             "detail": dict(self.detail),
         }
+        if self.profile is not None:
+            entry["profile"] = self.profile
+        return entry
 
 
 class SlowQueryLog:
@@ -69,10 +81,17 @@ class SlowQueryLog:
         name: str,
         seconds: float,
         trace_id: Optional[str] = None,
+        profile=None,
         **detail,
     ) -> bool:
-        """Report one query's latency; True when it was slow (recorded)."""
+        """Report one query's latency; True when it was slow (recorded).
+
+        ``profile`` takes the query's :class:`QueryProfile` (or None);
+        it is rendered to a dict only for queries that cross the
+        threshold, so the fast path never pays for serialization.
+        """
         slow = seconds >= self.threshold_seconds
+        rendered = profile.to_dict() if (slow and profile is not None) else None
         with self._lock:
             self.observed += 1
             if slow:
@@ -84,6 +103,7 @@ class SlowQueryLog:
                         threshold_seconds=self.threshold_seconds,
                         trace_id=trace_id,
                         detail=dict(detail),
+                        profile=rendered,
                     )
                 )
         return slow
@@ -108,7 +128,7 @@ class NullSlowQueryLog:
     observed = 0
     recorded = 0
 
-    def observe(self, name, seconds, trace_id=None, **detail) -> bool:
+    def observe(self, name, seconds, trace_id=None, profile=None, **detail) -> bool:
         return False
 
     def entries(self) -> List[SlowQuery]:

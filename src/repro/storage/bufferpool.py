@@ -17,6 +17,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional
 
 from repro.obs import get_obs
+from repro.obs.profile import profile_count
 from repro.storage.segment import Segment
 from repro.utils import ensure_positive
 from repro.utils.sanitizer import assert_guarded, maybe_sanitize
@@ -74,8 +75,10 @@ class BufferPool:
         registry = get_obs().registry
         if hit:
             registry.counter("bufferpool_hits_total").inc()
+            profile_count("cache_hits")
         else:
             registry.counter("bufferpool_misses_total").inc()
+            profile_count("cache_misses")
         registry.gauge("bufferpool_resident_bytes").set(resident)
         return segment
 

@@ -29,6 +29,7 @@ from repro.exec import QueryExecutor
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
+from repro.obs.profile import profile_count, profile_stage
 from repro.storage.bufferpool import BufferPool
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
 from repro.storage.manifest import Manifest, Snapshot
@@ -439,15 +440,19 @@ class LSMManager:
             with obs.tracer.span(
                 "lsm.search", field=field, nq=len(queries), k=k,
                 segments=len(snap.segment_ids),
-            ):
+            ), profile_stage(
+                "lsm.search", field=field, segments=len(snap.segment_ids),
+            ) as pstage:
                 started = time.perf_counter()
 
-                def scan(seg_id: int) -> SearchResult:
+                def scan(seg_id: int, stage) -> SearchResult:
                     # Pin inside the task so the segment stays resident
                     # for exactly the duration of its own scan.
                     segment = self.bufferpool.get(seg_id, pin=True)
                     try:
-                        with obs.tracer.span("segment.search", segment=seg_id):
+                        with stage, obs.tracer.span(
+                            "segment.search", segment=seg_id
+                        ):
                             return segment.search(
                                 field, queries, k,
                                 exclude=snap.tombstones,
@@ -458,8 +463,17 @@ class LSMManager:
                         self.bufferpool.unpin(seg_id)
 
                 executor = QueryExecutor(parallel=parallel, pool_size=pool_size)
+                # Per-segment profile stages are pre-created here, in
+                # submission order, and entered inside each task: child
+                # order and counter placement are then identical for
+                # serial and pooled execution (see repro.obs.profile).
                 partials = executor.map_ordered(
-                    [lambda seg_id=s: scan(seg_id) for s in snap.segment_ids],
+                    [
+                        lambda seg_id=s, stage=pstage.stage(
+                            "segment.search", segment=s
+                        ): scan(seg_id, stage)
+                        for s in snap.segment_ids
+                    ],
                     label="segment.search",
                 )
                 ids, scores = merge_topk_batch(
@@ -543,6 +557,7 @@ class LSMManager:
         from repro.index import index_from_bytes
 
         blob = self.fs.read(self._segment_path(segment_id))
+        profile_count("bytes_read", len(blob))
         segment = Segment.from_bytes(blob)
         # Restore this segment's indexes: load the persisted blob when
         # one exists (quantization indexes serialize), else rebuild
@@ -552,7 +567,9 @@ class LSMManager:
         for field, (itype, params) in specs.items():
             path = self._index_path(segment_id, field)
             if self.fs.exists(path):
-                segment.indexes[field] = index_from_bytes(self.fs.read(path))
+                index_blob = self.fs.read(path)
+                profile_count("bytes_read", len(index_blob))
+                segment.indexes[field] = index_from_bytes(index_blob)
             else:
                 segment.build_index(field, itype, **params)
         return segment

@@ -31,6 +31,7 @@ from repro.index import create_index
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics import get_metric
 from repro.metrics.dense import cosine_pairwise, l2_squared_pairwise
+from repro.obs.profile import current_node
 from repro.storage.attributes import AttributeColumn, merge_columns
 from repro.storage.categorical import CategoricalColumn
 from repro.utils import topk_from_scores
@@ -152,6 +153,12 @@ class Segment:
             queries = queries[np.newaxis, :]
 
         index = self.indexes.get(field)
+        node = current_node()
+        if node is not None:
+            node.set_attr(
+                "plan",
+                f"index:{index.index_type}" if index is not None else "brute_force",
+            )
         if index is not None:
             return self._search_with_index(
                 index, queries, k, exclude, row_filter, **search_params
@@ -194,6 +201,12 @@ class Segment:
             data = data[mask]
             ids = ids[mask]
         result = SearchResult.empty(len(queries), k, metric)
+        node = current_node()
+        if node is not None:
+            node.count("rows_scanned", len(data))
+            node.count("distance_evals", len(queries) * len(data))
+            if mask is not None:
+                node.count("candidates_pruned", len(self.row_ids) - len(data))
         if len(data) == 0:
             return result
         scores = self._pairwise_scores(metric, field, queries, data, mask)
@@ -225,16 +238,21 @@ class Segment:
                 return raw
             return SearchResult(raw.ids[:, :k], raw.scores[:, :k])
         out = SearchResult.empty(len(queries), k, metric)
+        tombstoned = 0
         for qi in range(len(queries)):
             kept = 0
             for item_id, score in zip(raw.ids[qi], raw.scores[qi]):
                 if item_id < 0 or kept >= k:
                     break
                 if _sorted_contains(exclude, item_id):
+                    tombstoned += 1
                     continue
                 out.ids[qi, kept] = item_id
                 out.scores[qi, kept] = score
                 kept += 1
+        node = current_node()
+        if node is not None and tombstoned:
+            node.count("candidates_pruned", tombstoned)
         return out
 
     # -- attribute access ---------------------------------------------------------

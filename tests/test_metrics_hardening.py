@@ -1,0 +1,161 @@
+"""Metrics hardening: hostile label values and concurrent scrapes.
+
+Two failure classes the exposition endpoint must survive:
+
+* label *values* are user-influenced (collection names, shard ids) —
+  backslashes, quotes, and newlines must be escaped per the Prometheus
+  text format, never able to break out of the quoting or inject lines;
+* ``GET /metrics`` races concurrent writers — every scrape must be
+  well-formed and counters must read monotonically across scrapes.
+"""
+
+import re
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.client import RestRouter
+from repro.datasets import random_queries, sift_like
+from repro.obs import MetricsRegistry
+
+SAMPLE_LINE = re.compile(
+    r'^[a-z][a-z0-9_]*(_bucket|_sum|_count)?'
+    r'(\{([a-z0-9_]+="(\\.|[^"\\\n])*",?)+\})? -?[0-9].*$'
+)
+
+
+@pytest.fixture()
+def obs_on():
+    handle = obs.enable()
+    yield handle
+    obs.disable()
+
+
+def _parse_exposition(text):
+    """-> {metric-sample-name-with-labels: float} for non-comment lines."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.rsplit(" ", 1)
+        out[key] = float(value)
+    return out
+
+
+class TestHostileLabels:
+    @pytest.mark.parametrize("hostile", [
+        'back\\slash', 'quo"te', 'new\nline',
+        'all\\"of\nthem\\', '} injected_total 999',
+    ])
+    def test_hostile_value_cannot_break_exposition(self, hostile):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", collection=hostile).inc(3)
+        text = reg.render_prometheus()
+        lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+        # exactly one sample, still matching the exposition grammar
+        assert len(lines) == 1
+        assert SAMPLE_LINE.match(lines[0]), lines[0]
+        # no raw newline/quote escaped the label value
+        assert "\n" not in lines[0]
+        assert lines[0].endswith(" 3")
+
+    def test_escaping_round_trips_the_value(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", coll='a\\b"c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'coll="a\\\\b\\"c\\nd"' in text
+
+    def test_distinct_hostile_values_stay_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", c='a"b').inc(1)
+        reg.counter("reqs_total", c='a\\"b').inc(2)
+        samples = _parse_exposition(reg.render_prometheus())
+        assert sorted(samples.values()) == [1.0, 2.0]
+
+
+class TestConcurrentScrapes:
+    def test_counters_monotone_under_writer_threads(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def hammer(worker):
+            while not stop.is_set():
+                reg.counter("ops_total", worker=str(worker)).inc()
+                reg.histogram("op_seconds", worker=str(worker)).observe(0.001)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,), daemon=True)
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            last = {}
+            for __ in range(50):
+                samples = _parse_exposition(reg.render_prometheus())
+                for key, value in samples.items():
+                    if key.startswith(("ops_total", "op_seconds_count",
+                                       "op_seconds_bucket")):
+                        assert value >= last.get(key, 0.0), key
+                        last[key] = value
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert any(k.startswith("ops_total") for k in last)
+
+    def test_rest_metrics_well_formed_under_parallel_query_load(
+        self, obs_on, monkeypatch
+    ):
+        """Scrape GET /metrics while pooled cluster searches run —
+        the REPRO_PARALLEL=1 scenario from CI."""
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        from repro.distributed import MilvusCluster
+
+        data = sift_like(200, dim=8, seed=60)
+        queries = random_queries(data, 4, seed=61)
+        cluster = MilvusCluster(2, dim=8, index_type="FLAT")
+        cluster.insert(np.arange(len(data)), data)
+        cluster.sync()
+
+        router = RestRouter()
+        stop = threading.Event()
+        errors = []
+
+        def query_load():
+            try:
+                while not stop.is_set():
+                    cluster.search(queries, 3, parallel=True, pool_size=2)
+            except Exception as exc:  # surfaced in the main thread
+                errors.append(exc)
+
+        writer = threading.Thread(target=query_load, daemon=True)
+        writer.start()
+        try:
+            last_total = 0.0
+            # scrape until a few searches have landed (bounded retries)
+            for __ in range(200):
+                resp = router.handle("GET", "/metrics")
+                assert resp.ok
+                text = resp.body["text"]
+                for line in text.splitlines():
+                    if line and not line.startswith("#"):
+                        assert SAMPLE_LINE.match(line), line
+                samples = _parse_exposition(text)
+                total = sum(
+                    v for k, v in samples.items()
+                    if k.startswith("cluster_searches_total")
+                )
+                assert total >= last_total
+                last_total = total
+                if last_total >= 3:
+                    break
+                time.sleep(0.005)
+        finally:
+            stop.set()
+            writer.join()
+        assert not errors, errors
+        assert last_total > 0

@@ -1,0 +1,131 @@
+"""Diff two combined benchmark reports and flag throughput regressions.
+
+Usage::
+
+    python tools/bench_compare.py OLD_REPORT NEW_REPORT [--threshold 0.20]
+
+Both arguments are ``BENCH_report.json`` files produced by
+``benchmarks/run_all.py`` (single ``BENCH_<name>.json`` files work
+too — they are wrapped on the fly).  Series entries are matched across
+the two reports by their *identity keys* — every key that is not a
+measurement (see ``MEASUREMENT_KEYS`` in :mod:`repro.bench.report`) —
+so reordered or partially-overlapping series still line up.
+
+A matched entry FAILS when its ``qps`` dropped (or its
+``latency_seconds`` grew) by more than ``--threshold`` (default 20%).
+Work-counter drift is reported as a warning only: counters are exact,
+so any drift means the engine did different work, but more work is a
+performance question (caught by qps) while different-but-equal work
+is merely worth a look.  Exit status is 1 iff at least one entry
+failed — that is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+try:  # when src/ is on the path, share the schema constant
+    from repro.bench.report import MEASUREMENT_KEYS
+except ImportError:  # standalone invocation: keep in sync with repro.bench.report
+    MEASUREMENT_KEYS = frozenset({
+        "qps", "recall", "latency_seconds", "seconds",
+        "p50", "p95", "p99", "speedup_vs_serial", "counters",
+    })
+
+
+def load_report(path: str) -> dict:
+    """Load a combined report; wrap a bare BENCH_<name>.json payload."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if "benchmarks" in payload:
+        return payload["benchmarks"]
+    return {payload.get("name", path): payload}
+
+
+def identity_key(entry: dict) -> tuple:
+    """Stable hashable key from an entry's non-measurement fields."""
+    return tuple(sorted(
+        (k, json.dumps(v, sort_keys=True))
+        for k, v in entry.items()
+        if k not in MEASUREMENT_KEYS
+    ))
+
+
+def compare_series(name: str, old: list, new: list, threshold: float):
+    """Yields (kind, message) pairs; kind is 'fail'|'warn'|'info'."""
+    old_by_key = {identity_key(e): e for e in old}
+    new_by_key = {identity_key(e): e for e in new}
+    matched = set(old_by_key) & set(new_by_key)
+    dropped = len(old_by_key) - len(matched)
+    added = len(new_by_key) - len(matched)
+    if dropped or added:
+        yield ("info", f"{name}: {len(matched)} entries matched "
+                       f"({dropped} only in old, {added} only in new)")
+    for key in sorted(matched):
+        o, n = old_by_key[key], new_by_key[key]
+        label = ", ".join(f"{k}={json.loads(v)}" for k, v in key) or name
+        if "qps" in o and "qps" in n and o["qps"] > 0:
+            drop = (o["qps"] - n["qps"]) / o["qps"]
+            if drop > threshold:
+                yield ("fail", f"{name} [{label}]: qps {o['qps']:.1f} -> "
+                               f"{n['qps']:.1f} ({drop:+.0%} regression, "
+                               f"threshold {threshold:.0%})")
+        if ("latency_seconds" in o and "latency_seconds" in n
+                and o["latency_seconds"] > 0):
+            growth = (n["latency_seconds"] - o["latency_seconds"]) / o["latency_seconds"]
+            if growth > threshold:
+                yield ("fail", f"{name} [{label}]: latency "
+                               f"{o['latency_seconds'] * 1e3:.2f}ms -> "
+                               f"{n['latency_seconds'] * 1e3:.2f}ms "
+                               f"({growth:+.0%} regression)")
+        if o.get("counters") and n.get("counters") and o["counters"] != n["counters"]:
+            diffs = {
+                c: (o["counters"].get(c, 0), n["counters"].get(c, 0))
+                for c in set(o["counters"]) | set(n["counters"])
+                if o["counters"].get(c, 0) != n["counters"].get(c, 0)
+            }
+            yield ("warn", f"{name} [{label}]: work counters drifted: {diffs}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on benchmark throughput regressions")
+    parser.add_argument("old", help="baseline BENCH_report.json")
+    parser.add_argument("new", help="candidate BENCH_report.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative qps drop / latency growth that fails "
+                             "(default 0.20)")
+    args = parser.parse_args(argv)
+
+    old_report = load_report(args.old)
+    new_report = load_report(args.new)
+    shared = sorted(set(old_report) & set(new_report))
+    if not shared:
+        print("bench_compare: no benchmarks in common; nothing to compare")
+        return 0
+
+    failures = 0
+    for name in shared:
+        old_series = old_report[name].get("series", [])
+        new_series = new_report[name].get("series", [])
+        for kind, message in compare_series(
+            name, old_series, new_series, args.threshold
+        ):
+            prefix = {"fail": "FAIL", "warn": "WARN", "info": "info"}[kind]
+            print(f"{prefix}: {message}")
+            if kind == "fail":
+                failures += 1
+    only_old = sorted(set(old_report) - set(new_report))
+    if only_old:
+        print(f"info: benchmarks only in old report (skipped): {only_old}")
+    if failures:
+        print(f"bench_compare: {failures} regression(s) over threshold")
+        return 1
+    print(f"bench_compare: OK ({len(shared)} benchmark(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

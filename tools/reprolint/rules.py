@@ -431,10 +431,146 @@ class FloatEqRule:
         return isinstance(node, ast.Constant) and isinstance(node.value, float)
 
 
+# ---------------------------------------------------------------------------
+# metric-name
+# ---------------------------------------------------------------------------
+
+#: Prometheus-flavoured snake_case: lowercase start, [a-z0-9_] body.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+class MetricNameRule:
+    """Metric names must be snake_case; counter names must end ``_total``.
+
+    Applies to any ``<registry>.counter/gauge/histogram("name", ...)``
+    call whose first argument is a string literal.  Dynamic names are
+    not checked (they cannot be validated statically).
+    """
+
+    rule_id = "metric-name"
+
+    _FACTORIES = {"counter", "gauge", "histogram"}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in self._FACTORIES):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            name = first.value
+            if not METRIC_NAME_RE.match(name):
+                yield Violation(
+                    path=ctx.path, line=first.lineno, col=first.col_offset,
+                    rule=self.rule_id,
+                    message=f"metric name {name!r} is not snake_case "
+                            f"(expected ^[a-z][a-z0-9_]*$)",
+                )
+            elif func.attr == "counter" and not name.endswith("_total"):
+                yield Violation(
+                    path=ctx.path, line=first.lineno, col=first.col_offset,
+                    rule=self.rule_id,
+                    message=f"counter name {name!r} must end with '_total'",
+                )
+
+
+# ---------------------------------------------------------------------------
+# span-context
+# ---------------------------------------------------------------------------
+
+
+class SpanContextRule:
+    """Tracer spans / profile stages must be entered via ``with``.
+
+    A ``<tracer>.span(...)`` or ``profile_stage(...)`` call that is
+    never entered records nothing (the timer starts on ``__enter__``),
+    so the call must appear either directly as a ``with`` item or be
+    assigned to a name that is used as a ``with`` item in the same
+    file.  ``ProfileNode.stage(...)`` is exempt: pre-creating child
+    stages on the coordinating thread (and entering them inside the
+    workers) is the sanctioned fan-out determinism pattern.
+    """
+
+    rule_id = "span-context"
+
+    _SPAN_ATTRS = {"span", "start_span"}
+    _SPAN_NAMES = {"profile_stage"}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        withitem_calls: Set[int] = set()
+        withitem_names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        withitem_calls.add(id(expr))
+                    elif isinstance(expr, ast.Name):
+                        withitem_names.add(expr.id)
+
+        for stmt, call in self._span_calls(ctx.tree):
+            if id(call) in withitem_calls:
+                continue
+            if self._assigned_to_withitem(stmt, withitem_names):
+                continue
+            func = call.func
+            label = func.attr if isinstance(func, ast.Attribute) else func.id
+            yield Violation(
+                path=ctx.path, line=call.lineno, col=call.col_offset,
+                rule=self.rule_id,
+                message=f"{label}(...) opened outside a 'with' statement; "
+                        f"spans/stages only record when entered as a "
+                        f"context manager",
+            )
+
+    def _span_calls(self, tree: ast.AST) -> Iterator[tuple]:
+        """Yield ``(innermost_stmt, call)`` for every span-opening call."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            for expr in self._shallow_walk(node):
+                if isinstance(expr, ast.Call) and self._is_span_call(expr):
+                    yield node, expr
+
+    @staticmethod
+    def _shallow_walk(stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Walk a statement's expressions without entering child statements."""
+        stack = [c for c in ast.iter_child_nodes(stmt) if not isinstance(c, ast.stmt)]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(
+                c for c in ast.iter_child_nodes(node) if not isinstance(c, ast.stmt)
+            )
+
+    @classmethod
+    def _is_span_call(cls, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr in cls._SPAN_ATTRS
+        if isinstance(func, ast.Name):
+            return func.id in cls._SPAN_NAMES
+        return False
+
+    @staticmethod
+    def _assigned_to_withitem(stmt: ast.stmt, withitem_names: Set[str]) -> bool:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return False
+        target = stmt.targets[0]
+        return isinstance(target, ast.Name) and target.id in withitem_names
+
+
 ALL_RULES = [
     LockDisciplineRule(),
     GlobalRngRule(),
     MutableDefaultRule(),
     BareExceptRule(),
     FloatEqRule(),
+    MetricNameRule(),
+    SpanContextRule(),
 ]
