@@ -138,8 +138,13 @@ def enabled() -> bool:
     return _obs is not None or os.environ.get("REPRO_OBS") == "1"
 
 
-def get_obs():
+def get_obs() -> "Observability":
     """The active :class:`Observability` handle, or the shared null one.
+
+    (Typed as :class:`Observability` — the null handle is duck-typed
+    to the same surface — so static analysis can resolve the
+    ``get_obs().registry.counter(...)`` chains to the obs-lock-taking
+    methods.)
 
     This is the single accessor every instrumented call site uses; the
     disabled path is one global read plus an environ get.

@@ -58,20 +58,42 @@ class BufferPool:
     # -- core ops ----------------------------------------------------------
 
     def get(self, segment_id: int, pin: bool = False) -> Segment:
-        """Fetch a segment, loading it on a miss (possibly evicting)."""
+        """Fetch a segment, loading it on a miss (possibly evicting).
+
+        Misses load *outside* the pool lock: the loader reads segment
+        files and may build indexes, and serializing that behind the
+        lock would stall every other thread's cache hits (and nest
+        fs / index-spec locks under ``bufferpool``, inverting the
+        documented hierarchy).  Two threads missing on the same
+        segment may both load it; the second re-check under the lock
+        keeps exactly one copy and discards the duplicate — segment
+        loads are idempotent reads, so this is the classic
+        double-checked cache-fill pattern.
+        """
         with self._lock:
             hit = segment_id in self._cache
             if hit:
                 self.hits += 1
                 self._cache.move_to_end(segment_id)
                 segment = self._cache[segment_id]
+                if pin:
+                    self._pins[segment_id] = self._pins.get(segment_id, 0) + 1
+                resident = self._bytes
             else:
                 self.misses += 1
-                segment = self._loader(segment_id)
-                self._insert_locked(segment_id, segment)
-            if pin:
-                self._pins[segment_id] = self._pins.get(segment_id, 0) + 1
-            resident = self._bytes
+        if not hit:
+            loaded = self._loader(segment_id)
+            with self._lock:
+                if segment_id in self._cache:
+                    # another thread won the race; keep its copy
+                    self._cache.move_to_end(segment_id)
+                    segment = self._cache[segment_id]
+                else:
+                    segment = loaded
+                    self._insert_locked(segment_id, segment)
+                if pin:
+                    self._pins[segment_id] = self._pins.get(segment_id, 0) + 1
+                resident = self._bytes
         registry = get_obs().registry
         if hit:
             registry.counter("bufferpool_hits_total").inc()

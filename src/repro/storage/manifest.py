@@ -96,8 +96,10 @@ class Manifest:
             self._segments = tuple(live)
             self._tombstones = tombs
             self._history[self._version] = (self._segments, tombs, 0)
-            self._collect_locked()
-            return self._version
+            dead = self._collect_locked()
+            version = self._version
+        self._notify_dead(dead)
+        return version
 
     # -- read path -----------------------------------------------------------
 
@@ -120,7 +122,8 @@ class Manifest:
                     f"snapshot version {snapshot.version} released more times than acquired"
                 )
             self._history[snapshot.version] = (segs, tombs, refs - 1)
-            self._collect_locked()
+            dead = self._collect_locked()
+        self._notify_dead(dead)
 
     # -- introspection -----------------------------------------------------------
 
@@ -134,8 +137,16 @@ class Manifest:
             return self._segments
 
     def current_tombstones(self) -> np.ndarray:
+        """Read-only view of the current delete set (O(1)).
+
+        Tombstone arrays are copy-on-write — commit builds a new array
+        rather than mutating in place — so a non-writeable view shares
+        storage safely without leaking a mutable guarded container.
+        """
         with self._lock:
-            return self._tombstones
+            view = self._tombstones.view()
+        view.flags.writeable = False
+        return view
 
     def referenced_segment_ids(self) -> Set[int]:
         """Segments reachable from the current version or any pinned snapshot."""
@@ -158,8 +169,15 @@ class Manifest:
             segments.update(segs)
         return segments
 
-    def _collect_locked(self) -> None:
-        """Drop unpinned historical versions and report dead segments."""
+    def _collect_locked(self) -> List[int]:
+        """Drop unpinned historical versions; return newly dead segments.
+
+        The ``on_segment_dead`` callback reaches *down* into the buffer
+        pool, index specs, and filesystem, so invoking it here — under
+        the manifest lock — would both invert the documented lock
+        hierarchy and hold the manifest across segment-file deletes.
+        Callers release the lock first, then run :meth:`_notify_dead`.
+        """
         assert_guarded(self._lock, "Manifest", "_history")
         before = self._history_segments_locked()
         dead_versions = [
@@ -169,7 +187,12 @@ class Manifest:
         for v in dead_versions:
             del self._history[v]
         after = self._history_segments_locked()
-        for seg in before - after:
-            self.gc_count += 1
-            if self._on_segment_dead is not None:
+        dead = sorted(before - after)
+        self.gc_count += len(dead)
+        return dead
+
+    def _notify_dead(self, dead: Sequence[int]) -> None:
+        """Run the segment-dead callback with no manifest lock held."""
+        if self._on_segment_dead is not None:
+            for seg in dead:
                 self._on_segment_dead(seg)

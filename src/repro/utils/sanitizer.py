@@ -162,6 +162,30 @@ class ThreadSanitizer:
                 "unguarded_mutations": list(self.unguarded_mutations),
             }
 
+    def lock_order_edges(self) -> List[Tuple[str, str]]:
+        """Every observed ``(held, acquired)`` role pair, sorted.
+
+        This is the runtime twin of reprolint's static lock-order graph;
+        the cross-check test (and ``python -m tools.reprolint
+        --check-edges``) asserts these edges are a subset of the edges
+        the whole-program analysis predicts.
+        """
+        with self._lock:
+            return sorted(
+                (held, acquired)
+                for held, acquired_set in self._edges.items()
+                for acquired in acquired_set
+            )
+
+    def dump_edges(self, path: str) -> None:
+        """Write the observed edge list as JSON (for --check-edges)."""
+        import json
+
+        payload = {"edges": [list(edge) for edge in self.lock_order_edges()]}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
 
 class SanitizedLock:
     """Wrapper adding acquisition-order tracking to a Lock/RLock.
@@ -230,6 +254,7 @@ def get_sanitizer() -> ThreadSanitizer:
     with _state_lock:
         if _sanitizer is None:
             _sanitizer = ThreadSanitizer()
+            _register_edges_dump()
         return _sanitizer
 
 
@@ -254,6 +279,30 @@ def maybe_sanitize(lock, role: str):
     if enabled():
         return SanitizedLock(lock, role, get_sanitizer())
     return lock
+
+
+#: set REPRO_SANITIZE_EDGES=<path> (with REPRO_SANITIZE=1) to dump the
+#: observed lock-order edges to <path> at interpreter exit; CI feeds the
+#: dump to ``python -m tools.reprolint --check-edges``.
+_edges_dump_registered = False
+
+
+def _register_edges_dump() -> None:
+    global _edges_dump_registered
+    path = os.environ.get("REPRO_SANITIZE_EDGES")
+    if not path or _edges_dump_registered:
+        return
+    _edges_dump_registered = True
+    import atexit
+
+    def _dump() -> None:
+        if _sanitizer is not None:
+            try:
+                _sanitizer.dump_edges(path)
+            except OSError:
+                pass
+
+    atexit.register(_dump)
 
 
 def assert_guarded(lock, owner: str, fieldname: str) -> None:

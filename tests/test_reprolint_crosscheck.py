@@ -1,0 +1,276 @@
+"""Runtime/static concurrency cross-check, plus regression tests for the
+production fixes that reprolint v2's interprocedural rules motivated.
+
+The load-bearing test here is :class:`TestRuntimeSubsetOfStatic`: it
+drives a sanitized end-to-end workload (insert / flush / search /
+delete / snapshot GC against a real on-disk filesystem), exports the
+lock-order edges the sanitizer actually observed, and asserts they are
+a **subset** of the statically computed may-acquire graph.  If the
+call-graph model ever drifts from reality (a new lock nesting the
+static analysis cannot see), this fails before the linter's verdicts
+go stale.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Collection, CollectionSchema, VectorField
+from repro.datasets import sift_like
+from repro.storage import LSMConfig, TieredMergePolicy
+from repro.storage.attributes import AttributeColumn
+from repro.storage.bufferpool import BufferPool
+from repro.storage.filesystem import LocalFileSystem
+from repro.storage.manifest import Manifest
+from repro.storage.segment import Segment
+from repro.utils import sanitizer as san
+
+from tests.test_reprolint import REPO_ROOT
+
+
+@pytest.fixture
+def tsan():
+    instance = san.enable()
+    instance.reset()
+    try:
+        yield instance
+    finally:
+        san.disable()
+
+
+def run_workload(tmp_path):
+    """Exercise every major lock nesting: write, flush, search, GC."""
+    schema = CollectionSchema("c", vector_fields=[VectorField("emb", 8)])
+    cfg = LSMConfig(
+        memtable_flush_bytes=1024,
+        index_build_min_rows=64,
+        merge_policy=TieredMergePolicy(merge_factor=2, min_segment_bytes=1),
+    )
+    coll = Collection(schema, lsm_config=cfg, fs=LocalFileSystem(str(tmp_path)))
+    data = sift_like(600, dim=8, seed=0)
+    ids = coll.insert({"emb": data[:300]})
+    coll.flush()
+    coll.search("emb", data[:5], 3)
+    coll.delete(ids[:50])
+    coll.insert({"emb": data[300:]})
+    coll.flush()
+    coll.search("emb", data[:5], 3)
+
+
+class TestRuntimeSubsetOfStatic:
+    def test_observed_edges_covered_by_static_graph(self, tsan, tmp_path):
+        run_workload(tmp_path / "data")
+        edges = tsan.lock_order_edges()
+        # the workload must actually exercise the hierarchy, or the
+        # subset assertion is vacuous
+        assert len(edges) >= 5, edges
+        assert ("lsm", "wal") in edges
+        assert ("wal", "fs") in edges
+
+        dump = tmp_path / "edges.json"
+        tsan.dump_edges(str(dump))
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--check-edges", str(dump)],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, (
+            f"runtime lock-order edges escaped the static model:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+        assert "covered by" in proc.stdout
+
+    def test_check_edges_rejects_unknown_edge(self, tsan, tmp_path):
+        dump = tmp_path / "edges.json"
+        dump.write_text(json.dumps({"edges": [["fs", "lsm"]]}))
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--check-edges", str(dump)],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 1
+        assert "fs -> lsm" in proc.stdout
+
+    def test_dump_edges_round_trip(self, tsan, tmp_path):
+        a = san.SanitizedLock(threading.Lock(), "outer-role", tsan)
+        b = san.SanitizedLock(threading.Lock(), "inner-role", tsan)
+        with a:
+            with b:
+                pass
+        dump = tmp_path / "edges.json"
+        tsan.dump_edges(str(dump))
+        payload = json.loads(dump.read_text())
+        assert ["outer-role", "inner-role"] in payload["edges"]
+
+    def test_env_var_dumps_edges_at_exit(self, tmp_path):
+        dump = tmp_path / "edges.json"
+        code = (
+            "import threading\n"
+            "from repro.utils import sanitizer as san\n"
+            "tsan = san.get_sanitizer()\n"
+            "a = san.SanitizedLock(threading.Lock(), 'A', tsan)\n"
+            "b = san.SanitizedLock(threading.Lock(), 'B', tsan)\n"
+            "with a:\n"
+            "    with b:\n"
+            "        pass\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=120,
+            env={
+                "PYTHONPATH": "src",
+                "REPRO_SANITIZE": "1",
+                "REPRO_SANITIZE_EDGES": str(dump),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(dump.read_text())
+        assert ["A", "B"] in payload["edges"]
+
+
+class TestManifestGcOutsideLock:
+    """Regression: GC callbacks used to run *inside* the manifest lock,
+    nesting bufferpool/fs work under it (a static blocking-under-lock
+    and lock-order finding, and a real deadlock if a callback re-enters
+    the manifest)."""
+
+    def test_callback_runs_with_no_manifest_lock_held(self, tsan):
+        observed = []
+
+        def on_dead(seg):
+            observed.append((seg, tsan.held_roles()))
+
+        manifest = Manifest(on_segment_dead=on_dead)
+        manifest.commit(add=[1, 2])
+        manifest.commit(remove=[1])  # no pins: segment 1 dies immediately
+        assert [seg for seg, _ in observed] == [1]
+        for seg, roles in observed:
+            assert "manifest" not in roles, roles
+
+    def test_callback_may_reenter_manifest(self, tsan):
+        versions = []
+
+        def on_dead(seg):
+            # a re-entrant read would deadlock on a non-reentrant lock
+            # if the callback still ran under it
+            versions.append(manifest.current_version)
+
+        manifest = Manifest(on_segment_dead=on_dead)
+        manifest.commit(add=[1])
+        snap = manifest.acquire()
+        manifest.commit(remove=[1])
+        assert not versions  # still pinned by the snapshot
+        manifest.release(snap)
+        assert versions == [manifest.current_version]
+        assert manifest.gc_count == 1
+
+    def test_tombstone_view_is_read_only(self, tsan):
+        manifest = Manifest()
+        manifest.commit(add=[1], new_tombstones=np.array([3, 5], dtype=np.int64))
+        view = manifest.current_tombstones()
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+
+class TestBufferPoolLoadOutsideLock:
+    """Regression: misses used to invoke the loader while holding the
+    pool lock, serializing every concurrent hit behind segment I/O and
+    nesting fs/index locks under ``bufferpool``."""
+
+    @staticmethod
+    def make_segment(segment_id):
+        vectors = np.zeros((4, 8), dtype=np.float32)
+        row_ids = np.arange(4, dtype=np.int64) + segment_id * 10
+        return Segment(
+            segment_id, row_ids, {"emb": vectors},
+            {"a": AttributeColumn(np.zeros(4), row_ids)},
+            {"emb": (8, "l2")},
+        )
+
+    def test_loader_sees_no_bufferpool_lock(self, tsan):
+        held_during_load = []
+
+        def loader(segment_id):
+            held_during_load.append(tsan.held_roles())
+            return self.make_segment(segment_id)
+
+        pool = BufferPool(capacity_bytes=1 << 20, loader=loader)
+        pool.get(1)
+        assert held_during_load, "loader was never called"
+        assert all("bufferpool" not in roles for roles in held_during_load)
+
+    def test_concurrent_double_miss_keeps_one_copy(self):
+        gate = threading.Event()
+        loads = []
+
+        def loader(segment_id):
+            loads.append(segment_id)
+            gate.wait(timeout=30)  # both threads reach the loader
+            return self.make_segment(segment_id)
+
+        pool = BufferPool(capacity_bytes=1 << 20, loader=loader)
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(pool.get(7)))
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 30
+        while len(loads) < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert len(loads) == 2  # both threads missed and loaded
+        gate.set()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+        # the race loser discarded its duplicate: one resident copy,
+        # both callers see the same object
+        assert pool.resident_segments == 1
+        assert results[0] is results[1]
+        assert pool.misses == 2 and pool.hits == 0
+
+    def test_pin_across_racing_miss_is_counted(self):
+        pool = BufferPool(
+            capacity_bytes=1 << 20, loader=lambda sid: self.make_segment(sid)
+        )
+        pool.get(3, pin=True)
+        with pytest.raises(RuntimeError):
+            pool.invalidate(3)
+        pool.unpin(3)
+        pool.invalidate(3)
+        assert pool.resident_segments == 0
+
+
+class TestFilesystemCounterLock:
+    """Regression: ``bytes_written += n`` was an unguarded
+    read-modify-write shared by concurrent flush + WAL appends."""
+
+    def test_concurrent_writes_keep_exact_counters(self, tmp_path):
+        fs = LocalFileSystem(str(tmp_path))
+        per_thread, writes, size = 8, 6, 100
+
+        def writer(tid):
+            for i in range(writes):
+                fs.write(f"t{tid}/obj{i}", b"x" * size)
+                fs.read(f"t{tid}/obj{i}")
+
+        threads = [
+            threading.Thread(target=writer, args=(tid,))
+            for tid in range(per_thread)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        assert fs.bytes_written == per_thread * writes * size
+        assert fs.bytes_read == per_thread * writes * size
+        fs.reset_counters()
+        assert fs.bytes_written == 0 and fs.bytes_read == 0

@@ -1,19 +1,98 @@
 """CLI: ``python -m tools.reprolint [paths...]``.
 
-Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage
-errors.  Configuration comes from ``[tool.reprolint]`` in
-``pyproject.toml`` (see :mod:`tools.reprolint.config`).
+Exits 0 when the tree is clean (modulo the committed baseline), 1 when
+any new finding fires, 2 on usage errors.  Configuration comes from
+``[tool.reprolint]`` in ``pyproject.toml`` (see
+:mod:`tools.reprolint.config`).
+
+Beyond linting, the CLI exposes the whole-program machinery directly:
+
+``--stats``
+    JSON stats of the call-graph model (function coverage, call-site
+    resolution rate, lock roles, concurrency roots).  CI asserts the
+    coverage stays >= 0.95.
+``--explain RULE``
+    Print a rule's rationale and a worked example.
+``--check-edges FILE``
+    Assert the runtime lock-order edges dumped by the sanitizer
+    (``REPRO_SANITIZE_EDGES=file``) are a subset of the static graph.
+``--write-baseline``
+    Re-baseline: record every current finding as accepted.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
 from tools.reprolint.config import load_config
-from tools.reprolint.engine import lint_paths
+from tools.reprolint.engine import ASTCache, build_project_model, lint_paths
+from tools.reprolint.interproc import ALL_INTERPROC_RULES, build_model
+from tools.reprolint.report import (
+    load_baseline, render_json, render_sarif, render_text, split_by_baseline,
+    write_baseline,
+)
 from tools.reprolint.rules import ALL_RULES
+
+DEFAULT_CACHE_DIR = ".reprolint-cache"
+
+
+def _all_rules():
+    return list(ALL_RULES) + list(ALL_INTERPROC_RULES)
+
+
+def _explain(rule_id: str) -> int:
+    for rule in _all_rules():
+        if rule.rule_id == rule_id:
+            print(f"[{rule.rule_id}]")
+            print()
+            rationale = getattr(rule, "rationale", None)
+            if rationale:
+                print(rationale)
+            example = getattr(rule, "example", None)
+            if example:
+                print()
+                print("Example:")
+                print(example.rstrip("\n"))
+            return 0
+    known = ", ".join(sorted(r.rule_id for r in _all_rules()))
+    print(f"reprolint: error: unknown rule {rule_id!r} (known: {known})",
+          file=sys.stderr)
+    return 2
+
+
+def _stats(config, cache) -> int:
+    project = build_project_model(config, cache)
+    stats = project.stats()
+    stats["cache"] = {"hits": cache.hits, "misses": cache.misses}
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def _check_edges(path: str, config, cache) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"reprolint: error: cannot read edges file {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    runtime = {(str(a), str(b)) for a, b in data.get("edges", [])}
+    project = build_project_model(config, cache)
+    model = build_model(project, config)
+    static = model.static_role_pairs()
+    missing = sorted(runtime - static)
+    if missing:
+        print("reprolint: runtime lock-order edges missing from the static "
+              "graph (the call-graph model has drifted from reality):")
+        for held, acquired in missing:
+            print(f"  {held} -> {acquired}")
+        return 1
+    print(f"reprolint: all {len(runtime)} runtime edge(s) are covered by "
+          f"{len(static)} static edge(s)")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -35,35 +114,108 @@ def main(argv=None) -> int:
         help="skip the registry contract checks (no package import)",
     )
     parser.add_argument(
+        "--no-interproc", action="store_true",
+        help="skip the whole-program (call-graph) rules",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk AST cache (.reprolint-cache/)",
+    )
+    parser.add_argument(
+        "--output", choices=["text", "json", "sarif"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file overriding the configured path "
+             "('' disables the baseline entirely)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline file and exit",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print call-graph model statistics as JSON and exit",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print a rule's rationale and example, then exit",
+    )
+    parser.add_argument(
+        "--check-edges", default=None, metavar="FILE",
+        help="assert runtime sanitizer edges (JSON dump) are a subset of "
+             "the static lock-order graph",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print rule ids and exit"
     )
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in _all_rules():
             print(rule.rule_id)
         print("contract")
         return 0
+    if args.explain is not None:
+        return _explain(args.explain)
+
+    if args.config is not None and not os.path.exists(args.config):
+        print(f"reprolint: error: no such file or directory: {args.config}",
+              file=sys.stderr)
+        return 2
+    config = load_config(args.config or "pyproject.toml")
+    cache = ASTCache(None if args.no_cache else DEFAULT_CACHE_DIR)
+
+    if args.stats:
+        return _stats(config, cache)
+    if args.check_edges is not None:
+        return _check_edges(args.check_edges, config, cache)
 
     missing = [p for p in args.paths if not os.path.exists(p)]
-    if args.config is not None and not os.path.exists(args.config):
-        missing.append(args.config)
     if missing:
         for path in missing:
             print(f"reprolint: error: no such file or directory: {path}",
                   file=sys.stderr)
         return 2
 
-    config = load_config(args.config or "pyproject.toml")
     violations = lint_paths(
         args.paths or ["src", "tests"],
         config=config,
         contracts=False if args.no_contracts else None,
+        interproc=False if args.no_interproc else None,
+        cache=cache,
     )
-    for violation in violations:
-        print(violation.format())
-    if violations:
-        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+
+    baseline_path = (
+        args.baseline if args.baseline is not None else config.baseline_path
+    ) or None
+    if args.write_baseline:
+        if not baseline_path:
+            print("reprolint: error: --write-baseline needs a baseline path",
+                  file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, violations)
+        print(f"reprolint: wrote {len(violations)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, baselined, stale = split_by_baseline(violations, baseline)
+
+    if args.output == "json":
+        print(render_json(new, baselined, stale))
+    elif args.output == "sarif":
+        rule_meta = {
+            r.rule_id: getattr(r, "rationale", r.rule_id) for r in _all_rules()
+        }
+        print(render_sarif(new, baselined, rule_meta))
+    else:
+        for violation in new:
+            print(violation.format())
+        if baselined or stale:
+            print(render_text([], baselined, stale).split("\n", 1)[-1])
+    if new:
+        print(f"reprolint: {len(new)} violation(s)", file=sys.stderr)
         return 1
     return 0
 

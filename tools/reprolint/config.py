@@ -25,6 +25,14 @@ DEFAULT_FLOAT_EQ_NAMES: List[str] = [
 ]
 
 
+#: method names that hand callables to a worker pool / executor.
+DEFAULT_SPAWN_METHODS: List[str] = ["map_settled", "map_ordered", "submit"]
+
+#: dotted-name patterns for calls that may block (sleep, I/O, waits)
+#: beyond what the call graph resolves structurally.
+DEFAULT_BLOCKING_CALLS: List[str] = ["time.sleep"]
+
+
 @dataclass
 class LintConfig:
     """Resolved reprolint configuration."""
@@ -48,10 +56,43 @@ class LintConfig:
     #: directory inserted into sys.path for contract introspection.
     src_root: str = "src"
 
+    # -- whole-program (interprocedural) analysis -----------------------
+
+    #: directory trees forming the whole-program model; the call graph,
+    #: lock propagation, and the four interprocedural rules run over
+    #: exactly these files (independent of the CLI path arguments).
+    project_roots: List[str] = field(default_factory=lambda: ["src/repro"])
+    #: documented lock hierarchy as ordered levels of sanitizer role
+    #: names: a role may only be acquired while holding roles from
+    #: strictly earlier levels.  Roles sharing a level are unordered
+    #: siblings and must never nest.  Empty = lock-order disabled.
+    lock_hierarchy: List[List[str]] = field(default_factory=list)
+    #: roles that are *designed* to be held across blocking calls
+    #: (e.g. the WAL serializes its own fs appends by contract).
+    allow_blocking: List[str] = field(default_factory=list)
+    #: extra dotted-name patterns classified as blocking calls.
+    blocking_calls: List[str] = field(default_factory=lambda: list(DEFAULT_BLOCKING_CALLS))
+    #: method names whose callable arguments run on pool workers.
+    spawn_methods: List[str] = field(default_factory=lambda: list(DEFAULT_SPAWN_METHODS))
+    #: committed findings that do not fail the run (None = no baseline).
+    baseline_path: Optional[str] = "tools/reprolint/baseline.json"
+    #: run the interprocedural rules (CLI --no-interproc overrides).
+    interproc: bool = True
+
     def rng_applies(self, relpath: str) -> bool:
         rel = relpath.replace(os.sep, "/")
         return any(rel.startswith(prefix.rstrip("/") + "/") or rel == prefix
                    for prefix in self.rng_paths)
+
+    def role_level(self, role: str) -> Optional[int]:
+        """Position of ``role`` in the declared hierarchy (None = undeclared)."""
+        for level, roles in enumerate(self.lock_hierarchy):
+            if role in roles:
+                return level
+        return None
+
+    def declared_roles(self) -> Set[str]:
+        return {role for level in self.lock_hierarchy for role in level}
 
 
 def _read_pyproject(path: str) -> Optional[dict]:
@@ -89,7 +130,28 @@ def load_config(pyproject_path: str = "pyproject.toml") -> LintConfig:
         cfg.contracts = bool(table["contracts"])
     if "src-root" in table:
         cfg.src_root = str(table["src-root"])
+    if "project-roots" in table:
+        cfg.project_roots = [str(p) for p in table["project-roots"]]
+    if "baseline" in table:
+        raw = str(table["baseline"])
+        cfg.baseline_path = raw or None
+    if "interproc" in table:
+        cfg.interproc = bool(table["interproc"])
     guarded = table.get("guarded-fields", {})
     if isinstance(guarded, dict):
         cfg.guarded_fields = {str(k): str(v) for k, v in guarded.items()}
+    hierarchy = table.get("lock-hierarchy", {})
+    if isinstance(hierarchy, dict):
+        order = hierarchy.get("order", [])
+        if isinstance(order, list):
+            cfg.lock_hierarchy = [
+                [str(role) for role in level] for level in order
+                if isinstance(level, list)
+            ]
+        if "allow-blocking" in hierarchy:
+            cfg.allow_blocking = [str(r) for r in hierarchy["allow-blocking"]]
+        if "blocking-calls" in hierarchy:
+            cfg.blocking_calls += [str(c) for c in hierarchy["blocking-calls"]]
+        if "spawn-methods" in hierarchy:
+            cfg.spawn_methods += [str(m) for m in hierarchy["spawn-methods"]]
     return cfg

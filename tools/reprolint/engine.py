@@ -1,24 +1,36 @@
-"""reprolint engine: file walking, suppression, rule orchestration.
+"""reprolint engine: file walking, AST cache, suppression, orchestration.
 
 Rules are pluggable: anything with a ``rule_id`` string and a
-``check(ctx) -> Iterator[Violation]`` method.  AST rules run per file;
-the registry contract checks (which import the package) run once per
-invocation from :mod:`tools.reprolint.contracts`.
+``check(ctx) -> Iterator[Violation]`` method.  AST rules run per file
+over a shared, pre-built node index (one traversal per file no matter
+how many rules run); the registry contract checks (which import the
+package) run once per invocation from :mod:`tools.reprolint.contracts`;
+the interprocedural rules (:mod:`tools.reprolint.interproc`) run once
+over the whole-program model built from ``config.project_roots``.
+
+Parsed ASTs are cached keyed by the file's content hash — in memory
+within a run, and optionally on disk (``.reprolint-cache/``) across
+runs so re-linting after touching one file re-parses only that file.
 """
 
 from __future__ import annotations
 
 import ast
 import fnmatch
+import hashlib
 import os
+import pickle
 import re
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from tools.reprolint.config import LintConfig
 
 _SUPPRESS_LINE = re.compile(r"#\s*reprolint:\s*disable=([\w\-,\s]+)")
 _SUPPRESS_FILE = re.compile(r"#\s*reprolint:\s*disable-file=([\w\-,\s]+)")
+
+_CACHE_VERSION = 2  # bump to invalidate on-disk pickles after AST changes
 
 
 @dataclass(frozen=True)
@@ -30,9 +42,51 @@ class Violation:
     col: int
     rule: str
     message: str
+    #: enclosing symbol (``module.Class.method``) when known — feeds the
+    #: baseline fingerprint so findings survive line-number drift.
+    symbol: str = ""
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
+
+
+class NodeIndex:
+    """One-walk index of an AST: nodes by type, plus enclosing symbols."""
+
+    def __init__(self, tree: ast.Module):
+        self.by_type: Dict[type, List[ast.AST]] = defaultdict(list)
+        self.symbol_of: Dict[ast.AST, str] = {}
+        self._walk(tree, [])
+
+    def _walk(self, node: ast.AST, scope: List[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.by_type[type(child)].append(child)
+            if scope:
+                self.symbol_of[child] = ".".join(scope)
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk(child, scope + [child.name])
+            else:
+                self._walk(child, scope)
+
+    def nodes(self, *types: Type[ast.AST]) -> List[ast.AST]:
+        out: List[ast.AST] = []
+        for node_type in types:
+            out.extend(self.by_type.get(node_type, ()))
+        return out
+
+    def symbol_at_line(self, lineno: int) -> str:
+        """Best-effort enclosing def/class for a line (for fingerprints)."""
+        best = ""
+        best_start = -1
+        for node_type in (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef):
+            for node in self.by_type.get(node_type, ()):
+                end = getattr(node, "end_lineno", None)
+                if node.lineno <= lineno and (end is None or lineno <= end):
+                    if node.lineno > best_start:
+                        best_start = node.lineno
+                        prefix = self.symbol_of.get(node, "")
+                        best = f"{prefix}.{node.name}" if prefix else node.name
+        return best
 
 
 @dataclass
@@ -44,10 +98,86 @@ class FileContext:
     source: str
     tree: ast.Module
     config: LintConfig
+    _index: Optional[NodeIndex] = field(default=None, repr=False)
 
     @property
     def lines(self) -> List[str]:
         return self.source.splitlines()
+
+    @property
+    def index(self) -> NodeIndex:
+        if self._index is None:
+            self._index = NodeIndex(self.tree)
+        return self._index
+
+    def nodes(self, *types: Type[ast.AST]) -> List[ast.AST]:
+        return self.index.nodes(*types)
+
+
+class ASTCache:
+    """Content-hash keyed AST cache (in-memory; optional on-disk layer)."""
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, ast.Module] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def load(self, path: str) -> Tuple[str, str, Optional[ast.Module], Optional[str]]:
+        """-> (relpath, source, tree | None, error | None)."""
+        relpath = _relative(path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            return relpath, "", None, str(exc)
+        digest = hashlib.sha256(
+            f"{_CACHE_VERSION}\0".encode() + source.encode("utf-8")
+        ).hexdigest()
+        tree = self._memory.get(digest)
+        if tree is not None:
+            self.hits += 1
+            return relpath, source, tree, None
+        tree = self._disk_get(digest)
+        if tree is not None:
+            self.hits += 1
+            self._memory[digest] = tree
+            return relpath, source, tree, None
+        self.misses += 1
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return relpath, source, None, f"syntax error: {exc.msg} (line {exc.lineno})"
+        self._memory[digest] = tree
+        self._disk_put(digest, tree)
+        return relpath, source, tree, None
+
+    def _disk_path(self, digest: str) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, digest[:2], digest + ".ast")
+
+    def _disk_get(self, digest: str) -> Optional[ast.Module]:
+        path = self._disk_path(digest)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as fh:
+                tree = pickle.load(fh)
+            return tree if isinstance(tree, ast.Module) else None
+        except Exception:
+            return None
+
+    def _disk_put(self, digest: str, tree: ast.Module) -> None:
+        path = self._disk_path(digest)
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as fh:
+                pickle.dump(tree, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            pass  # the disk layer is best-effort
 
 
 def _parse_rule_list(raw: str) -> set:
@@ -82,13 +212,30 @@ def apply_suppressions(violations: Iterable[Violation], lines: Sequence[str]) ->
     return kept
 
 
+def _with_symbols(violations: List[Violation], ctx: FileContext) -> List[Violation]:
+    """Fill in the enclosing symbol on findings that lack one."""
+    out = []
+    for violation in violations:
+        if violation.symbol:
+            out.append(violation)
+            continue
+        symbol = ctx.index.symbol_at_line(violation.line)
+        out.append(
+            Violation(
+                violation.path, violation.line, violation.col,
+                violation.rule, violation.message, symbol,
+            )
+        )
+    return out
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     config: Optional[LintConfig] = None,
     relpath: Optional[str] = None,
 ) -> List[Violation]:
-    """Run every AST rule over one source string."""
+    """Run every per-file AST rule over one source string."""
     from tools.reprolint.rules import ALL_RULES
 
     config = config or LintConfig()
@@ -114,7 +261,7 @@ def lint_source(
     violations: List[Violation] = []
     for rule in ALL_RULES:
         violations.extend(rule.check(ctx))
-    return apply_suppressions(violations, ctx.lines)
+    return apply_suppressions(_with_symbols(violations, ctx), ctx.lines)
 
 
 def _relative(path: str) -> str:
@@ -153,24 +300,88 @@ def lint_paths(
     paths: Sequence[str],
     config: Optional[LintConfig] = None,
     contracts: Optional[bool] = None,
+    interproc: Optional[bool] = None,
+    cache: Optional[ASTCache] = None,
 ) -> List[Violation]:
-    """Lint files/directories; optionally run the registry contract checks."""
+    """Lint files/directories: per-file rules, contracts, interprocedural.
+
+    The per-file rules run over exactly the files named by ``paths``;
+    the interprocedural rules always analyze ``config.project_roots``
+    (the whole-program model is meaningless on a partial file list).
+    """
+    from tools.reprolint.rules import ALL_RULES
+
     config = config or LintConfig()
+    cache = cache or ASTCache()
     violations: List[Violation] = []
     for path in iter_python_files(paths, config):
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                source = fh.read()
-        except OSError as exc:
-            violations.append(
-                Violation(path=path, line=1, col=0, rule="io-error", message=str(exc))
-            )
+        relpath, source, tree, error = cache.load(path)
+        if tree is None:
+            if error and error.startswith("syntax error"):
+                violations.append(
+                    Violation(path=path, line=1, col=0, rule="syntax-error",
+                              message=error)
+                )
+            else:
+                violations.append(
+                    Violation(path=path, line=1, col=0, rule="io-error",
+                              message=error or "unreadable")
+                )
             continue
-        violations.extend(lint_source(source, path=path, config=config))
+        ctx = FileContext(
+            path=path, relpath=relpath, source=source, tree=tree, config=config,
+        )
+        file_violations: List[Violation] = []
+        for rule in ALL_RULES:
+            file_violations.extend(rule.check(ctx))
+        violations.extend(
+            apply_suppressions(_with_symbols(file_violations, ctx), ctx.lines)
+        )
     run_contracts = config.contracts if contracts is None else contracts
     if run_contracts:
         from tools.reprolint.contracts import check_contracts
 
         violations.extend(check_contracts(config))
+    run_interproc_rules = config.interproc if interproc is None else interproc
+    if run_interproc_rules:
+        violations.extend(run_whole_program(config, cache))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations
+
+
+def build_project_model(config: LintConfig, cache: Optional[ASTCache] = None):
+    """Build (and return) the whole-program model over project_roots."""
+    from tools.reprolint.callgraph import build_project
+
+    cache = cache or ASTCache()
+
+    def parse(path: str):
+        relpath, _source, tree, error = cache.load(path)
+        return relpath, tree, error
+
+    return build_project(config, parse)
+
+
+def run_whole_program(
+    config: LintConfig, cache: Optional[ASTCache] = None
+) -> List[Violation]:
+    """Interprocedural findings, suppression-filtered per source file."""
+    from tools.reprolint.interproc import run_interproc
+
+    cache = cache or ASTCache()
+    project = build_project_model(config, cache)
+    violations = run_interproc(project, config)
+    # honor `# reprolint: disable=` comments at the flagged lines
+    by_relpath: Dict[str, List[Violation]] = defaultdict(list)
+    for violation in violations:
+        by_relpath[violation.path].append(violation)
+    kept: List[Violation] = []
+    for relpath, group in by_relpath.items():
+        try:
+            with open(relpath, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            kept.extend(group)
+            continue
+        kept.extend(apply_suppressions(group, lines))
+    return kept

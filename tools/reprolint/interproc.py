@@ -1,0 +1,344 @@
+"""The four interprocedural rules: lock-order, blocking-under-lock,
+thread-reachability, and escape.
+
+All four consume the same :class:`InterprocModel` — the whole-program
+call graph plus the may-hold-locks fixpoint — so the expensive parts
+(parsing, symbol resolution, propagation) happen exactly once per run
+regardless of how many rules are enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.callgraph import FunctionInfo, Project
+from tools.reprolint.config import LintConfig
+from tools.reprolint.engine import Violation
+from tools.reprolint.locks import (
+    HeldLocks, LockOrderEdge, compute_held_locks, find_cycles, static_edges,
+)
+
+__all__ = [
+    "ALL_INTERPROC_RULES", "InterprocModel", "build_model", "run_interproc",
+]
+
+
+def _is_synthetic(role: str) -> bool:
+    return role.startswith("<")
+
+
+@dataclass
+class InterprocModel:
+    """Everything the interprocedural rules share."""
+
+    project: Project
+    config: LintConfig
+    held: HeldLocks
+    edges: List[LockOrderEdge]
+
+    def role_reentrant(self, role: str) -> bool:
+        for cls in self.project.classes.values():
+            for decl in cls.locks.values():
+                if decl.role == role and decl.reentrant:
+                    return True
+        return False
+
+    def static_role_pairs(self) -> Set[Tuple[str, str]]:
+        """``(held, acquired)`` pairs — superset of runtime sanitizer edges."""
+        return {(e.held, e.acquired) for e in self.edges}
+
+
+def build_model(project: Project, config: LintConfig) -> InterprocModel:
+    held = compute_held_locks(project)
+    return InterprocModel(project, config, held, static_edges(project, held))
+
+
+def _violation(fn: FunctionInfo, line: int, col: int, rule: str, message: str) -> Violation:
+    return Violation(
+        path=fn.relpath, line=line, col=col, rule=rule, message=message,
+        symbol=fn.qualname,
+    )
+
+
+def _chain_suffix(model: InterprocModel, fn: FunctionInfo, role: str) -> str:
+    chain = model.held.chain(fn.qualname, role)
+    if not chain:
+        return ""
+    return " (held via " + "; ".join(chain) + ")"
+
+
+class LockOrderRule:
+    """Inversions against the documented hierarchy + role-graph cycles."""
+
+    rule_id = "lock-order"
+    rationale = (
+        "Two threads acquiring the same pair of locks in opposite orders "
+        "deadlock. The documented hierarchy ([tool.reprolint.lock-hierarchy] "
+        "in pyproject.toml) totally orders lock *levels*; this rule walks "
+        "every statically possible held->acquired pair in the transitive "
+        "call graph and flags acquisitions that go sideways or backwards, "
+        "plus any cycle among undeclared (synthetic) locks."
+    )
+    example = (
+        "    # hierarchy: [[\"lsm\"], [\"manifest\"]]\n"
+        "    def gc(self):\n"
+        "        with self._manifest_lock:   # role 'manifest' (level 1)\n"
+        "            self.lsm.compact()      # eventually: with self._lock  "
+        "# role 'lsm' (level 0)  <- BAD\n"
+    )
+
+    def check(self, model: InterprocModel) -> Iterator[Violation]:
+        config = model.config
+        if not config.lock_hierarchy:
+            return
+        declared = config.declared_roles()
+        reported_undeclared: Set[str] = set()
+        for edge in model.edges:
+            fn = model.project.functions.get(edge.function)
+            if fn is None:
+                continue
+            if edge.held == edge.acquired:
+                if not model.role_reentrant(edge.acquired):
+                    yield _violation(
+                        fn, edge.line, 0, self.rule_id,
+                        f"re-acquiring non-reentrant lock '{edge.acquired}' "
+                        f"already held on this path"
+                        + _chain_suffix(model, fn, edge.held),
+                    )
+                continue
+            # every maybe_sanitize role must appear in the hierarchy once
+            # it participates in nesting; synthetic locks are exempt.
+            for role in (edge.held, edge.acquired):
+                if (
+                    not _is_synthetic(role)
+                    and role not in declared
+                    and role not in reported_undeclared
+                ):
+                    reported_undeclared.add(role)
+                    yield _violation(
+                        fn, edge.line, 0, self.rule_id,
+                        f"lock role '{role}' nests with other locks but is "
+                        f"not declared in [tool.reprolint.lock-hierarchy]",
+                    )
+            held_level = config.role_level(edge.held)
+            acq_level = config.role_level(edge.acquired)
+            if held_level is None or acq_level is None:
+                continue
+            if held_level >= acq_level:
+                relation = (
+                    "a same-level sibling of" if held_level == acq_level
+                    else "above"
+                )
+                yield _violation(
+                    fn, edge.line, 0, self.rule_id,
+                    f"acquires '{edge.acquired}' while holding '{edge.held}': "
+                    f"'{edge.acquired}' is {relation} '{edge.held}' in the "
+                    f"documented hierarchy"
+                    + _chain_suffix(model, fn, edge.held),
+                )
+        for cycle in find_cycles(model.edges):
+            if all(
+                config.role_level(role) is not None for role in cycle[:-1]
+            ):
+                continue  # declared-role cycles already reported above
+            anchor = cycle[0]
+            witness = next(
+                (e for e in model.edges if e.held == anchor), None
+            )
+            fn = model.project.functions.get(witness.function) if witness else None
+            if fn is None:
+                continue
+            yield _violation(
+                fn, witness.line, 0, self.rule_id,
+                "potential deadlock cycle in lock acquisition graph: "
+                + " -> ".join(cycle),
+            )
+
+
+class BlockingUnderLockRule:
+    """Blocking calls (I/O, sleeps, pool waits) reachable under a lock."""
+
+    rule_id = "blocking-under-lock"
+    rationale = (
+        "A filesystem write, fsync, retry backoff, or pool submit/result "
+        "wait performed while a lock is held stalls every thread contending "
+        "on that lock for the duration of the slow operation — the exact "
+        "hazard background flush/compaction introduces. The rule propagates "
+        "may-held locks through call edges, so an fs.write three calls deep "
+        "below a 'with self._lock' is still caught. Roles listed in "
+        "allow-blocking (e.g. the WAL, which serializes its own appends by "
+        "contract) are exempt."
+    )
+    example = (
+        "    def flush(self):\n"
+        "        with self._lock:\n"
+        "            data = self._encode()\n"
+        "            self.fs.write(path, data)   # <- BAD: I/O under lock\n"
+        "    # fix: encode + snapshot under the lock, write after release\n"
+    )
+
+    def check(self, model: InterprocModel) -> Iterator[Violation]:
+        allow = set(model.config.allow_blocking)
+        for fn in model.project.functions.values():
+            entry = model.held.entry(fn.qualname)
+            for site in fn.calls:
+                if site.blocking is None:
+                    continue
+                held = (set(site.held) | entry) - allow
+                if not held:
+                    continue
+                role = sorted(held)[0]
+                suffix = (
+                    "" if role in site.held
+                    else _chain_suffix(model, fn, role)
+                )
+                yield _violation(
+                    fn, site.line, site.col, self.rule_id,
+                    f"blocking call {site.blocking} may execute while "
+                    f"holding {sorted(held)}" + suffix,
+                )
+
+
+class ThreadReachabilityRule:
+    """Unguarded mutations reachable from concurrent roots."""
+
+    rule_id = "thread-reachability"
+    rationale = (
+        "WorkerPool task entrypoints, background/daemon threads, and retry "
+        "callbacks run concurrently with the spawning thread. A field "
+        "mutated with no lock held, not covered by _GUARDED_BY or the "
+        "pyproject guarded-fields table, and reachable from two or more "
+        "concurrent roots (the main thread counts as one) is a data race "
+        "waiting for a scheduler interleaving."
+    )
+    example = (
+        "    def _drain_loop(self):        # threading.Thread target\n"
+        "        while True:\n"
+        "            self.consumed += 1    # <- BAD: no lock, no _GUARDED_BY,\n"
+        "                                  #    main thread also calls reset()\n"
+    )
+
+    def check(self, model: InterprocModel) -> Iterator[Violation]:
+        project = model.project
+        reachers = self._roots_reaching(project)
+        for fn in project.functions.values():
+            if fn.name in {"__init__", "__post_init__", "__new__"}:
+                continue
+            cls = project.classes.get(fn.cls) if fn.cls else None
+            if cls is None or not cls.has_concurrency_surface():
+                continue
+            roots = reachers.get(fn.qualname, set())
+            if not roots:
+                continue  # never runs off the main thread
+            guards = project.class_guards(cls.qualname)
+            locks = project.class_locks(cls.qualname)
+            entry = model.held.entry(fn.qualname)
+            seen_fields: Set[str] = set()
+            for mut in fn.mutations:
+                # NB: immutable_fields does NOT exempt here — immutability
+                # protects readers of escaped references, not concurrent
+                # writers; `self.n += 1` on an int is still a lost-update race.
+                if mut.fieldname in guards or mut.fieldname in locks:
+                    continue
+                if set(mut.held) | entry:
+                    continue  # some lock is held; discipline rules own this
+                if mut.fieldname in seen_fields:
+                    continue
+                seen_fields.add(mut.fieldname)
+                names = sorted(_short_root(r) for r in roots)[:3]
+                yield _violation(
+                    fn, mut.line, mut.col, self.rule_id,
+                    f"field '{mut.fieldname}' mutated with no lock held and "
+                    f"no _GUARDED_BY entry, but reachable from concurrent "
+                    f"roots: main + {names}",
+                )
+
+    @staticmethod
+    def _roots_reaching(project: Project) -> Dict[str, Set[str]]:
+        """function -> set of spawned roots whose execution can reach it."""
+        out: Dict[str, Set[str]] = {}
+        for root in project.roots:
+            frontier = [root]
+            seen: Set[str] = set()
+            while frontier:
+                qualname = frontier.pop()
+                if qualname in seen or qualname not in project.functions:
+                    continue
+                seen.add(qualname)
+                out.setdefault(qualname, set()).add(root)
+                for site in project.functions[qualname].calls:
+                    frontier.extend(site.targets)
+        return out
+
+
+def _short_root(qualname: str) -> str:
+    parts = qualname.split(".")
+    tail = [p for p in parts if p != "<locals>"]
+    return ".".join(tail[-2:])
+
+
+class EscapeRule:
+    """Locks or guarded containers leaked by return/yield."""
+
+    rule_id = "escape"
+    rationale = (
+        "Returning a lock lets callers acquire it outside the owning "
+        "class's discipline; returning a guarded mutable container hands "
+        "out a reference that callers can read or mutate with no lock "
+        "held, silently voiding every _GUARDED_BY promise. Return a copy "
+        "(list(self._x)) or an immutable snapshot (tuple) instead."
+    )
+    example = (
+        "    def segments(self):\n"
+        "        return self._segments       # <- BAD if _GUARDED_BY guards it\n"
+        "    # fix:  return list(self._segments)\n"
+    )
+
+    def check(self, model: InterprocModel) -> Iterator[Violation]:
+        project = model.project
+        for fn in project.functions.values():
+            cls = project.classes.get(fn.cls) if fn.cls else None
+            if cls is None:
+                continue
+            locks = project.class_locks(cls.qualname)
+            guards = project.class_guards(cls.qualname)
+            for ret in fn.returns:
+                if ret.fieldname in locks:
+                    yield _violation(
+                        fn, ret.line, ret.col, self.rule_id,
+                        f"{ret.kind} leaks lock '{ret.fieldname}' "
+                        f"(role '{locks[ret.fieldname].role}') out of "
+                        f"{cls.name}; callers can bypass its discipline",
+                    )
+                elif (
+                    ret.fieldname in guards
+                    and ret.fieldname not in cls.immutable_fields
+                ):
+                    yield _violation(
+                        fn, ret.line, ret.col, self.rule_id,
+                        f"{ret.kind} leaks guarded mutable field "
+                        f"'{ret.fieldname}' (guarded by "
+                        f"'{guards[ret.fieldname]}') out of {cls.name}; "
+                        f"return a copy or immutable snapshot",
+                    )
+
+
+ALL_INTERPROC_RULES = [
+    LockOrderRule(),
+    BlockingUnderLockRule(),
+    ThreadReachabilityRule(),
+    EscapeRule(),
+]
+
+
+def run_interproc(
+    project: Project, config: LintConfig,
+    model: Optional[InterprocModel] = None,
+) -> List[Violation]:
+    """Run all four interprocedural rules over the project model."""
+    model = model or build_model(project, config)
+    violations: List[Violation] = []
+    for rule in ALL_INTERPROC_RULES:
+        violations.extend(rule.check(model))
+    return violations

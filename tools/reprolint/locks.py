@@ -1,0 +1,178 @@
+"""May-hold-locks propagation over the call graph.
+
+Given the :class:`~tools.reprolint.callgraph.Project` model, this
+module answers two questions the interprocedural rules need:
+
+1. **Which lock roles may be held when function F starts executing?**
+   Computed as a fixpoint over call edges::
+
+       held_on_entry(F) = union over call sites S calling F of
+                          held_at(S) ∪ held_on_entry(caller(S))
+
+   Concurrency roots (pool tasks, thread targets, retry callbacks)
+   contribute an *empty* entry set for their spawned execution — but a
+   callable may also run inline via the executor's serial fallback, in
+   which case the spawning site's held set applies; the call graph
+   records both, so the fixpoint naturally covers both.
+
+2. **What are the static lock-order edges?**  For every acquisition
+   site, each role already held (locally or on entry) gains an edge to
+   the newly acquired role.  This mirrors the runtime sanitizer, which
+   records ``held -> acquiring`` for every role on the stack — the
+   cross-check test asserts runtime edges ⊆ these static edges.
+
+Each propagated fact carries one *witness* — a call chain from a
+function that acquires the lock down to the function holding it — so
+findings print an actionable path instead of a bare assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.callgraph import Project
+
+__all__ = ["HeldLocks", "LockOrderEdge", "compute_held_locks", "static_edges"]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """How a held role reached a function: ``caller`` called us at ``line``."""
+
+    caller: str
+    line: int
+
+
+@dataclass
+class HeldLocks:
+    """Fixpoint result: may-held-on-entry roles per function."""
+
+    #: function qualname -> roles that may be held when it is entered.
+    on_entry: Dict[str, Set[str]] = field(default_factory=dict)
+    #: (function, role) -> witness call edge that propagated the role.
+    witness: Dict[Tuple[str, str], Witness] = field(default_factory=dict)
+
+    def entry(self, qualname: str) -> Set[str]:
+        return self.on_entry.get(qualname, set())
+
+    def chain(self, qualname: str, role: str, limit: int = 8) -> List[str]:
+        """Render the witness chain for ``role`` held entering ``qualname``."""
+        steps: List[str] = []
+        seen: Set[str] = set()
+        current = qualname
+        while len(steps) < limit:
+            wit = self.witness.get((current, role))
+            if wit is None or wit.caller in seen:
+                break
+            steps.append(f"{wit.caller}:{wit.line} -> {_short(current)}")
+            seen.add(current)
+            current = wit.caller
+        return steps[::-1]
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def compute_held_locks(project: Project) -> HeldLocks:
+    """Propagate may-hold-locks sets through call edges to a fixpoint."""
+    held = HeldLocks()
+    for qualname in project.functions:
+        held.on_entry[qualname] = set()
+
+    # Iterate to fixpoint: the lattice is finite (roles per function),
+    # and every pass only grows sets, so this terminates quickly.
+    changed = True
+    passes = 0
+    while changed and passes < 100:
+        changed = False
+        passes += 1
+        for fn in project.functions.values():
+            entry = held.on_entry[fn.qualname]
+            for site in fn.calls:
+                at_site = entry | set(site.held)
+                if not at_site:
+                    continue
+                for target in site.targets:
+                    if target not in held.on_entry:
+                        continue
+                    target_set = held.on_entry[target]
+                    new = at_site - target_set
+                    if new:
+                        target_set |= new
+                        changed = True
+                        for role in new:
+                            held.witness.setdefault(
+                                (target, role), Witness(fn.qualname, site.line)
+                            )
+    return held
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """``held`` was held while ``acquired`` was being acquired."""
+
+    held: str
+    acquired: str
+    function: str
+    line: int
+    #: True when ``held`` was locally visible at the with-statement,
+    #: False when it arrived via a caller (witness chain explains how).
+    local: bool
+
+
+def static_edges(project: Project, held: HeldLocks) -> List[LockOrderEdge]:
+    """Every statically possible ``held -> acquired`` role pair."""
+    edges: Dict[Tuple[str, str], LockOrderEdge] = {}
+    for fn in project.functions.values():
+        entry = held.entry(fn.qualname)
+        for role, line, _col, local_held in fn.acquisitions:
+            for other in local_held:
+                key = (other, role)
+                if key not in edges:
+                    edges[key] = LockOrderEdge(other, role, fn.qualname, line, True)
+            for other in entry:
+                key = (other, role)
+                if key not in edges:
+                    edges[key] = LockOrderEdge(other, role, fn.qualname, line, False)
+    return sorted(edges.values(), key=lambda e: (e.held, e.acquired))
+
+
+def find_cycles(edges: Sequence[LockOrderEdge]) -> List[List[str]]:
+    """Cycles in the role graph (each is a potential deadlock)."""
+    graph: Dict[str, Set[str]] = {}
+    for edge in edges:
+        if edge.held == edge.acquired:
+            continue  # reentrant self-edges handled by the rule
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+    cycles: List[List[str]] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def dfs(node: str) -> None:
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            state = color.get(nxt, WHITE)
+            if state == GRAY:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                # canonicalize: rotate so the smallest role leads
+                body = cycle[:-1]
+                pivot = body.index(min(body))
+                canon = tuple(body[pivot:] + body[:pivot])
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycles.append(list(canon) + [canon[0]])
+            elif state == WHITE:
+                dfs(nxt)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            dfs(node)
+    return cycles

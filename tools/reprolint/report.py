@@ -1,0 +1,227 @@
+"""Output formats (text / JSON / SARIF) and the committed baseline.
+
+Baseline entries are keyed by a *stable fingerprint* — rule, relative
+path, enclosing symbol, and the message with line/column digits
+normalized away — so unrelated edits that shift line numbers do not
+invalidate the baseline, while any new finding (or an old one whose
+message materially changes) fails the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.engine import Violation
+
+__all__ = [
+    "Baseline", "fingerprint", "load_baseline", "write_baseline",
+    "render_json", "render_sarif", "render_text", "split_by_baseline",
+]
+
+_DIGITS = re.compile(r":\d+")
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity for a finding (line-number independent)."""
+    message = _DIGITS.sub(":N", violation.message)
+    payload = "\0".join(
+        [violation.rule, violation.path, violation.symbol, message]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Committed set of known findings that do not fail the run."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    def __contains__(self, violation: Violation) -> bool:
+        return fingerprint(violation) in self.entries
+
+
+def load_baseline(path: Optional[str]) -> Baseline:
+    if not path:
+        return Baseline()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return Baseline()
+    entries = {
+        str(entry["fingerprint"]): entry
+        for entry in data.get("findings", [])
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+    return Baseline(entries)
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> None:
+    findings = []
+    seen: Set[str] = set()
+    for violation in sorted(
+        violations, key=lambda v: (v.path, v.line, v.rule)
+    ):
+        fp = fingerprint(violation)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        findings.append({
+            "fingerprint": fp,
+            "rule": violation.rule,
+            "path": violation.path,
+            "symbol": violation.symbol,
+            "message": violation.message,
+            "line": violation.line,
+        })
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "findings": findings}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def split_by_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> Tuple[List[Violation], List[Violation], List[str]]:
+    """-> (new findings, baselined findings, stale baseline fingerprints)."""
+    new: List[Violation] = []
+    old: List[Violation] = []
+    hit: Set[str] = set()
+    for violation in violations:
+        fp = fingerprint(violation)
+        if fp in baseline.entries:
+            old.append(violation)
+            hit.add(fp)
+        else:
+            new.append(violation)
+    stale = sorted(set(baseline.entries) - hit)
+    return new, old, stale
+
+
+# ---------------------------------------------------------------------------
+# renderers
+# ---------------------------------------------------------------------------
+
+
+def render_text(
+    new: Sequence[Violation],
+    baselined: Sequence[Violation] = (),
+    stale: Sequence[str] = (),
+) -> str:
+    lines = [v.format() for v in new]
+    if new:
+        lines.append(f"{len(new)} problem(s) found.")
+    else:
+        lines.append("No problems found.")
+    if baselined:
+        lines.append(f"({len(baselined)} baselined finding(s) suppressed.)")
+    for fp in stale:
+        lines.append(
+            f"note: baseline entry {fp} no longer matches any finding "
+            f"(run --write-baseline to prune)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Violation],
+    baselined: Sequence[Violation] = (),
+    stale: Sequence[str] = (),
+    stats: Optional[dict] = None,
+) -> str:
+    def encode(violation: Violation) -> dict:
+        return {
+            "path": violation.path,
+            "line": violation.line,
+            "col": violation.col + 1,
+            "rule": violation.rule,
+            "message": violation.message,
+            "symbol": violation.symbol,
+            "fingerprint": fingerprint(violation),
+        }
+
+    payload = {
+        "version": 1,
+        "findings": [encode(v) for v in new],
+        "baselined": [encode(v) for v in baselined],
+        "stale_baseline": list(stale),
+    }
+    if stats is not None:
+        payload["stats"] = stats
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    new: Sequence[Violation],
+    baselined: Sequence[Violation] = (),
+    rule_meta: Optional[Dict[str, str]] = None,
+) -> str:
+    """SARIF 2.1.0 — consumable by GitHub code scanning."""
+    rule_meta = rule_meta or {}
+    rule_ids = sorted({v.rule for v in list(new) + list(baselined)})
+    rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+
+    def result(violation: Violation, suppressed: bool) -> dict:
+        out = {
+            "ruleId": violation.rule,
+            "ruleIndex": rule_index[violation.rule],
+            "level": "error",
+            "message": {"text": violation.message},
+            "partialFingerprints": {
+                "reprolint/v1": fingerprint(violation),
+            },
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(violation.line, 1),
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        }
+        if violation.symbol:
+            out["locations"][0]["logicalLocations"] = [
+                {"fullyQualifiedName": violation.symbol}
+            ]
+        if suppressed:
+            out["suppressions"] = [{"kind": "external", "justification": "baseline"}]
+        return out
+
+    sarif = {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri": "tools/reprolint",
+                    "version": "2.0.0",
+                    "rules": [
+                        {
+                            "id": rule,
+                            "shortDescription": {"text": rule},
+                            "fullDescription": {
+                                "text": rule_meta.get(rule, rule),
+                            },
+                        }
+                        for rule in rule_ids
+                    ],
+                },
+            },
+            "results": (
+                [result(v, False) for v in new]
+                + [result(v, True) for v in baselined]
+            ),
+        }],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)

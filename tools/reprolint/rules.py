@@ -178,11 +178,21 @@ class _MethodLockChecker(ast.NodeVisitor):
 
 class LockDisciplineRule:
     rule_id = "lock-discipline"
+    rationale = (
+        "Fields listed in a class's _GUARDED_BY dict (or the pyproject "
+        "guarded-fields table) are shared across threads; mutating one "
+        "outside `with self.<lock>` is a data race. Methods ending in the "
+        "locked-suffix run with the lock already held by convention and "
+        "are exempt, as is __init__ (the object is not shared yet)."
+    )
+    example = (
+        "    _GUARDED_BY = {\"_next_id\": \"_lock\"}\n"
+        "    def bump(self):\n"
+        "        self._next_id += 1     # <- BAD: no `with self._lock:`\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
+        for node in ctx.nodes(ast.ClassDef):
             guards = _class_guards(node, ctx.config)
             if not guards:
                 continue
@@ -211,6 +221,17 @@ class GlobalRngRule:
     """Forbid hidden-global RNG calls in the library source tree."""
 
     rule_id = "global-rng"
+    rationale = (
+        "The paper reproduction must be bit-for-bit deterministic under a "
+        "seed; numpy.random.* and random.* module-level calls draw from "
+        "hidden global state that any import or thread can perturb. Use "
+        "np.random.default_rng(seed) or a seeded random.Random instead. "
+        "Applies only under the configured rng-paths."
+    )
+    example = (
+        "    noise = np.random.normal(size=dim)          # <- BAD\n"
+        "    noise = np.random.default_rng(seed).normal(size=dim)  # ok\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.config.rng_applies(ctx.relpath):
@@ -219,42 +240,40 @@ class GlobalRngRule:
         nprandom_aliases: Set[str] = set()
         stdrandom_aliases: Set[str] = set()
         banned_direct: Dict[str, str] = {}
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
+        for node in ctx.nodes(ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "numpy":
+                    numpy_aliases.add(bound)
+                elif alias.name == "numpy.random":
+                    nprandom_aliases.add(alias.asname or "numpy")
+                    if alias.asname is None:
+                        numpy_aliases.add("numpy")
+                elif alias.name == "random":
+                    stdrandom_aliases.add(bound)
+        for node in ctx.nodes(ast.ImportFrom):
+            if node.module == "numpy":
                 for alias in node.names:
-                    bound = alias.asname or alias.name.split(".")[0]
-                    if alias.name == "numpy":
-                        numpy_aliases.add(bound)
-                    elif alias.name == "numpy.random":
-                        nprandom_aliases.add(alias.asname or "numpy")
-                        if alias.asname is None:
-                            numpy_aliases.add("numpy")
-                    elif alias.name == "random":
-                        stdrandom_aliases.add(bound)
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "numpy":
-                    for alias in node.names:
-                        if alias.name == "random":
-                            nprandom_aliases.add(alias.asname or "random")
-                elif node.module == "numpy.random":
-                    for alias in node.names:
-                        if alias.name not in NP_RANDOM_ALLOWED:
-                            banned_direct[alias.asname or alias.name] = (
-                                f"numpy.random.{alias.name}"
-                            )
-                elif node.module == "random":
-                    for alias in node.names:
-                        if alias.name not in STD_RANDOM_ALLOWED:
-                            banned_direct[alias.asname or alias.name] = (
-                                f"random.{alias.name}"
-                            )
+                    if alias.name == "random":
+                        nprandom_aliases.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in NP_RANDOM_ALLOWED:
+                        banned_direct[alias.asname or alias.name] = (
+                            f"numpy.random.{alias.name}"
+                        )
+            elif node.module == "random":
+                for alias in node.names:
+                    if alias.name not in STD_RANDOM_ALLOWED:
+                        banned_direct[alias.asname or alias.name] = (
+                            f"random.{alias.name}"
+                        )
 
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Call):
-                yield from self._check_call(
-                    ctx, node, numpy_aliases, nprandom_aliases,
-                    stdrandom_aliases, banned_direct,
-                )
+        for node in ctx.nodes(ast.Call):
+            yield from self._check_call(
+                ctx, node, numpy_aliases, nprandom_aliases,
+                stdrandom_aliases, banned_direct,
+            )
         yield from self._check_docstrings(ctx)
 
     def _check_call(self, ctx, node, numpy_aliases, nprandom_aliases,
@@ -278,11 +297,10 @@ class GlobalRngRule:
             yield self._violation(ctx, node, f"{origin}.{fn}")
 
     def _check_docstrings(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(
-                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                continue
+        docstring_owners = [ctx.tree] + ctx.nodes(
+            ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef
+        )
+        for node in docstring_owners:
             doc = ast.get_docstring(node, clean=False)
             if not doc or not node.body:
                 continue
@@ -321,11 +339,19 @@ class GlobalRngRule:
 
 class MutableDefaultRule:
     rule_id = "mutable-default"
+    rationale = (
+        "Default argument values evaluate once at def time; a mutable "
+        "default (list/dict/set) is silently shared by every call, so "
+        "state leaks between invocations. Use None and construct inside."
+    )
+    example = (
+        "    def search(self, filters=[]):   # <- BAD: shared list\n"
+        "    def search(self, filters=None): # ok\n"
+        "        filters = [] if filters is None else filters\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-                continue
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda):
             defaults = list(node.args.defaults) + [
                 d for d in node.args.kw_defaults if d is not None
             ]
@@ -358,10 +384,21 @@ class MutableDefaultRule:
 
 class BareExceptRule:
     rule_id = "bare-except"
+    rationale = (
+        "A bare `except:` catches KeyboardInterrupt and SystemExit, which "
+        "makes worker loops unkillable and hides shutdown bugs. Catch "
+        "Exception, or something narrower."
+    )
+    example = (
+        "    try:\n"
+        "        task.run()\n"
+        "    except:              # <- BAD\n"
+        "    except Exception:    # ok\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ExceptHandler) and node.type is None:
+        for node in ctx.nodes(ast.ExceptHandler):
+            if node.type is None:
                 yield Violation(
                     path=ctx.path,
                     line=node.lineno,
@@ -378,12 +415,21 @@ class FloatEqRule:
     """``==``/``!=`` on floating distance/score values is order-fragile."""
 
     rule_id = "float-eq"
+    rationale = (
+        "Distances and scores come out of floating-point reductions whose "
+        "value depends on summation order (parallel merge vs serial scan); "
+        "exact ==/!= on them is order-fragile. Compare with np.isclose or "
+        "an absolute-difference tolerance. Names are matched against the "
+        "configured float-eq-names segments."
+    )
+    example = (
+        "    if best_score == 0.0:                 # <- BAD\n"
+        "    if abs(best_score) < 1e-9:            # ok\n"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         tokens = {t.lower() for t in ctx.config.float_eq_names}
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Compare):
-                continue
+        for node in ctx.nodes(ast.Compare):
             operands = [node.left] + list(node.comparators)
             for op, left, right in zip(node.ops, operands, operands[1:]):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):
@@ -448,13 +494,21 @@ class MetricNameRule:
     """
 
     rule_id = "metric-name"
+    rationale = (
+        "Metric names are a public, scrape-time API: snake_case keeps them "
+        "Prometheus-compatible, and the _total suffix on counters is the "
+        "convention dashboards rely on to apply rate(). Only string-literal "
+        "first arguments are checked."
+    )
+    example = (
+        "    obs.registry.counter(\"flushCount\")        # <- BAD (case)\n"
+        "    obs.registry.counter(\"flush_total\")        # ok\n"
+    )
 
     _FACTORIES = {"counter", "gauge", "histogram"}
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes(ast.Call):
             func = node.func
             if not (isinstance(func, ast.Attribute) and func.attr in self._FACTORIES):
                 continue
@@ -497,6 +551,17 @@ class SpanContextRule:
     """
 
     rule_id = "span-context"
+    rationale = (
+        "Tracer spans and profile stages start their timers in __enter__; "
+        "a span(...) call that is never entered as a context manager "
+        "records nothing and silently drops the timing data. "
+        "ProfileNode.stage pre-creation is the sanctioned exception."
+    )
+    example = (
+        "    tracer.span(\"flush\")            # <- BAD: never entered\n"
+        "    with tracer.span(\"flush\"):      # ok\n"
+        "        ...\n"
+    )
 
     _SPAN_ATTRS = {"span", "start_span"}
     _SPAN_NAMES = {"profile_stage"}
@@ -504,14 +569,13 @@ class SpanContextRule:
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         withitem_calls: Set[int] = set()
         withitem_names: Set[str] = set()
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.With, ast.AsyncWith)):
-                for item in node.items:
-                    expr = item.context_expr
-                    if isinstance(expr, ast.Call):
-                        withitem_calls.add(id(expr))
-                    elif isinstance(expr, ast.Name):
-                        withitem_names.add(expr.id)
+        for node in ctx.nodes(ast.With, ast.AsyncWith):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    withitem_calls.add(id(expr))
+                elif isinstance(expr, ast.Name):
+                    withitem_names.add(expr.id)
 
         for stmt, call in self._span_calls(ctx.tree):
             if id(call) in withitem_calls:
