@@ -39,6 +39,7 @@ MODULES = [
     "bench_ablation_batched_ivf",
     "bench_ablation_categorical",
     "bench_ablation_parallel",
+    "bench_mixed_rw",
 ]
 
 REPORT_PATH = "BENCH_report.json"

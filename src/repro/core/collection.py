@@ -310,32 +310,44 @@ class Collection:
             name, float(op_or_low), float(value_or_high), snap
         )
 
+    def _visible_segments(self, snap: Snapshot):
+        """Everything readable in ``snap``: sealed segments, then the
+        read views of frozen memtables awaiting background flush —
+        frozen rows answer filters, fetches, and range queries exactly
+        like sealed rows."""
+        for seg_id in snap.segment_ids:
+            yield self._lsm.bufferpool.get(seg_id)
+        for view in self._lsm.frozen_view_segments(snap):
+            yield view
+
     def _categorical_rows(self, name: str, codes, snap: Snapshot) -> np.ndarray:
         if not codes:
             return np.empty(0, dtype=np.int64)
-        parts = []
-        for seg_id in snap.segment_ids:
-            segment = self._lsm.bufferpool.get(seg_id)
-            parts.append(segment.categorical_in(name, codes))
+        parts = [
+            segment.categorical_in(name, codes)
+            for segment in self._visible_segments(snap)
+        ]
         if not parts:
             return np.empty(0, dtype=np.int64)
         rows = np.unique(np.concatenate(parts))
-        if len(snap.tombstones):
-            rows = np.setdiff1d(rows, snap.tombstones, assume_unique=False)
+        tombs = self._lsm.visible_tombstones(snap)
+        if len(tombs):
+            rows = np.setdiff1d(rows, tombs, assume_unique=False)
         return rows
 
     def _admissible_rows(
         self, attr: str, low: float, high: float, snap: Snapshot
     ) -> np.ndarray:
-        parts = []
-        for seg_id in snap.segment_ids:
-            segment = self._lsm.bufferpool.get(seg_id)
-            parts.append(segment.attribute_range(attr, low, high))
+        parts = [
+            segment.attribute_range(attr, low, high)
+            for segment in self._visible_segments(snap)
+        ]
         if not parts:
             return np.empty(0, dtype=np.int64)
         rows = np.unique(np.concatenate(parts))
-        if len(snap.tombstones):
-            rows = np.setdiff1d(rows, snap.tombstones, assume_unique=False)
+        tombs = self._lsm.visible_tombstones(snap)
+        if len(tombs):
+            rows = np.setdiff1d(rows, tombs, assume_unique=False)
         return rows
 
     def multi_vector_search(
@@ -381,8 +393,7 @@ class Collection:
         found = np.zeros(len(row_ids), dtype=bool)
         snap = self._lsm.snapshot()
         try:
-            for seg_id in snap.segment_ids:
-                segment = self._lsm.bufferpool.get(seg_id)
+            for segment in self._visible_segments(snap):
                 mask = segment.contains_mask(row_ids) & ~found
                 if mask.any():
                     out[mask] = segment.vectors_for(field, row_ids[mask])
@@ -402,8 +413,7 @@ class Collection:
         out = np.full(len(row_ids), np.nan)
         snap = self._lsm.snapshot()
         try:
-            for seg_id in snap.segment_ids:
-                segment = self._lsm.bufferpool.get(seg_id)
+            for segment in self._visible_segments(snap):
                 col = segment.attributes[name]
                 order = np.argsort(col.row_ids)
                 sorted_rows = col.row_ids[order]
@@ -453,9 +463,8 @@ class Collection:
         snap = self._lsm.snapshot()
         try:
             out: List[List[Tuple[int, float]]] = [[] for __ in range(len(queries))]
-            tombs = set(snap.tombstones.tolist())
-            for seg_id in snap.segment_ids:
-                segment = self._lsm.bufferpool.get(seg_id)
+            tombs = set(self._lsm.visible_tombstones(snap).tolist())
+            for segment in self._visible_segments(snap):
                 index = segment.indexes.get(field)
                 if index is not None:
                     try:
@@ -496,8 +505,7 @@ class Collection:
         codes = np.full(len(row_ids), -1, dtype=np.int64)
         snap = self._lsm.snapshot()
         try:
-            for seg_id in snap.segment_ids:
-                segment = self._lsm.bufferpool.get(seg_id)
+            for segment in self._visible_segments(snap):
                 mask = segment.contains_mask(row_ids) & (codes < 0)
                 if mask.any():
                     codes[mask] = segment.categoricals[name].values_for(row_ids[mask])

@@ -7,7 +7,9 @@ Components:
 * :mod:`repro.storage.wal` — write-ahead log for durability
   (CRC-framed records, torn-tail recovery).
 * :mod:`repro.storage.faults` — deterministic fault injection
-  (torn writes, transient errors, corruption, crash points).
+  (torn writes, transient errors, corruption, crash points, stall
+  gates for exact concurrency schedules).
+* :mod:`repro.storage.bloom` — per-segment row-id membership filters.
 * :mod:`repro.storage.attributes` — sorted (key, row-id) attribute
   columns with page min/max skip pointers (Snowflake-style).
 * :mod:`repro.storage.segment` — immutable columnar segments, the unit
@@ -31,8 +33,15 @@ from repro.storage.memtable import MemTable
 from repro.storage.merge import TieredMergePolicy, MergeTask
 from repro.storage.manifest import Manifest, Snapshot
 from repro.storage.wal import WriteAheadLog, WalRecord, WalCorruptionError
-from repro.storage.faults import FaultPlan, FaultRule, FaultyFileSystem, SimulatedCrash
-from repro.storage.lsm import LSMManager, LSMConfig
+from repro.storage.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultyFileSystem,
+    SimulatedCrash,
+    StallGate,
+)
+from repro.storage.bloom import BloomFilter
+from repro.storage.lsm import FrozenMemtable, LSMManager, LSMConfig
 from repro.storage.bufferpool import BufferPool
 
 __all__ = [
@@ -54,6 +63,9 @@ __all__ = [
     "FaultRule",
     "FaultyFileSystem",
     "SimulatedCrash",
+    "StallGate",
+    "BloomFilter",
+    "FrozenMemtable",
     "LSMManager",
     "LSMConfig",
     "BufferPool",

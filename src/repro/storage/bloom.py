@@ -1,0 +1,107 @@
+"""Per-segment bloom filters for row-id membership.
+
+Sealed segments answer "is row id X here?" constantly — tombstone
+masking, delete-dedup scans at compaction, point fetches — and most of
+those probes miss (a row lives in exactly one segment).  A bloom
+filter over the segment's sorted ``row_ids`` turns the common miss
+into an O(k) bit probe with **no false negatives**: a negative answer
+is definitive, a positive answer ("maybe") falls through to the exact
+``searchsorted`` check.
+
+The filter is a flat ``uint64`` bit array with classic double hashing
+(`g_i(x) = h1(x) + i*h2(x) mod m`, Kirsch–Mitzenmacher), both halves
+derived from one splitmix64 pass over the id.  Everything is
+vectorized over numpy arrays so batch probes cost a few fused ops.
+
+Filters serialize with their segment (``bloom_bits`` array + ``k``/
+``m`` meta in the npz blob, see :mod:`repro.storage.segment`) so a
+reload gets membership pruning without rebuilding anything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BloomFilter", "DEFAULT_BITS_PER_KEY"]
+
+#: ~1% false-positive rate at the matching k below.
+DEFAULT_BITS_PER_KEY = 10
+
+_U64 = np.uint64
+_MASK64 = _U64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer: one well-mixed 64-bit hash per id."""
+    z = (x + _U64(0x9E3779B97F4A7C15)) & _MASK64
+    z = ((z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)) & _MASK64
+    z = ((z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)) & _MASK64
+    return z ^ (z >> _U64(31))
+
+
+class BloomFilter:
+    """Immutable bloom filter over a fixed set of int64 row ids."""
+
+    def __init__(self, bits: np.ndarray, k: int, m: int):
+        self.bits = np.ascontiguousarray(bits, dtype=np.uint64)
+        self.k = int(k)
+        self.m = int(m)
+        if self.m != len(self.bits) * 64:
+            raise ValueError(
+                f"bit-array length {len(self.bits)} words != m={self.m} bits"
+            )
+
+    @classmethod
+    def build(
+        cls, row_ids: np.ndarray, bits_per_key: int = DEFAULT_BITS_PER_KEY
+    ) -> "BloomFilter":
+        """Build a filter sized for ``row_ids`` (m rounded up to 64 bits)."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        n = max(len(row_ids), 1)
+        m = ((n * bits_per_key + 63) // 64) * 64
+        # k = ln(2) * bits-per-key minimizes the false-positive rate.
+        k = max(1, int(round(0.6931 * bits_per_key)))
+        bits = np.zeros(m // 64, dtype=np.uint64)
+        if len(row_ids):
+            word, bit = cls._positions(row_ids, k, m)
+            np.bitwise_or.at(bits, word.ravel(), _U64(1) << bit.ravel())
+        return cls(bits, k, m)
+
+    @staticmethod
+    def _positions(row_ids: np.ndarray, k: int, m: int):
+        """(word index, bit offset) arrays of shape (len(ids), k)."""
+        h = _splitmix64(row_ids.astype(np.uint64))
+        h1 = h & _U64(0xFFFFFFFF)
+        h2 = (h >> _U64(32)) | _U64(1)  # odd => full-period stepping
+        i = np.arange(k, dtype=np.uint64)
+        idx = (h1[:, None] + i[None, :] * h2[:, None]) % _U64(m)
+        return (idx >> _U64(6)).astype(np.int64), idx & _U64(63)
+
+    def might_contain(self, row_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: False is definitive absence, True means "check".
+
+        Vectorized: one hash pass and ``k`` gathers for the whole batch.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0:
+            return np.zeros(0, dtype=bool)
+        word, bit = self._positions(row_ids, self.k, self.m)
+        probed = (self.bits[word] >> bit) & _U64(1)
+        return probed.all(axis=1)
+
+    def memory_bytes(self) -> int:
+        return int(self.bits.nbytes)
+
+    def __contains__(self, row_id: int) -> bool:
+        return bool(self.might_contain(np.array([row_id], dtype=np.int64))[0])
+
+
+def maybe_restore(
+    bits: Optional[np.ndarray], k: Optional[int], m: Optional[int]
+) -> Optional[BloomFilter]:
+    """Rebuild a filter from serialized pieces; None when absent."""
+    if bits is None or k is None or m is None:
+        return None
+    return BloomFilter(bits, int(k), int(m))

@@ -35,6 +35,7 @@ class BufferPool:
         "_cache": "_lock",
         "_pins": "_lock",
         "_bytes": "_lock",
+        "_dead_pending": "_lock",
         "hits": "_lock",
         "misses": "_lock",
         "evictions": "_lock",
@@ -50,6 +51,7 @@ class BufferPool:
         self._lock = maybe_sanitize(threading.Lock(), "bufferpool")
         self._cache: "OrderedDict[int, Segment]" = OrderedDict()
         self._pins: Dict[int, int] = {}
+        self._dead_pending: set = set()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -124,14 +126,39 @@ class BufferPool:
                 raise RuntimeError(f"segment {segment_id} is not pinned")
             if count == 1:
                 del self._pins[segment_id]
+                if segment_id in self._dead_pending:
+                    # a deferred invalidation was waiting on this pin
+                    self._dead_pending.discard(segment_id)
+                    segment = self._cache.pop(segment_id, None)
+                    if segment is not None:
+                        self._bytes -= segment.memory_bytes()
             else:
                 self._pins[segment_id] = count - 1
 
-    def invalidate(self, segment_id: int) -> None:
-        """Drop a dead segment (after GC); pinned segments raise."""
+    def peek(self, segment_id: int) -> Optional[Segment]:
+        """Resident segment or None — never loads, never touches LRU.
+
+        Compaction planning uses this to decide whether tombstone-purge
+        work would cause I/O, without perturbing hit/miss counters.
+        """
+        with self._lock:
+            return self._cache.get(segment_id)
+
+    def invalidate(self, segment_id: int, defer: bool = False) -> None:
+        """Drop a dead segment (after GC).
+
+        Pinned segments raise by default; with ``defer=True`` the drop
+        is queued and happens at the final ``unpin`` instead — the
+        background GC path uses this so a compaction finishing while a
+        reader still scans the merged-away segment never throws.
+        """
         with self._lock:
             if self._pins.get(segment_id, 0) > 0:
+                if defer:
+                    self._dead_pending.add(segment_id)
+                    return
                 raise RuntimeError(f"cannot invalidate pinned segment {segment_id}")
+            self._dead_pending.discard(segment_id)
             segment = self._cache.pop(segment_id, None)
             if segment is not None:
                 self._bytes -= segment.memory_bytes()

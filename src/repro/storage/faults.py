@@ -17,7 +17,14 @@ rules, each scoped by operation kind and path glob:
   payload, the shape checksums must catch;
 * **crash points** — let the op land fully, then raise
   :class:`SimulatedCrash`, modelling a crash between two durable
-  steps (e.g. "manifest persisted but WAL not yet truncated");
+  steps (e.g. "manifest persisted but WAL not yet truncated"); or
+  raise *before* the op lands (``crash_before``), modelling a crash
+  in the gap between deciding to persist and persisting (e.g. "memtable
+  frozen, segment file never written");
+* **stall gates** — park the matching op on a :class:`threading.Event`
+  pair until the test releases it, so concurrency proofs ("insert
+  returns while the background flush is still mid-write") are exact
+  schedules rather than sleep-and-hope timing;
 * **injected latency** — account (not sleep) per-op delay so tests
   can assert slow-path behaviour without slow tests.
 
@@ -38,7 +45,9 @@ from typing import List, Optional, Tuple, Type
 from repro.storage.filesystem import FileSystem
 from repro.utils.sanitizer import maybe_sanitize
 
-__all__ = ["SimulatedCrash", "FaultRule", "FaultPlan", "FaultyFileSystem"]
+__all__ = [
+    "SimulatedCrash", "FaultRule", "FaultPlan", "FaultyFileSystem", "StallGate",
+]
 
 #: operation kinds a rule may scope to ("*" matches all of them).
 OP_KINDS = ("write", "read", "delete", "listdir", "exists")
@@ -61,6 +70,29 @@ class SimulatedCrash(Exception):
                          + (f": {detail}" if detail else ""))
 
 
+class StallGate:
+    """Event pair that freezes an op at a known point until released.
+
+    The faulty filesystem sets ``reached`` when the matching op arrives
+    and then blocks on ``release`` (outside the plan lock, so other
+    threads' I/O proceeds).  Tests sequence exact interleavings:
+    ``gate.reached.wait()`` — the flush is now provably in flight —
+    do concurrent work, assert, then ``gate.release.set()``.
+
+    ``max_wait`` bounds the park so a test bug degrades into a slow
+    pass-through rather than a hung suite.
+    """
+
+    def __init__(self, max_wait: float = 30.0):
+        self.reached = threading.Event()
+        self.release = threading.Event()
+        self.max_wait = max_wait
+
+    def park(self) -> None:
+        self.reached.set()
+        self.release.wait(self.max_wait)
+
+
 @dataclass
 class FaultRule:
     """One scripted fault, scoped by op kind + path glob + match count.
@@ -71,7 +103,7 @@ class FaultRule:
     assert a schedule actually triggered.
     """
 
-    kind: str                 #: torn-write | error | corrupt-read | crash-after | latency
+    kind: str                 #: torn-write | error | corrupt-read | crash-after | crash-before | stall | latency
     op: str                   #: one of OP_KINDS or "*"
     glob: str                 #: path pattern (fnmatch)
     nth: int = 1
@@ -81,6 +113,7 @@ class FaultRule:
     exc_type: Type[Exception] = IOError
     flip_bits: int = 1        #: corrupt-read: number of bit flips
     seconds: float = 0.0      #: latency: injected (accounted) delay
+    gate: Optional[StallGate] = None  #: stall: the event pair to park on
     seen: int = 0
     fired: int = 0
 
@@ -153,6 +186,29 @@ class FaultPlan:
         """Let the nth matching op land, then raise SimulatedCrash."""
         return self._add(FaultRule(kind="crash-after", op=op, glob=glob, nth=nth))
 
+    def crash_before(self, glob: str, op: str = "write", nth: int = 1) -> FaultRule:
+        """Raise SimulatedCrash *before* the nth matching op executes.
+
+        Models dying in the gap between two durable steps — e.g. the
+        memtable froze and the background flusher was about to persist
+        the segment, but the file never hit storage.
+        """
+        return self._add(FaultRule(kind="crash-before", op=op, glob=glob, nth=nth))
+
+    def stall(
+        self, glob: str, op: str = "write", nth: int = 1,
+        times: Optional[int] = 1, max_wait: float = 30.0,
+    ) -> FaultRule:
+        """Park matching ops on a :class:`StallGate` until released.
+
+        Returns the rule; use ``rule.gate.reached.wait()`` /
+        ``rule.gate.release.set()`` to sequence the interleaving.
+        """
+        return self._add(FaultRule(
+            kind="stall", op=op, glob=glob, nth=nth, times=times,
+            gate=StallGate(max_wait=max_wait),
+        ))
+
     def latency(
         self, glob: str, op: str = "*", seconds: float = 0.05,
         times: Optional[int] = None,
@@ -221,11 +277,27 @@ class FaultyFileSystem(FileSystem):
             if rule.kind == "crash-after":
                 raise SimulatedCrash(op, path)
 
+    @staticmethod
+    def _raise_crash_before(fired: List[FaultRule], op: str, path: str) -> None:
+        for rule in fired:
+            if rule.kind == "crash-before":
+                raise SimulatedCrash(op, path, "before op executed")
+
+    @staticmethod
+    def _park_stalls(fired: List[FaultRule]) -> None:
+        """Block on any stall gates — outside the plan lock, so other
+        threads' I/O (and the releasing test thread) keep running."""
+        for rule in fired:
+            if rule.kind == "stall" and rule.gate is not None:
+                rule.gate.park()
+
     # -- FileSystem interface ---------------------------------------------
 
     def write(self, path: str, data: bytes) -> None:
         fired = self._fired_rules("write", path)
         self._raise_errors(fired, "write", path)
+        self._raise_crash_before(fired, "write", path)
+        self._park_stalls(fired)
         torn = next((r for r in fired if r.kind == "torn-write"), None)
         if torn is not None:
             self.inner.write(path, bytes(data[: torn.truncate_at]))
@@ -241,6 +313,8 @@ class FaultyFileSystem(FileSystem):
     def read(self, path: str) -> bytes:
         fired = self._fired_rules("read", path)
         self._raise_errors(fired, "read", path)
+        self._raise_crash_before(fired, "read", path)
+        self._park_stalls(fired)
         data = self.inner.read(path)
         corruptors = [r for r in fired if r.kind == "corrupt-read"]
         if corruptors and len(data):
@@ -258,6 +332,7 @@ class FaultyFileSystem(FileSystem):
     def exists(self, path: str) -> bool:
         fired = self._fired_rules("exists", path)
         self._raise_errors(fired, "exists", path)
+        self._raise_crash_before(fired, "exists", path)
         found = self.inner.exists(path)
         self._raise_crashes(fired, "exists", path)
         return found
@@ -265,6 +340,7 @@ class FaultyFileSystem(FileSystem):
     def delete(self, path: str) -> None:
         fired = self._fired_rules("delete", path)
         self._raise_errors(fired, "delete", path)
+        self._raise_crash_before(fired, "delete", path)
         self.inner.delete(path)
         self._raise_crashes(fired, "delete", path)
 

@@ -3,20 +3,53 @@
 Ties together the WAL, MemTable, segments, tiered merging, the
 manifest (snapshot isolation), and the bufferpool:
 
-* inserts/deletes land in the WAL, then the MemTable / tombstone set;
-* the MemTable seals into an immutable segment on size threshold or
-  explicit flush (the paper also seals once per second; callers drive
-  that clock via :meth:`tick`);
-* a tiered policy merges small segments, physically dropping deleted
-  rows ("the obsoleted vectors are removed during segment merge");
-* segments above a row threshold get vector indexes built
-  ("by default, Milvus builds indexes only for large segments");
-* every search runs against an acquired snapshot.
+* inserts/deletes land in the WAL, then the MemTable / tombstone set —
+  and nothing else happens under the writer lock;
+* on the size/time threshold the active MemTable is *frozen*: sealed,
+  pushed onto an immutable queue, and made reader-visible through the
+  manifest, all O(1) under the writer lock ("the MemTable becomes
+  immutable and then gets flushed");
+* a flusher drains frozen memtables into sealed segments and runs
+  tiered compaction — on a dedicated background thread when the
+  engine runs in background mode (``REPRO_BG_FLUSH=1`` or
+  ``LSMConfig.background=True``), or synchronously right after the
+  freeze (still outside the writer lock) in inline mode;
+* compaction physically drops deleted rows ("the obsoleted vectors
+  are removed during segment merge") and additionally rewrites any
+  single resident segment whose tombstoned fraction exceeds
+  ``tombstone_purge_ratio`` (true reclamation for delete/upsert);
+* segments above a row threshold get vector indexes built;
+* every search runs against an acquired snapshot, which pins sealed
+  segments *and* frozen memtables (MVCC over both).
+
+Locking
+-------
+Three locks with strictly separated jobs:
+
+* ``_lock`` (role ``lsm``, reentrant) — the writer lock.  Guards the
+  active memtable, pending deletes, and the freeze counter.  Never
+  held across filesystem I/O; the longest critical section is a
+  memtable append or an O(1) freeze.
+* ``_bg_lock`` (role ``lsm-bg``) — the maintenance lock.  Serializes
+  flush processing, compaction, manifest persistence, and recovery.
+  Filesystem I/O is *expected* under it (it is in reprolint's
+  ``allow-blocking`` set); writers never take it.
+* ``_frozen_lock`` (role ``lsm-frozen``, leaf) — guards the frozen-
+  memtable registry and its lazily built read views.
+
+Lock order: ``lsm -> lsm-bg -> {manifest, wal} -> {bufferpool} ->
+{lsm-index-specs, fs, lsm-frozen} -> obs``.  Background crash safety:
+a :class:`SimulatedCrash` (or any error) inside background work is
+recorded and re-raised from the next write-path call, modelling the
+process death the chaos harness expects; queued work drains inertly
+so barriers never hang.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import queue
 import threading
 import time
 import zlib
@@ -31,6 +64,7 @@ from repro.metrics import get_metric
 from repro.obs import get_obs
 from repro.obs.profile import profile_count, profile_stage
 from repro.storage.bufferpool import BufferPool
+from repro.storage.faults import SimulatedCrash
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
 from repro.storage.manifest import Manifest, Snapshot
 from repro.storage.memtable import MemTable
@@ -39,6 +73,10 @@ from repro.storage.segment import Segment, VectorSpecs
 from repro.storage.wal import WriteAheadLog
 from repro.utils import merge_topk_batch
 from repro.utils.sanitizer import assert_guarded, maybe_sanitize
+
+
+def _env_background_default() -> bool:
+    return os.environ.get("REPRO_BG_FLUSH", "0").lower() not in ("", "0", "false")
 
 
 @dataclass
@@ -58,39 +96,70 @@ class LSMConfig:
     #: asynchronously", Sec. 5.1); searches fall back to brute force on
     #: a segment until its index is attached.
     async_index_build: bool = False
+    #: run flush/compaction on a background thread; None resolves from
+    #: the REPRO_BG_FLUSH environment variable at construction.
+    background: Optional[bool] = None
+    #: rewrite a resident segment once this fraction of its rows is
+    #: tombstoned (0 disables the purge pass).
+    tombstone_purge_ratio: float = 0.25
+
+
+@dataclass
+class FrozenMemtable:
+    """One sealed memtable awaiting background flush.
+
+    Reader-visible from the moment of the freeze (via manifest
+    ``frozen_ids``) until the flush commit swaps it for its segment.
+    ``tombstones`` are the deletes pending at freeze time: visible to
+    reads immediately, made durable-in-manifest by the flush commit.
+    """
+
+    fid: int
+    memtable: MemTable
+    tombstones: Optional[np.ndarray]
+    wal_upto: int       #: highest LSN this freeze covers (-1 = no WAL)
+    rows: int
+    done: bool = False  #: set once the flush commit lands
+    wal_from: int = -1  #: highest LSN of the *previous* freeze: this
+                        #: entry owns WAL records (wal_from, wal_upto]
+    queued: bool = True  #: currently on the work queue (False after a
+                         #: failed attempt, until a barrier re-queues it)
+    seg_id: Optional[int] = None  #: allocated once; a retried flush
+                                  #: rewrites the same path (no orphans)
+    committed: bool = False  #: in-memory manifest commit landed — a
+                             #: retry must not apply it a second time
 
 
 class LSMManager:
     """Dynamic data management for one collection's worth of rows.
 
-    Thread-safety: the write path (insert/delete/flush/merge) is
-    serialized by the reentrant ``self._lock``; searches never take it
-    — they read through manifest snapshots and the bufferpool, each of
-    which has its own internal lock.  ``self._index_lock`` is a leaf
-    lock for the index-spec catalog, which is also mutated from the
-    manifest's GC callback (taking the main lock there would invert
-    the lsm -> manifest order).  Lock order: lsm -> {manifest, wal} ->
-    {bufferpool, index-specs, fs}; the fault-injection wrapper's
-    bookkeeping lock ("faults") sits just above fs and is never held
-    across an inner filesystem call; the observability instruments
-    ("obs") are a strict leaf — any engine lock may be held while an
-    instrument updates, and an instrument never acquires anything
-    else.  reprolint's lock-discipline rule enforces the
-    ``_GUARDED_BY`` map below.
+    See the module docstring for the threading model.  reprolint's
+    lock-discipline rule enforces the ``_GUARDED_BY`` map below.
     """
 
     #: lock-discipline declaration consumed by tools/reprolint.
     _GUARDED_BY = {
         "_memtable": "_lock",
         "_pending_deletes": "_lock",
-        "_next_segment_id": "_lock",
+        "_next_frozen_id": "_lock",
         "_last_flush_time": "_lock",
-        "flush_count": "_lock",
-        "merge_count": "_lock",
-        "_flushed_lsn": "_lock",
-        "_manifest_seq": "_lock",
+        "_bg_crash": "_lock",
+        "_bg_error": "_lock",
+        "_next_segment_id": "_bg_lock",
+        "_flushed_lsn": "_bg_lock",
+        "_manifest_seq": "_bg_lock",
+        "flush_count": "_bg_lock",
+        "merge_count": "_bg_lock",
+        "purge_count": "_bg_lock",
+        "_frozen": "_frozen_lock",
+        "_frozen_views": "_frozen_lock",
+        "_frozen_wal_high": "_frozen_lock",
+        "_flush_results": "_frozen_lock",
+        "_awaited": "_frozen_lock",
         "_index_specs": "_index_lock",
     }
+
+    _SHUTDOWN = object()
 
     def __init__(
         self,
@@ -106,21 +175,56 @@ class LSMManager:
         self.categorical_names = tuple(categorical_names)
         self.categorical_kinds = dict(categorical_kinds or {})
         self.config = config or LSMConfig()
+        self.background = (
+            _env_background_default()
+            if self.config.background is None
+            else bool(self.config.background)
+        )
         self.fs = fs if fs is not None else InMemoryObjectStore()
         self.wal = WriteAheadLog(self.fs) if self.config.enable_wal else None
-        self.manifest = Manifest(on_segment_dead=self._segment_dead)
+        self.manifest = Manifest(
+            on_segment_dead=self._segment_dead,
+            on_frozen_dead=self._frozen_dead,
+        )
         self.bufferpool = BufferPool(self.config.bufferpool_bytes, self._load_segment)
-        # Reentrant: flush -> maybe_merge and insert -> flush nest.
+        # Reentrant: tick -> freeze and insert -> freeze nest.
         self._lock = maybe_sanitize(threading.RLock(), "lsm")
+        self._bg_lock = maybe_sanitize(threading.Lock(), "lsm-bg")
+        self._frozen_lock = maybe_sanitize(threading.Lock(), "lsm-frozen")
         self._index_lock = maybe_sanitize(threading.Lock(), "lsm-index-specs")
         self._memtable = self._new_memtable()
         self._pending_deletes: List[np.ndarray] = []
-        self._next_segment_id = 0
+        self._next_frozen_id = 0
         self._last_flush_time = 0.0
+        self._bg_crash: Optional[BaseException] = None
+        self._bg_error: Optional[Exception] = None
+        self._next_segment_id = 0
         self._flushed_lsn = -1
         self._manifest_seq = 0
         self.flush_count = 0
         self.merge_count = 0
+        self.purge_count = 0
+        #: fid -> FrozenMemtable, alive while any snapshot can see it
+        self._frozen: Dict[int, FrozenMemtable] = {}
+        #: highest WAL LSN any freeze has ever covered
+        self._frozen_wal_high = -1
+        #: fid -> lazily built read view (a Segment sharing no files)
+        self._frozen_views: Dict[int, Segment] = {}
+        #: fid -> resulting segment id, recorded only for awaited fids
+        self._flush_results: Dict[int, Optional[int]] = {}
+        self._awaited: set = set()
+        #: dead segments whose files await a durable manifest persist
+        #: before physical deletion (see _segment_dead).
+        self._dead_segment_files: "queue.SimpleQueue" = queue.SimpleQueue()
+        #: FIFO hand-off queue; in inline mode the writer drains it
+        #: itself right after releasing the writer lock.
+        self._work: "queue.Queue" = queue.Queue()
+        self._flusher: Optional[threading.Thread] = None
+        if self.background:
+            self._flusher = threading.Thread(
+                target=self._flusher_loop, name="lsm-flusher", daemon=True
+            )
+            self._flusher.start()
         #: segment id -> {field: (index_type, params)} for segments
         #: whose indexes must be rebuilt after bufferpool eviction
         #: (indexes are not serialized; Milvus also rebuilds them
@@ -128,8 +232,6 @@ class LSMManager:
         self._index_specs: Dict[int, Dict[str, tuple]] = {}
         self._index_queue: Optional["queue.Queue"] = None
         if self.config.async_index_build:
-            import queue
-
             self._index_queue = queue.Queue()
             worker = threading.Thread(
                 target=self._index_builder_loop, name="index-builder", daemon=True
@@ -151,18 +253,30 @@ class LSMManager:
         attributes: Optional[Dict[str, np.ndarray]] = None,
         categoricals: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
-        """Log and buffer an insert batch; may trigger an auto-flush."""
+        """Log and buffer an insert batch; may trigger a freeze.
+
+        The writer lock covers only the WAL append, the memtable
+        append, and (at the threshold) the O(1) freeze — a writer is
+        never stuck behind segment I/O, even in inline mode, where the
+        drain happens after the lock is released.
+        """
         obs = get_obs()
         with obs.tracer.span("lsm.insert", rows=len(row_ids)):
             started = time.perf_counter()
             with self._lock:
+                self._raise_bg_crash_locked()
                 if self.wal is not None:
                     self.wal.append_insert(
                         row_ids, vectors, attributes, categoricals
                     )
                 self._memtable.insert(row_ids, vectors, attributes, categoricals)
-                if self._memtable.approx_bytes >= self.config.memtable_flush_bytes:
-                    self.flush()
+                froze = (
+                    self._memtable.approx_bytes >= self.config.memtable_flush_bytes
+                )
+                if froze:
+                    self._freeze_locked()
+            if froze and not self.background:
+                self._drain_work()
             elapsed = time.perf_counter() - started
         obs.registry.counter("lsm_insert_rows_total").inc(len(row_ids))
         obs.registry.histogram("lsm_insert_seconds").observe(elapsed)
@@ -173,101 +287,385 @@ class LSMManager:
         if len(row_ids) == 0:
             return
         with self._lock:
+            self._raise_bg_crash_locked()
             if self.wal is not None:
                 self.wal.append_delete(row_ids)
             self._pending_deletes.append(row_ids)
 
     def tick(self, now_seconds: float) -> bool:
-        """Time-based flush driver ("once every second"); returns True on flush."""
+        """Time-based flush driver ("once every second"); returns True on freeze.
+
+        In background mode the freeze is handed to the flusher thread
+        and tick returns immediately; in inline mode the drain runs
+        before returning (preserving the historical synchronous
+        semantics for single-threaded callers).
+        """
         with self._lock:
-            if (
+            self._raise_bg_crash_locked()
+            due = (
                 now_seconds - self._last_flush_time >= self.config.flush_interval_seconds
                 and (len(self._memtable) or self._pending_deletes)
-            ):
-                self.flush(now_seconds=now_seconds)
-                return True
-            return False
+            )
+            if due:
+                self._freeze_locked(now_seconds=now_seconds)
+        if due and not self.background:
+            self._drain_work()
+        return due
 
     def flush(self, now_seconds: Optional[float] = None) -> Optional[int]:
-        """Seal the MemTable into a segment and commit a new version.
+        """Freeze the MemTable and wait for its flush to commit.
 
         Returns the new segment id, or None when only deletes (or
-        nothing) were pending.
+        nothing) were pending.  Acts as a barrier: all previously
+        frozen memtables are flushed when it returns, and any crash
+        recorded by background work is re-raised here.
         """
-        obs = get_obs()
-        with obs.tracer.span("lsm.flush"):
-            started = time.perf_counter()
-            segment_id = self._flush_locked(now_seconds)
-            elapsed = time.perf_counter() - started
-        if segment_id is not None:
-            obs.registry.counter("lsm_flushes_total").inc()
-            obs.registry.histogram("lsm_flush_seconds").observe(elapsed)
-        return segment_id
-
-    def _flush_locked(self, now_seconds: Optional[float] = None) -> Optional[int]:
         with self._lock:
-            new_tombstones = (
-                np.unique(np.concatenate(self._pending_deletes))
-                if self._pending_deletes
-                else None
+            self._raise_bg_crash_locked()
+            fid = self._freeze_locked(now_seconds=now_seconds)
+            if fid is not None:
+                with self._frozen_lock:
+                    self._awaited.add(fid)
+        self.wait_for_background()
+        if fid is None:
+            return None
+        with self._frozen_lock:
+            self._awaited.discard(fid)
+            return self._flush_results.pop(fid, None)
+
+    def _freeze_locked(self, now_seconds: Optional[float] = None) -> Optional[int]:
+        """Seal the active memtable onto the frozen queue — O(1).
+
+        Commits a manifest version carrying the frozen id, so the rows
+        (and the deletes batched with them) become reader-visible at
+        the freeze, not at the eventual flush.  Returns the frozen id,
+        or None when there is nothing to freeze.
+        """
+        assert_guarded(self._lock, "LSMManager", "_memtable")
+        if not len(self._memtable) and not self._pending_deletes:
+            return None
+        tombstones = (
+            np.unique(np.concatenate(self._pending_deletes))
+            if self._pending_deletes
+            else None
+        )
+        self._pending_deletes = []
+        memtable = self._memtable
+        memtable.seal()
+        self._memtable = self._new_memtable()
+        fid = self._next_frozen_id
+        self._next_frozen_id += 1
+        wal_upto = self.wal.next_lsn - 1 if self.wal is not None else -1
+        with self._frozen_lock:
+            entry = FrozenMemtable(
+                fid, memtable, tombstones, wal_upto, len(memtable),
+                wal_from=self._frozen_wal_high,
             )
-            self._pending_deletes = []
-            new_segment_id: Optional[int] = None
+            self._frozen_wal_high = max(self._frozen_wal_high, wal_upto)
+            self._frozen[fid] = entry
+            backlog = sum(1 for e in self._frozen.values() if not e.done)
+        self.manifest.commit(add_frozen=[fid])
+        if now_seconds is not None:
+            self._last_flush_time = now_seconds
+        self._work.put(fid)
+        get_obs().registry.gauge("lsm_frozen_memtables").set(backlog)
+        return fid
 
-            if len(self._memtable):
-                self._memtable.seal()
-                seg_id = self._next_segment_id
-                self._next_segment_id += 1
-                segment = self._memtable.to_segment(seg_id)
-                self._persist_segment(segment)
-                self.bufferpool.put(segment)
-                self.manifest.commit(add=[seg_id], new_tombstones=new_tombstones)
-                new_segment_id = seg_id
-            elif new_tombstones is not None:
-                self.manifest.commit(new_tombstones=new_tombstones)
-            else:
-                return None
-            # Durable ordering for crash safety: record the flushed LSN
-            # in the manifest *before* truncating the WAL.  A crash
-            # between the two replays records <= _flushed_lsn as no-ops
-            # (recover() skips them), so flush is idempotent under any
-            # crash point.
+    # -- background engine -------------------------------------------------
+
+    def _flusher_loop(self) -> None:
+        """Single background worker: FIFO flushes, then compaction.
+
+        One thread by design — frozen memtables must seal into
+        segments in freeze order (the flushed-LSN checkpoint advances
+        monotonically), and a deterministic op stream is what makes
+        seeded chaos schedules replayable.
+        """
+        while True:
+            item = self._work.get()
+            try:
+                if item is self._SHUTDOWN:
+                    return
+                if self._bg_crashed():
+                    continue  # dead process: drain inertly, keep join() sound
+                with self._bg_lock:
+                    self._process_flush_locked(item)
+            except BaseException as exc:  # noqa: BLE001 — recorded, re-raised on write path
+                # A simulated crash (or anything that isn't a plain
+                # Exception) is fatal: the "process" is dead, so the
+                # record is sticky and every later write re-raises it.
+                # An ordinary Exception (e.g. a transient injected
+                # IOError) is an *operation* failure: report it once at
+                # the next barrier and leave the entry re-queueable, so
+                # a caller-level RetryPolicy can succeed.
+                fatal = isinstance(exc, SimulatedCrash) or not isinstance(exc, Exception)
+                with self._lock:
+                    if fatal:
+                        if self._bg_crash is None:
+                            self._bg_crash = exc
+                    elif self._bg_error is None:
+                        self._bg_error = exc
+            finally:
+                self._work.task_done()
+
+    def _drain_work(self) -> None:
+        """Inline mode: the writer flushes the queue itself.
+
+        Runs with the writer lock *released*; ``_bg_lock`` serializes
+        concurrent drainers so FIFO order is preserved.
+        """
+        with self._bg_lock:
+            while True:
+                try:
+                    item = self._work.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    if item is not self._SHUTDOWN:
+                        self._process_flush_locked(item)
+                finally:
+                    self._work.task_done()
+
+    def wait_for_background(self) -> None:
+        """Barrier: block until all queued background work committed.
+
+        Re-raises any crash recorded by the background worker, so
+        callers observe background failures at a well-defined point.
+        Frozen memtables whose flush *failed* (transient error on the
+        worker) are re-queued first, so a retry of the barrier retries
+        the flush instead of waiting on an empty queue.
+        """
+        self._requeue_unflushed()
+        if self.background:
+            self._work.join()
+        else:
+            self._drain_work()
+        with self._lock:
+            self._raise_bg_crash_locked()
+            if self._bg_error is not None:
+                error, self._bg_error = self._bg_error, None
+                raise error
+
+    def _requeue_unflushed(self) -> None:
+        """Put frozen entries that fell off the queue back on it.
+
+        An entry leaves the queue when the worker picks it up; if that
+        flush fails, the entry is still pending (``done`` is False) but
+        nothing will process it again.  Re-queueing in fid order keeps
+        the FIFO seal order; entries already queued (or mid-flight on
+        the worker, which re-checks ``done``) are skipped.
+        """
+        with self._frozen_lock:
+            stranded = sorted(
+                fid for fid, e in self._frozen.items()
+                if not e.done and not e.queued
+            )
+            for fid in stranded:
+                self._frozen[fid].queued = True
+        for fid in stranded:
+            self._work.put(fid)
+
+    def quiesce_after_crash(self) -> None:
+        """Chaos-harness hook: stop background mutation of the store.
+
+        A real crash kills every thread at once; the simulated one is
+        an exception on a single thread.  Before the harness recovers
+        a fresh manager from the surviving filesystem, it must ensure
+        this manager's flusher can no longer write — any in-flight
+        item completes (its ops count as "landed before the crash")
+        and everything still queued drains inertly.
+        """
+        with self._lock:
+            if self._bg_crash is None:
+                self._bg_crash = RuntimeError("halted by chaos harness")
+        if self.background:
+            self._work.join()
+
+    def close(self) -> None:
+        """Stop the background flusher (pending work is completed first)."""
+        if self._flusher is not None:
+            self._work.put(self._SHUTDOWN)
+            self._flusher.join()
+            self._flusher = None
+
+    def _raise_bg_crash_locked(self) -> None:
+        assert_guarded(self._lock, "LSMManager", "_bg_crash")
+        if self._bg_crash is not None:
+            raise self._bg_crash
+
+    def _bg_crashed(self) -> bool:
+        with self._lock:
+            return self._bg_crash is not None
+
+    def _process_flush_locked(self, fid: int) -> None:
+        """Flush one frozen memtable into a sealed segment (``_bg_lock`` held).
+
+        Crash ordering: segment file → manifest commit (carrying the
+        new flushed LSN) → WAL truncate.  A crash before the manifest
+        lands leaves an orphan segment file (GC'd by recover) and the
+        WAL replays the rows; a crash after it leaves a WAL tail that
+        recover's checkpoint finishes.  Either way, no acked write is
+        lost and none is applied twice.
+
+        Re-entrant after a transient failure: progress is checkpointed
+        on the entry (``seg_id``, ``committed``), so a retried flush
+        rewrites the same segment path and never re-applies its
+        manifest commit.
+        """
+        assert_guarded(self._bg_lock, "LSMManager", "_flushed_lsn")
+        with self._frozen_lock:
+            entry = self._frozen.get(fid)
+            if entry is not None:
+                entry.queued = False
+        if entry is None or entry.done:
+            return
+        obs = get_obs()
+        with obs.tracer.span("lsm.flush", frozen=fid):
+            started = time.perf_counter()
+            if entry.rows:
+                view = self._frozen_view(fid)
+                if not entry.committed:
+                    if entry.seg_id is None:
+                        entry.seg_id = self._next_segment_id
+                        self._next_segment_id += 1
+                    # Share the view's arrays (and bloom filter): the sealed
+                    # segment is bit-identical to what readers saw frozen.
+                    segment = Segment(
+                        entry.seg_id, view.row_ids, view.vectors,
+                        view.attributes, view.vector_specs,
+                        categoricals=view.categoricals, bloom=view.bloom,
+                    )
+                    size = self._persist_segment(segment)
+                    self.bufferpool.put(segment)
+                    self.manifest.commit(
+                        add=[entry.seg_id], remove_frozen=[fid],
+                        new_tombstones=entry.tombstones,
+                        sizes={entry.seg_id: size},
+                    )
+                    entry.committed = True
+            elif not entry.committed:
+                self.manifest.commit(
+                    remove_frozen=[fid], new_tombstones=entry.tombstones
+                )
+                entry.committed = True
+            seg_id = entry.seg_id
+            with self._frozen_lock:
+                entry.done = True
+                if fid in self._awaited:
+                    self._flush_results[fid] = seg_id
+                pending = [e for e in self._frozen.values() if not e.done]
+                # The checkpoint may only pass LSNs every pending freeze
+                # has outgrown: a failed (or simply later) entry still
+                # owns records from wal_from + 1 on, and truncating them
+                # would lose acked writes if it never seals.
+                safe_lsn = (
+                    min(e.wal_from for e in pending)
+                    if pending else self._frozen_wal_high
+                )
+                backlog = len(pending)
             if self.wal is not None:
-                self._flushed_lsn = self.wal.next_lsn - 1
+                self._flushed_lsn = max(self._flushed_lsn, safe_lsn)
             self._persist_manifest_locked()
-
-            self._memtable = self._new_memtable()
             self.flush_count += 1
-            if now_seconds is not None:
-                self._last_flush_time = now_seconds
             if self.wal is not None:
                 self.wal.truncate_through(self._flushed_lsn)
-            if self.config.auto_merge:
-                self.maybe_merge()
-            self._maybe_build_indexes()
-            return new_segment_id
+            elapsed = time.perf_counter() - started
+        obs.registry.gauge("lsm_frozen_memtables").set(backlog)
+        if seg_id is not None:
+            obs.registry.counter("lsm_flushes_total").inc()
+            obs.registry.histogram("lsm_flush_seconds").observe(elapsed)
+        if self.config.auto_merge:
+            self._maybe_merge_locked()
+        self._maybe_build_indexes()
+
+    # -- frozen visibility -------------------------------------------------
+
+    def _frozen_view(self, fid: int) -> Segment:
+        """Read view of a frozen memtable, built lazily and cached.
+
+        The view is a normal (unpersisted) :class:`Segment` — sorted
+        row ids, columnar layout, bloom filter — so every read path
+        treats frozen data exactly like sealed data.  Negative segment
+        ids keep views distinguishable from real segments.
+        """
+        with self._frozen_lock:
+            view = self._frozen_views.get(fid)
+            if view is None:
+                view = self._frozen[fid].memtable.to_segment(-(fid + 1))
+                self._frozen_views[fid] = view
+            return view
+
+    def frozen_view_segments(self, snapshot: Snapshot) -> List[Segment]:
+        """Read views for every frozen memtable visible in ``snapshot``."""
+        return [self._frozen_view(fid) for fid in snapshot.frozen_ids]
+
+    def visible_tombstones(self, snapshot: Snapshot) -> np.ndarray:
+        """All deletes visible in ``snapshot``: committed + frozen.
+
+        Deletes batched into a frozen memtable mask reads from the
+        moment of the freeze, atomically with the frozen rows — the
+        manifest absorbs them only at the flush commit.
+        """
+        if not snapshot.frozen_ids:
+            return snapshot.tombstones
+        parts = [snapshot.tombstones]
+        with self._frozen_lock:
+            for fid in snapshot.frozen_ids:
+                entry = self._frozen.get(fid)
+                if entry is not None and entry.tombstones is not None:
+                    parts.append(entry.tombstones)
+        if len(parts) == 1:
+            return snapshot.tombstones
+        return np.unique(np.concatenate(parts))
+
+    def unflushed_preview(self):
+        """Raw rows of the *active* memtable (read-your-writes support).
+
+        Returns ``(row_ids, vectors, attributes, categoricals)`` —
+        categorical code columns included, consistent with sealed
+        segments and frozen views.
+        """
+        with self._lock:
+            return self._memtable.raw_rows()
+
+    def _frozen_dead(self, fid: int) -> None:
+        """Manifest GC callback: no snapshot can see this frozen id."""
+        with self._frozen_lock:
+            self._frozen.pop(fid, None)
+            self._frozen_views.pop(fid, None)
 
     # -- merging -----------------------------------------------------------
 
     def maybe_merge(self) -> int:
         """Run all merge tasks the tiered policy proposes; returns count."""
+        with self._bg_lock:
+            return self._maybe_merge_locked()
+
+    def _maybe_merge_locked(self) -> int:
+        """Compaction pass (``_bg_lock`` held): tiered merges, then purge.
+
+        Plans from the manifest's *persisted* segment sizes — catalog
+        state, no buffer-pool faulting, no I/O — so planning is cheap
+        enough to run after every flush.
+        """
+        assert_guarded(self._bg_lock, "LSMManager", "merge_count")
+        obs = get_obs()
         merged = 0
-        with self._lock:
-            while True:
-                live = self.manifest.live_segment_ids()
-                sizes = []
-                for seg_id in live:
-                    segment = self.bufferpool.get(seg_id)
-                    sizes.append((seg_id, segment.memory_bytes()))
-                tasks = self.config.merge_policy.plan(sizes)
-                if not tasks:
-                    return merged
-                for task in tasks:
-                    self._execute_merge_locked(task.segment_ids)
-                    merged += 1
+        while True:
+            sizes = self.manifest.live_segment_sizes()
+            tasks = self.config.merge_policy.plan(sorted(sizes.items()))
+            obs.registry.gauge("lsm_compaction_backlog").set(len(tasks))
+            if not tasks:
+                break
+            for task in tasks:
+                self._execute_merge_locked(task.segment_ids)
+                merged += 1
+        merged += self._maybe_purge_locked()
+        obs.registry.gauge("lsm_compaction_backlog").set(0)
+        return merged
 
     def _execute_merge_locked(self, segment_ids: Tuple[int, ...]) -> int:
-        assert_guarded(self._lock, "LSMManager", "_next_segment_id")
+        assert_guarded(self._bg_lock, "LSMManager", "_next_segment_id")
         obs = get_obs()
         with obs.tracer.span("lsm.merge", inputs=len(segment_ids)):
             started = time.perf_counter()
@@ -275,6 +673,7 @@ class LSMManager:
             elapsed = time.perf_counter() - started
         obs.registry.counter("lsm_merges_total").inc()
         obs.registry.histogram("lsm_merge_seconds").observe(elapsed)
+        obs.registry.histogram("lsm_compaction_seconds").observe(elapsed)
         return merged_id
 
     def _merge_segments_locked(self, segment_ids: Tuple[int, ...]) -> int:
@@ -284,13 +683,14 @@ class LSMManager:
             new_id = self._next_segment_id
             self._next_segment_id += 1
             merged = Segment.merge(new_id, segments, drop_ids=tombstones)
-            self._persist_segment(merged)
+            size = self._persist_segment(merged)
             self.bufferpool.put(merged)
             # Tombstones covered by the merged inputs are now physical.
             covered = np.concatenate([s.row_ids for s in segments])
             cleared = np.intersect1d(tombstones, covered)
             self.manifest.commit(
-                add=[new_id], remove=list(segment_ids), clear_tombstones=cleared
+                add=[new_id], remove=list(segment_ids),
+                clear_tombstones=cleared, sizes={new_id: size},
             )
             self._persist_manifest_locked()
             self.merge_count += 1
@@ -298,6 +698,64 @@ class LSMManager:
         finally:
             for seg_id in segment_ids:
                 self.bufferpool.unpin(seg_id)
+
+    def _maybe_purge_locked(self) -> int:
+        """Rewrite resident segments dominated by tombstones.
+
+        Sec. 2.3's merge is the only reclamation point for deleted
+        rows; a segment that never qualifies for a tiered merge would
+        otherwise carry its dead rows forever.  Only buffer-resident
+        segments are considered (``peek`` — purging is an optimization
+        and must not cause load I/O), and the tombstone overlap check
+        rides the segment's bloom filter.
+        """
+        assert_guarded(self._bg_lock, "LSMManager", "purge_count")
+        ratio = self.config.tombstone_purge_ratio
+        if ratio <= 0:
+            return 0
+        tombstones = self.manifest.current_tombstones()
+        if not len(tombstones):
+            return 0
+        purged = 0
+        for seg_id in self.manifest.live_segment_ids():
+            segment = self.bufferpool.peek(seg_id)
+            if segment is None or not segment.num_rows:
+                continue
+            dead = int(segment.contains_mask(tombstones).sum())
+            if not dead or dead < segment.num_rows * ratio:
+                continue
+            self._purge_segment_locked(seg_id, segment, tombstones)
+            purged += 1
+            tombstones = self.manifest.current_tombstones()
+            if not len(tombstones):
+                break
+        return purged
+
+    def _purge_segment_locked(
+        self, seg_id: int, segment: Segment, tombstones: np.ndarray
+    ) -> None:
+        obs = get_obs()
+        with obs.tracer.span("lsm.purge", segment=seg_id):
+            started = time.perf_counter()
+            covered = np.intersect1d(tombstones, segment.row_ids)
+            new_id = self._next_segment_id
+            self._next_segment_id += 1
+            rewritten = Segment.merge(new_id, [segment], drop_ids=tombstones)
+            if rewritten.num_rows:
+                size = self._persist_segment(rewritten)
+                self.bufferpool.put(rewritten)
+                self.manifest.commit(
+                    add=[new_id], remove=[seg_id],
+                    clear_tombstones=covered, sizes={new_id: size},
+                )
+            else:
+                # Every row was dead; the segment simply disappears.
+                self.manifest.commit(remove=[seg_id], clear_tombstones=covered)
+            self._persist_manifest_locked()
+            self.purge_count += 1
+            elapsed = time.perf_counter() - started
+        obs.registry.counter("lsm_purged_rows_total").inc(len(covered))
+        obs.registry.histogram("lsm_compaction_seconds").observe(elapsed)
 
     # -- index building --------------------------------------------------------
 
@@ -352,6 +810,11 @@ class LSMManager:
                     segment, seg_id, fieldname, self.config.index_type,
                     dict(self.config.index_params),
                 )
+            except FileNotFoundError:
+                # Background compaction merged the segment away (and GC'd
+                # its file) between the liveness check and the load; the
+                # index is moot, the merged output gets its own build.
+                continue
             finally:
                 self._index_queue.task_done()
 
@@ -393,11 +856,14 @@ class LSMManager:
         from repro.index import SERIALIZABLE_TYPES, index_to_bytes
 
         if itype.upper() in SERIALIZABLE_TYPES:
-            segment = self.bufferpool.get(seg_id)
-            self.fs.write(
-                self._index_path(seg_id, field),
-                index_to_bytes(segment.indexes[field]),
-            )
+            try:
+                segment = self.bufferpool.get(seg_id)
+                self.fs.write(
+                    self._index_path(seg_id, field),
+                    index_to_bytes(segment.indexes[field]),
+                )
+            except FileNotFoundError:
+                pass  # segment merged away concurrently; index is moot
 
     def _index_path(self, seg_id: int, field: str) -> str:
         return f"indexes/{seg_id:012d}__{field}.idx"
@@ -409,6 +875,9 @@ class LSMManager:
 
     def release(self, snapshot: Snapshot) -> None:
         self.manifest.release(snapshot)
+        # Deaths fired by this release belong to commits that were
+        # persisted long ago — their files can go now.
+        self._drain_dead_segment_files()
 
     def search(
         self,
@@ -421,13 +890,15 @@ class LSMManager:
         pool_size: Optional[int] = None,
         **search_params,
     ) -> SearchResult:
-        """Top-k over all segments visible in ``snapshot``.
+        """Top-k over everything visible in ``snapshot``.
 
-        Acquires (and releases) a fresh snapshot when none is given.
-        With ``parallel`` on (or ``REPRO_PARALLEL=1``), segment scans
-        fan out over the shared worker pool; results are returned in
-        segment order either way, so parallel output is bit-identical
-        to serial (see ``repro.exec``).
+        Scans sealed segments *and* frozen memtable views — rows are
+        searchable from the moment of the freeze, before the
+        background flush lands.  Acquires (and releases) a fresh
+        snapshot when none is given.  With ``parallel`` on (or
+        ``REPRO_PARALLEL=1``), scans fan out over the shared worker
+        pool; results are returned in scan order either way, so
+        parallel output is bit-identical to serial (see ``repro.exec``).
         """
         obs = get_obs()
         metric = get_metric(self.vector_specs[field][1])
@@ -437,11 +908,13 @@ class LSMManager:
             queries = np.asarray(queries, dtype=np.float32)
             if queries.ndim == 1:
                 queries = queries[np.newaxis, :]
+            exclude = self.visible_tombstones(snap)
+            n_scans = len(snap.segment_ids) + len(snap.frozen_ids)
             with obs.tracer.span(
                 "lsm.search", field=field, nq=len(queries), k=k,
-                segments=len(snap.segment_ids),
+                segments=n_scans,
             ), profile_stage(
-                "lsm.search", field=field, segments=len(snap.segment_ids),
+                "lsm.search", field=field, segments=n_scans,
             ) as pstage:
                 started = time.perf_counter()
 
@@ -455,27 +928,45 @@ class LSMManager:
                         ):
                             return segment.search(
                                 field, queries, k,
-                                exclude=snap.tombstones,
+                                exclude=exclude,
                                 row_filter=row_filter,
                                 **search_params,
                             )
                     finally:
                         self.bufferpool.unpin(seg_id)
 
+                def scan_frozen(fid: int, stage) -> SearchResult:
+                    # No pin: the snapshot's refcount keeps the frozen
+                    # entry (and therefore the view) alive.
+                    view = self._frozen_view(fid)
+                    with stage, obs.tracer.span(
+                        "segment.search", segment=view.segment_id
+                    ):
+                        return view.search(
+                            field, queries, k,
+                            exclude=exclude,
+                            row_filter=row_filter,
+                            **search_params,
+                        )
+
                 executor = QueryExecutor(parallel=parallel, pool_size=pool_size)
                 # Per-segment profile stages are pre-created here, in
                 # submission order, and entered inside each task: child
                 # order and counter placement are then identical for
                 # serial and pooled execution (see repro.obs.profile).
-                partials = executor.map_ordered(
-                    [
-                        lambda seg_id=s, stage=pstage.stage(
-                            "segment.search", segment=s
-                        ): scan(seg_id, stage)
-                        for s in snap.segment_ids
-                    ],
-                    label="segment.search",
+                tasks = [
+                    lambda seg_id=s, stage=pstage.stage(
+                        "segment.search", segment=s
+                    ): scan(seg_id, stage)
+                    for s in snap.segment_ids
+                ]
+                tasks.extend(
+                    lambda fid=f, stage=pstage.stage(
+                        "segment.search", segment=-(f + 1)
+                    ): scan_frozen(fid, stage)
+                    for f in snap.frozen_ids
                 )
+                partials = executor.map_ordered(tasks, label="segment.search")
                 ids, scores = merge_topk_batch(
                     [(p.ids, p.scores) for p in partials],
                     k,
@@ -496,9 +987,10 @@ class LSMManager:
 
     @property
     def num_live_rows(self) -> int:
-        """Rows visible to a fresh snapshot (flushed minus tombstoned)."""
+        """Rows visible to a fresh snapshot (sealed + frozen − tombstoned)."""
         snap = self.snapshot()
         try:
+            exclude = self.visible_tombstones(snap)
             total = 0
             for seg_id in snap.segment_ids:
                 # Pin like the search path: an unpinned segment can be
@@ -507,17 +999,23 @@ class LSMManager:
                 segment = self.bufferpool.get(seg_id, pin=True)
                 try:
                     total += segment.num_rows - int(
-                        segment.contains_mask(snap.tombstones).sum()
+                        segment.contains_mask(exclude).sum()
                     )
                 finally:
                     self.bufferpool.unpin(seg_id)
+            for fid in snap.frozen_ids:
+                view = self._frozen_view(fid)
+                total += view.num_rows - int(view.contains_mask(exclude).sum())
             return total
         finally:
             self.release(snap)
 
     @property
     def unflushed_rows(self) -> int:
-        return len(self._memtable)
+        """Rows not yet sealed into a segment: active + frozen-pending."""
+        with self._frozen_lock:
+            frozen = sum(e.rows for e in self._frozen.values() if not e.done)
+        return len(self._memtable) + frozen
 
     def live_segments(self) -> List[Segment]:
         return [self.bufferpool.get(s) for s in self.manifest.live_segment_ids()]
@@ -525,13 +1023,18 @@ class LSMManager:
     def stats(self) -> Dict[str, object]:
         """Operational snapshot for monitoring."""
         segments = self.live_segments()
+        with self._frozen_lock:
+            frozen_pending = sum(1 for e in self._frozen.values() if not e.done)
         return {
             "live_segments": len(segments),
             "live_rows": self.num_live_rows,
             "unflushed_rows": self.unflushed_rows,
+            "frozen_memtables": frozen_pending,
+            "background": self.background,
             "tombstones": int(len(self.manifest.current_tombstones())),
             "flush_count": self.flush_count,
             "merge_count": self.merge_count,
+            "purge_count": self.purge_count,
             "manifest_version": self.manifest.current_version,
             "indexed_segments": sum(
                 1 for s in segments if any(s.has_index(f) for f in self.vector_specs)
@@ -550,8 +1053,10 @@ class LSMManager:
     def _segment_path(self, segment_id: int) -> str:
         return f"segments/{segment_id:012d}.seg"
 
-    def _persist_segment(self, segment: Segment) -> None:
-        self.fs.write(self._segment_path(segment.segment_id), segment.to_bytes())
+    def _persist_segment(self, segment: Segment) -> int:
+        blob = segment.to_bytes()
+        self.fs.write(self._segment_path(segment.segment_id), blob)
+        return len(blob)
 
     def _load_segment(self, segment_id: int) -> Segment:
         from repro.index import index_from_bytes
@@ -575,17 +1080,33 @@ class LSMManager:
         return segment
 
     def _segment_dead(self, segment_id: int) -> None:
-        try:
-            self.bufferpool.invalidate(segment_id)
-        except RuntimeError:
-            # Pinned by an in-flight search; the file is still deleted
-            # and the cache entry ages out naturally.
-            pass
-        self.fs.delete(self._segment_path(segment_id))
-        with self._index_lock:
-            dead_fields = list(self._index_specs.pop(segment_id, {}))
-        for field in dead_fields:
-            self.fs.delete(self._index_path(segment_id, field))
+        """Manifest GC callback: drop caches now, delete files *later*.
+
+        The in-memory part is immediate: a pinned (still-scanning)
+        segment leaves the pool at its final unpin instead of raising.
+        The *files* must outlive this call — when the death fires from
+        the commit that removed the segment (a merge or purge), the
+        manifest version dropping the reference is not durable yet, and
+        deleting the inputs first would strand a recovered catalog
+        pointing at missing files.  Deletions queue here and drain only
+        after a manifest persist (or at snapshot release, by which time
+        the removing version has long been durable).
+        """
+        self.bufferpool.invalidate(segment_id, defer=True)
+        self._dead_segment_files.put(segment_id)
+
+    def _drain_dead_segment_files(self) -> None:
+        """Physically delete files whose removing commit is now durable."""
+        while True:
+            try:
+                segment_id = self._dead_segment_files.get_nowait()
+            except queue.Empty:
+                return
+            self.fs.delete(self._segment_path(segment_id))
+            with self._index_lock:
+                dead_fields = list(self._index_specs.pop(segment_id, {}))
+            for field in dead_fields:
+                self.fs.delete(self._index_path(segment_id, field))
 
     def _manifest_file(self, seq: int) -> str:
         return f"manifest/{seq:012d}.mf"
@@ -608,13 +1129,18 @@ class LSMManager:
         Versions are append-only: the new file lands (checksummed)
         before any older version is deleted, so a crash — even one
         that tears this very write — always leaves a valid manifest to
-        recover from.
+        recover from.  Frozen memtables are deliberately absent: they
+        are volatile, and their rows are covered by the WAL until the
+        flush commit writes them here.
         """
-        assert_guarded(self._lock, "LSMManager", "_manifest_seq")
+        assert_guarded(self._bg_lock, "LSMManager", "_manifest_seq")
         self._manifest_seq += 1
         state = {
             "live_segments": list(self.manifest.live_segment_ids()),
             "tombstones": self.manifest.current_tombstones().tolist(),
+            "sizes": {
+                str(k): v for k, v in self.manifest.live_segment_sizes().items()
+            },
             "next_segment_id": self._next_segment_id,
             "flushed_lsn": self._flushed_lsn,
             "seq": self._manifest_seq,
@@ -627,6 +1153,9 @@ class LSMManager:
         for seq, path in self._manifest_versions():
             if seq < self._manifest_seq:
                 self.fs.delete(path)
+        # The new version is durable: files it stopped referencing (and
+        # any queued by earlier versions) are now safe to delete.
+        self._drain_dead_segment_files()
 
     def _load_manifest_state_locked(self) -> Optional[dict]:
         """Newest intact manifest state, dropping any torn/corrupt tail.
@@ -636,6 +1165,7 @@ class LSMManager:
         version wins.  Falls back to the legacy un-checksummed
         ``MANIFEST`` object for pre-versioning filesystems.
         """
+        assert_guarded(self._bg_lock, "LSMManager", "_manifest_seq")
         versions = self._manifest_versions()
         if versions:
             # Never reuse a seq that has a (possibly torn) file on disk.
@@ -659,27 +1189,43 @@ class LSMManager:
     def recover(self) -> int:
         """Rebuild state from the filesystem after a crash.
 
-        Re-registers persisted segments and tombstones from the newest
-        intact manifest version, garbage-collects orphan segment/index
-        files left by a crash mid-flush or mid-merge, re-runs the
-        interrupted WAL checkpoint, and replays the WAL tail (records
-        past the durable ``flushed_lsn``) into the MemTable.  Returns
-        the number of WAL records replayed.  Idempotent: crashing
-        during recovery and recovering again reaches the same state.
-        Only meaningful on a freshly constructed manager pointed at an
-        existing filesystem.
+        Re-registers persisted segments, tombstones, and recorded
+        segment sizes from the newest intact manifest version,
+        garbage-collects orphan segment/index files left by a crash
+        mid-flush or mid-merge (including half-written merge outputs
+        from the background compactor), re-runs the interrupted WAL
+        checkpoint, and replays the WAL tail (records past the durable
+        ``flushed_lsn``) into the MemTable.  Returns the number of WAL
+        records replayed.  Idempotent: crashing during recovery and
+        recovering again reaches the same state.  Only meaningful on a
+        freshly constructed manager pointed at an existing filesystem.
+
+        Filesystem phases run under the maintenance lock; only the
+        final replay-into-memtable step takes the writer lock — the
+        writer lock is never held across I/O, even here.
         """
         with self._lock:
-            if self.manifest.current_version != 0 or len(self._memtable):
-                raise RuntimeError("recover() must run on a freshly constructed manager")
+            if len(self._memtable) or self._pending_deletes:
+                raise RuntimeError(
+                    "recover() must run on a freshly constructed manager"
+                )
+        with self._bg_lock:
+            if self.manifest.current_version != 0:
+                raise RuntimeError(
+                    "recover() must run on a freshly constructed manager"
+                )
             state = self._load_manifest_state_locked()
             if state is not None:
                 self._next_segment_id = state["next_segment_id"]
                 self._flushed_lsn = state.get("flushed_lsn", -1)
                 tombs = np.array(state["tombstones"], dtype=np.int64)
+                sizes = {
+                    int(k): int(v) for k, v in state.get("sizes", {}).items()
+                }
                 self.manifest.commit(
                     add=state["live_segments"],
                     new_tombstones=tombs if len(tombs) else None,
+                    sizes=sizes,
                 )
             self._gc_orphans_locked()
             if self.wal is None:
@@ -687,8 +1233,9 @@ class LSMManager:
             # Finish the checkpoint a crash may have interrupted, then
             # replay only records the manifest does not already cover.
             self.wal.truncate_through(self._flushed_lsn)
-            replayed = 0
-            for record in self.wal.replay(from_lsn=self._flushed_lsn + 1):
+            records = self.wal.replay(from_lsn=self._flushed_lsn + 1)
+        with self._lock:
+            for record in records:
                 if record.kind == "insert":
                     self._memtable.insert(
                         record.row_ids, record.vectors, record.attributes,
@@ -698,16 +1245,15 @@ class LSMManager:
                     self._pending_deletes.append(
                         np.asarray(record.row_ids, dtype=np.int64)
                     )
-                replayed += 1
-            return replayed
+            return len(records)
 
     def _gc_orphans_locked(self) -> None:
         """Delete segment/index files not referenced by the manifest.
 
         A crash between persisting a segment and committing the
-        manifest (flush or merge) leaves the file orphaned; its rows
-        are still covered by the WAL / the merge inputs, so the file
-        is garbage, and its id will be reused.
+        manifest (background flush, merge, or purge) leaves the file
+        orphaned; its rows are still covered by the WAL / the merge
+        inputs, so the file is garbage, and its id will be reused.
         """
         live = set(self.manifest.live_segment_ids())
         for path in self.fs.listdir("segments/"):

@@ -7,9 +7,22 @@ segment can be referenced by one or more snapshots ... There is a
 background thread to garbage collect the obsolete segments if they
 are not referenced."
 
-Queries acquire a :class:`Snapshot` (the set of live segment ids plus
-the delete-tombstone array at that instant) and release it when done;
-writers commit new versions without blocking readers.
+Queries acquire a :class:`Snapshot` (the set of live segment ids, the
+frozen-memtable ids awaiting background flush, and the delete-
+tombstone array at that instant) and release it when done; writers
+commit new versions without blocking readers.
+
+Frozen memtables participate in MVCC exactly like segments: a freeze
+commits a version that adds the frozen id, the background flush
+commits a version that swaps it for the sealed segment id, and a
+reader that pinned the in-between version keeps the frozen view alive
+(via refcounts) until it releases.  ``on_frozen_dead`` fires when no
+snapshot can see a frozen id any more, letting the LSM manager drop
+the in-memory view.
+
+The manifest also records each sealed segment's *persisted* byte size
+(``sizes`` at commit time) so compaction planning reads catalog state
+instead of faulting segments through the buffer pool.
 """
 
 from __future__ import annotations
@@ -25,11 +38,12 @@ from repro.utils.sanitizer import assert_guarded, maybe_sanitize
 
 @dataclass(frozen=True)
 class Snapshot:
-    """An immutable view: segment ids + tombstones as of one version."""
+    """An immutable view: segments + frozen memtables as of one version."""
 
     version: int
     segment_ids: Tuple[int, ...]
     tombstones: np.ndarray  # sorted int64 row ids deleted as of this version
+    frozen_ids: Tuple[int, ...] = ()
 
     def __contains__(self, segment_id: int) -> bool:
         return segment_id in self.segment_ids
@@ -43,21 +57,31 @@ class Manifest:
     _GUARDED_BY = {
         "_version": "_lock",
         "_segments": "_lock",
+        "_frozen": "_lock",
         "_tombstones": "_lock",
         "_history": "_lock",
+        "_sizes": "_lock",
         "gc_count": "_lock",
     }
 
-    def __init__(self, on_segment_dead: Optional[Callable[[int], None]] = None):
+    def __init__(
+        self,
+        on_segment_dead: Optional[Callable[[int], None]] = None,
+        on_frozen_dead: Optional[Callable[[int], None]] = None,
+    ):
         self._lock = maybe_sanitize(threading.Lock(), "manifest")
         self._version = 0
         self._segments: Tuple[int, ...] = ()
+        self._frozen: Tuple[int, ...] = ()
         self._tombstones = np.empty(0, dtype=np.int64)
-        #: version -> (segment id tuple, tombstones, refcount)
-        self._history: Dict[int, Tuple[Tuple[int, ...], np.ndarray, int]] = {
-            0: ((), self._tombstones, 0)
-        }
+        #: version -> (segment ids, frozen ids, tombstones, refcount)
+        self._history: Dict[
+            int, Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray, int]
+        ] = {0: ((), (), self._tombstones, 0)}
+        #: persisted byte size per sealed segment (merge planning input)
+        self._sizes: Dict[int, int] = {}
         self._on_segment_dead = on_segment_dead
+        self._on_frozen_dead = on_frozen_dead
         self.gc_count = 0
 
     # -- write path -------------------------------------------------------
@@ -68,6 +92,9 @@ class Manifest:
         remove: Sequence[int] = (),
         new_tombstones: Optional[np.ndarray] = None,
         clear_tombstones: Optional[np.ndarray] = None,
+        add_frozen: Sequence[int] = (),
+        remove_frozen: Sequence[int] = (),
+        sizes: Optional[Dict[int, int]] = None,
     ) -> int:
         """Atomically install a new version; returns its number.
 
@@ -77,6 +104,9 @@ class Manifest:
             new_tombstones: row ids to add to the delete set.
             clear_tombstones: row ids physically removed by a merge,
                 so their tombstones can be dropped.
+            add_frozen: frozen-memtable ids entering the visible set.
+            remove_frozen: frozen ids leaving it (flushed to segments).
+            sizes: persisted byte size for each id in ``add``.
         """
         with self._lock:
             live = [s for s in self._segments if s not in set(remove)]
@@ -84,6 +114,11 @@ class Manifest:
                 if seg in live:
                     raise ValueError(f"segment {seg} already live")
                 live.append(seg)
+            frozen = [f for f in self._frozen if f not in set(remove_frozen)]
+            for fid in add_frozen:
+                if fid in frozen:
+                    raise ValueError(f"frozen memtable {fid} already visible")
+                frozen.append(fid)
             tombs = self._tombstones
             if new_tombstones is not None and len(new_tombstones):
                 tombs = np.union1d(tombs, np.asarray(new_tombstones, dtype=np.int64))
@@ -92,13 +127,16 @@ class Manifest:
                     tombs, np.asarray(clear_tombstones, dtype=np.int64),
                     assume_unique=False,
                 )
+            if sizes:
+                self._sizes.update({int(k): int(v) for k, v in sizes.items()})
             self._version += 1
             self._segments = tuple(live)
+            self._frozen = tuple(frozen)
             self._tombstones = tombs
-            self._history[self._version] = (self._segments, tombs, 0)
-            dead = self._collect_locked()
+            self._history[self._version] = (self._segments, self._frozen, tombs, 0)
+            dead_segs, dead_frozen = self._collect_locked()
             version = self._version
-        self._notify_dead(dead)
+        self._notify_dead(dead_segs, dead_frozen)
         return version
 
     # -- read path -----------------------------------------------------------
@@ -106,9 +144,9 @@ class Manifest:
     def acquire(self) -> Snapshot:
         """Pin the current version and return its snapshot."""
         with self._lock:
-            segs, tombs, refs = self._history[self._version]
-            self._history[self._version] = (segs, tombs, refs + 1)
-            return Snapshot(self._version, segs, tombs)
+            segs, frozen, tombs, refs = self._history[self._version]
+            self._history[self._version] = (segs, frozen, tombs, refs + 1)
+            return Snapshot(self._version, segs, tombs, frozen)
 
     def release(self, snapshot: Snapshot) -> None:
         """Unpin a snapshot; may trigger GC of obsolete segments."""
@@ -116,14 +154,14 @@ class Manifest:
             entry = self._history.get(snapshot.version)
             if entry is None:
                 return
-            segs, tombs, refs = entry
+            segs, frozen, tombs, refs = entry
             if refs <= 0:
                 raise RuntimeError(
                     f"snapshot version {snapshot.version} released more times than acquired"
                 )
-            self._history[snapshot.version] = (segs, tombs, refs - 1)
-            dead = self._collect_locked()
-        self._notify_dead(dead)
+            self._history[snapshot.version] = (segs, frozen, tombs, refs - 1)
+            dead_segs, dead_frozen = self._collect_locked()
+        self._notify_dead(dead_segs, dead_frozen)
 
     # -- introspection -----------------------------------------------------------
 
@@ -135,6 +173,19 @@ class Manifest:
     def live_segment_ids(self) -> Tuple[int, ...]:
         with self._lock:
             return self._segments
+
+    def live_frozen_ids(self) -> Tuple[int, ...]:
+        with self._lock:
+            return self._frozen
+
+    def live_segment_sizes(self) -> Dict[int, int]:
+        """Persisted byte size of each live segment, from catalog state.
+
+        Compaction plans from this instead of pulling every segment
+        through the buffer pool — no I/O, no lock-order inversion.
+        """
+        with self._lock:
+            return {s: self._sizes.get(s, 0) for s in self._segments}
 
     def current_tombstones(self) -> np.ndarray:
         """Read-only view of the current delete set (O(1)).
@@ -155,22 +206,24 @@ class Manifest:
 
     def _referenced_locked(self) -> Set[int]:
         referenced: Set[int] = set(self._segments)
-        for version, (segs, __, refs) in self._history.items():
+        for version, (segs, __, ___, refs) in self._history.items():
             if refs > 0:
                 referenced.update(segs)
         return referenced
 
     # -- GC -----------------------------------------------------------------------
 
-    def _history_segments_locked(self) -> Set[int]:
-        """Segments reachable from *any* still-recorded version."""
+    def _history_segments_locked(self) -> Tuple[Set[int], Set[int]]:
+        """(segments, frozen ids) reachable from *any* recorded version."""
         segments: Set[int] = set()
-        for segs, __, ___ in self._history.values():
+        frozen: Set[int] = set()
+        for segs, fro, __, ___ in self._history.values():
             segments.update(segs)
-        return segments
+            frozen.update(fro)
+        return segments, frozen
 
-    def _collect_locked(self) -> List[int]:
-        """Drop unpinned historical versions; return newly dead segments.
+    def _collect_locked(self) -> Tuple[List[int], List[int]]:
+        """Drop unpinned historical versions; return newly dead ids.
 
         The ``on_segment_dead`` callback reaches *down* into the buffer
         pool, index specs, and filesystem, so invoking it here — under
@@ -179,20 +232,28 @@ class Manifest:
         Callers release the lock first, then run :meth:`_notify_dead`.
         """
         assert_guarded(self._lock, "Manifest", "_history")
-        before = self._history_segments_locked()
+        before_segs, before_frozen = self._history_segments_locked()
         dead_versions = [
-            v for v, (__, ___, refs) in self._history.items()
+            v for v, (__, ___, ____, refs) in self._history.items()
             if refs == 0 and v != self._version
         ]
         for v in dead_versions:
             del self._history[v]
-        after = self._history_segments_locked()
-        dead = sorted(before - after)
-        self.gc_count += len(dead)
-        return dead
+        after_segs, after_frozen = self._history_segments_locked()
+        dead_segs = sorted(before_segs - after_segs)
+        dead_frozen = sorted(before_frozen - after_frozen)
+        for seg in dead_segs:
+            self._sizes.pop(seg, None)
+        self.gc_count += len(dead_segs)
+        return dead_segs, dead_frozen
 
-    def _notify_dead(self, dead: Sequence[int]) -> None:
-        """Run the segment-dead callback with no manifest lock held."""
+    def _notify_dead(
+        self, dead_segs: Sequence[int], dead_frozen: Sequence[int] = ()
+    ) -> None:
+        """Run the dead callbacks with no manifest lock held."""
         if self._on_segment_dead is not None:
-            for seg in dead:
+            for seg in dead_segs:
                 self._on_segment_dead(seg)
+        if self._on_frozen_dead is not None:
+            for fid in dead_frozen:
+                self._on_frozen_dead(fid)

@@ -153,7 +153,12 @@ class MemTable:
     # -- read-your-writes support (optional memtable visibility) ---------
 
     def raw_rows(self):
-        """Current rows as (row_ids, vectors dict, attributes dict)."""
+        """Current rows as (row_ids, vectors, attributes, categoricals).
+
+        Categorical *code* arrays ride along with the numeric columns —
+        earlier revisions dropped them here, so memtable-visible reads
+        disagreed with sealed segments on any categorical predicate.
+        """
         row_ids = np.array(self._row_ids, dtype=np.int64)
         vectors = {}
         for name in self.vector_specs:
@@ -167,4 +172,8 @@ class MemTable:
             name: np.array(vals, dtype=np.float64)
             for name, vals in self._attributes.items()
         }
-        return row_ids, vectors, attributes
+        categoricals = {
+            name: np.array(codes, dtype=np.int64)
+            for name, codes in self._categoricals.items()
+        }
+        return row_ids, vectors, attributes, categoricals

@@ -31,8 +31,10 @@ from repro.index import create_index
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics import get_metric
 from repro.metrics.dense import cosine_pairwise, l2_squared_pairwise
+from repro.obs import get_obs
 from repro.obs.profile import current_node
 from repro.storage.attributes import AttributeColumn, merge_columns
+from repro.storage.bloom import BloomFilter
 from repro.storage.categorical import CategoricalColumn
 from repro.utils import topk_from_scores
 
@@ -52,6 +54,7 @@ class Segment:
         vector_specs: VectorSpecs,
         version: int = 0,
         categoricals: Optional[Dict[str, "CategoricalColumn"]] = None,
+        bloom: Optional[BloomFilter] = None,
     ):
         self.segment_id = int(segment_id)
         self.version = int(version)
@@ -66,6 +69,10 @@ class Segment:
         self.categoricals = dict(categoricals or {})
         self.vector_specs = dict(vector_specs)
         self.indexes: Dict[str, VectorIndex] = {}
+        # Row-id membership filter: built at seal time (deterministic
+        # from row_ids, so rebuild == deserialize), consulted by
+        # contains_mask before the exact searchsorted probe.
+        self.bloom = bloom if bloom is not None else BloomFilter.build(self.row_ids)
         # Data-side kernel precomputations (|x|^2 norms, unit rows).
         # Segments are immutable after sealing, so the cache is never
         # invalidated — it lives and dies with the segment object.
@@ -87,6 +94,7 @@ class Segment:
         total += sum(c.memory_bytes() for c in self.categoricals.values())
         total += sum(ix.memory_bytes() for ix in self.indexes.values())
         total += self.kernel_cache.memory_bytes()
+        total += self.bloom.memory_bytes()
         return total
 
     # -- row access -----------------------------------------------------------
@@ -107,7 +115,28 @@ class Segment:
         return self.vectors[field][pos]
 
     def contains_mask(self, row_ids: np.ndarray) -> np.ndarray:
-        return self.positions_of(row_ids) >= 0
+        """Membership mask, bloom-accelerated.
+
+        The filter has no false negatives, so a bloom "no" is final and
+        skips the binary search entirely; only the "maybe" rows fall
+        through to :meth:`positions_of`.  Delete-dedup scans and
+        tombstone checks probe every sealed segment for ids that live
+        in at most one of them, so most probes resolve in the filter.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0:
+            return np.zeros(0, dtype=bool)
+        maybe = self.bloom.might_contain(row_ids)
+        registry = get_obs().registry
+        n_maybe = int(maybe.sum())
+        if n_maybe < len(row_ids):
+            registry.counter("bloom_negatives_total").inc(len(row_ids) - n_maybe)
+        if n_maybe:
+            registry.counter("bloom_hits_total").inc(n_maybe)
+        mask = np.zeros(len(row_ids), dtype=bool)
+        if n_maybe:
+            mask[maybe] = self.positions_of(row_ids[maybe]) >= 0
+        return mask
 
     # -- indexing ----------------------------------------------------------------
 
@@ -332,8 +361,9 @@ class Segment:
             "vector_specs": {k: list(v) for k, v in self.vector_specs.items()},
             "attributes": sorted(self.attributes),
             "categoricals": sorted(self.categoricals),
+            "bloom": {"k": self.bloom.k, "m": self.bloom.m},
         }
-        arrays = {"row_ids": self.row_ids}
+        arrays = {"row_ids": self.row_ids, "bloom_bits": self.bloom.bits}
         for name, mat in self.vectors.items():
             arrays[f"vec__{name}"] = mat
         for name, col in self.attributes.items():
@@ -364,9 +394,14 @@ class Segment:
                 name: CategoricalColumn(archive[f"cat__{name}"], row_ids)
                 for name in meta.get("categoricals", [])
             }
+            bloom = None
+            if "bloom" in meta and "bloom_bits" in archive:
+                bloom = BloomFilter(
+                    archive["bloom_bits"], meta["bloom"]["k"], meta["bloom"]["m"]
+                )
         return cls(
             meta["segment_id"], row_ids, vectors, attributes, specs,
-            version=meta["version"], categoricals=categoricals,
+            version=meta["version"], categoricals=categoricals, bloom=bloom,
         )
 
 

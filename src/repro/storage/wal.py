@@ -260,3 +260,12 @@ class WriteAheadLog:
             for rec_lsn, path in self._scan_locked(0):
                 if rec_lsn <= lsn:
                     self.fs.delete(path)
+
+    def pending_lsns(self) -> List[int]:
+        """LSNs of records currently on storage, ascending.
+
+        Chaos tests assert checkpointing actually reclaimed the log and
+        that recovery never replays below the flushed LSN.
+        """
+        with self._lock:
+            return [lsn for lsn, __ in self._scan_locked(0)]

@@ -1,0 +1,295 @@
+"""Background write engine: freeze/hand-off, frozen visibility, blooms.
+
+The tentpole claims under test:
+
+* a writer is **never** stuck behind segment I/O — proved by parking a
+  background flush on a :class:`StallGate` and completing an insert
+  while the flush is provably mid-write (event ordering, not sleeps);
+* frozen memtables (and the deletes batched with them) are visible to
+  searches from the freeze, before their flush commits;
+* per-segment bloom filters answer row-id membership with zero false
+  negatives, survive serialization, and feed the obs counters;
+* compaction physically purges tombstone-dominated segments.
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.storage import (
+    BloomFilter,
+    BufferPool,
+    FaultPlan,
+    FaultyFileSystem,
+    InMemoryObjectStore,
+    LSMConfig,
+    LSMManager,
+    Segment,
+    TieredMergePolicy,
+)
+
+SPECS = {"emb": (8, "l2")}
+
+
+def make_lsm(fs=None, **overrides):
+    defaults = dict(
+        memtable_flush_bytes=1 << 30,
+        index_build_min_rows=1 << 30,
+        merge_policy=TieredMergePolicy(merge_factor=64, min_segment_bytes=1),
+        auto_merge=False,
+    )
+    defaults.update(overrides)
+    return LSMManager(
+        SPECS, ("price",), LSMConfig(**defaults),
+        fs=fs if fs is not None else InMemoryObjectStore(),
+    )
+
+
+def batch(rng, row_ids):
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    return row_ids, {"emb": rng.normal(size=(len(row_ids), 8)).astype(np.float32)}, {
+        "price": rng.uniform(0, 1, len(row_ids))
+    }
+
+
+class TestConcurrentWriterDuringFlush:
+    def test_insert_completes_while_flush_parked_in_segment_write(self):
+        """The satellite-3 concurrency proof, sleep-free.
+
+        The first batch's flush is parked *inside* its segment write
+        (gate.reached has fired, flush_count is still 0), and a second
+        insert — which in the old inline engine would serialize behind
+        that I/O under the writer lock — completes and is readable
+        before the gate is released.
+        """
+        inner = InMemoryObjectStore()
+        plan = FaultPlan(seed=31)
+        rule = plan.stall("segments/*", op="write", nth=1)
+        # Tiny threshold: the first insert freezes and hands off.
+        lsm = make_lsm(
+            FaultyFileSystem(inner, plan),
+            memtable_flush_bytes=1, background=True,
+        )
+        rng = np.random.default_rng(0)
+        ids_a, vecs_a, attrs_a = batch(rng, np.arange(0, 20))
+        lsm.insert(ids_a, vecs_a, attrs_a)
+
+        assert rule.gate.reached.wait(10), "flush never reached its write"
+        # The flush is mid-write on the background thread, not committed.
+        assert lsm.flush_count == 0
+
+        ids_b, vecs_b, attrs_b = batch(rng, np.arange(100, 120))
+        lsm.insert(ids_b, vecs_b, attrs_b)   # must not block on the flush
+        assert lsm.flush_count == 0          # ...and the flush is STILL parked
+        assert not rule.gate.release.is_set()
+        # Batch A is already searchable through its frozen view.
+        res = lsm.search("emb", vecs_a["emb"][:3], k=1)
+        assert set(res.ids.ravel()) <= set(int(i) for i in ids_a)
+        assert lsm.unflushed_rows >= len(ids_b)
+
+        rule.gate.release.set()
+        lsm.flush()  # barrier: both batches sealed
+        assert lsm.flush_count >= 2
+        assert lsm.num_live_rows == len(ids_a) + len(ids_b)
+        lsm.close()
+
+    def test_background_flag_resolves_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BG_FLUSH", "1")
+        lsm = make_lsm()  # LSMConfig.background is None -> env wins
+        assert lsm.background is True
+        lsm.close()
+        monkeypatch.setenv("REPRO_BG_FLUSH", "0")
+        assert make_lsm().background is False
+
+
+class TestFrozenVisibility:
+    def test_frozen_rows_searchable_before_flush_commits(self):
+        inner = InMemoryObjectStore()
+        plan = FaultPlan(seed=32)
+        rule = plan.stall("segments/*", op="write", nth=1)
+        lsm = make_lsm(
+            FaultyFileSystem(inner, plan),
+            memtable_flush_bytes=1, background=True,
+        )
+        rng = np.random.default_rng(1)
+        ids, vecs, attrs = batch(rng, np.arange(40))
+        lsm.insert(ids, vecs, attrs)
+        assert rule.gate.reached.wait(10)
+        # Nothing sealed yet: visibility comes from the frozen view.
+        snap = lsm.snapshot()
+        try:
+            assert list(snap.segment_ids) == []
+            assert len(snap.frozen_ids) == 1
+            views = lsm.frozen_view_segments(snap)
+            assert sorted(int(i) for v in views for i in v.row_ids) == list(range(40))
+        finally:
+            lsm.release(snap)
+        assert lsm.num_live_rows == 40
+        rule.gate.release.set()
+        lsm.flush()
+        assert lsm.num_live_rows == 40  # freeze -> seal is invisible to counts
+        lsm.close()
+
+    def test_deletes_batched_with_freeze_mask_reads_immediately(self):
+        inner = InMemoryObjectStore()
+        plan = FaultPlan(seed=33)
+        rule = plan.stall("segments/*", op="write", nth=1)
+        lsm = make_lsm(
+            FaultyFileSystem(inner, plan), background=True,
+        )
+        rng = np.random.default_rng(2)
+        ids, vecs, attrs = batch(rng, np.arange(30))
+        lsm.insert(ids, vecs, attrs)
+        lsm.delete(np.arange(5))
+        # Manual freeze via tick: deletes ride in the frozen entry.
+        lsm.tick(now_seconds=100.0)
+        assert rule.gate.reached.wait(10)
+        snap = lsm.snapshot()
+        try:
+            tombs = lsm.visible_tombstones(snap)
+            assert set(int(t) for t in tombs) == set(range(5))
+        finally:
+            lsm.release(snap)
+        assert lsm.num_live_rows == 25  # masked before the flush commit
+        rule.gate.release.set()
+        lsm.flush()
+        assert lsm.num_live_rows == 25
+        lsm.close()
+
+    def test_unflushed_preview_carries_categoricals(self):
+        """MemTable.raw_rows regression: categorical columns survive."""
+        lsm = LSMManager(
+            SPECS, ("price",),
+            LSMConfig(memtable_flush_bytes=1 << 30, auto_merge=False),
+            fs=InMemoryObjectStore(),
+            categorical_names=("color",),
+        )
+        rng = np.random.default_rng(3)
+        ids, vecs, attrs = batch(rng, np.arange(10))
+        lsm.insert(ids, vecs, attrs, {"color": np.arange(10) % 3})
+        row_ids, vectors, attributes, categoricals = lsm.unflushed_preview()
+        assert sorted(int(i) for i in row_ids) == list(range(10))
+        assert "color" in categoricals
+        assert len(categoricals["color"]) == 10
+        assert "price" in attributes
+
+
+class TestBloomFilters:
+    def test_no_false_negatives_and_some_rejection(self):
+        rng = np.random.default_rng(4)
+        present = rng.choice(1 << 40, size=5000, replace=False).astype(np.int64)
+        bloom = BloomFilter.build(present)
+        assert bool(bloom.might_contain(present).all())  # zero false negatives
+        absent = present + 1  # disjoint by construction (choice w/o replace)
+        absent = absent[~np.isin(absent, present)]
+        fp_rate = float(bloom.might_contain(absent).mean())
+        assert fp_rate < 0.05  # ~1% expected at 10 bits/key
+
+    def test_survives_segment_serialization(self):
+        rng = np.random.default_rng(5)
+        ids = np.arange(100, dtype=np.int64)
+        seg = Segment(
+            0, ids, {"emb": rng.normal(size=(100, 8)).astype(np.float32)},
+            {}, SPECS,
+        )
+        restored = Segment.from_bytes(seg.to_bytes())
+        assert restored.bloom is not None
+        assert restored.bloom.k == seg.bloom.k
+        assert restored.bloom.m == seg.bloom.m
+        assert np.array_equal(restored.bloom.bits, seg.bloom.bits)
+
+    def test_contains_mask_rides_bloom_and_counts(self):
+        rng = np.random.default_rng(6)
+        ids = np.arange(0, 1000, 2, dtype=np.int64)  # evens only
+        seg = Segment(
+            0, ids, {"emb": rng.normal(size=(len(ids), 8)).astype(np.float32)},
+            {}, SPECS,
+        )
+        handle = obs.enable()
+        try:
+            probe = np.arange(1000, dtype=np.int64)  # half absent (odds)
+            mask = seg.contains_mask(probe)
+            assert int(mask.sum()) == len(ids)
+            assert bool(mask[::2].all()) and not bool(mask[1::2].any())
+            # The bloom pre-filter rejected (most of) the 500 odd ids.
+            assert handle.registry.counter("bloom_negatives_total").value > 400
+            assert handle.registry.counter("bloom_hits_total").value >= 500
+        finally:
+            obs.disable()
+
+
+class TestTombstonePurge:
+    def test_dominated_resident_segment_is_rewritten(self):
+        lsm = make_lsm(tombstone_purge_ratio=0.25)
+        rng = np.random.default_rng(7)
+        ids, vecs, attrs = batch(rng, np.arange(40))
+        lsm.insert(ids, vecs, attrs)
+        lsm.flush()
+        lsm.delete(np.arange(20))  # 50% of the segment
+        lsm.flush()
+        assert lsm.purge_count == 0
+        merged = lsm.maybe_merge()
+        assert merged >= 1 and lsm.purge_count == 1
+        assert lsm.num_live_rows == 20
+        assert len(lsm.manifest.current_tombstones()) == 0  # reclaimed
+        # The rewrite replaced the segment wholesale; no orphan files.
+        live = set(lsm.manifest.live_segment_ids())
+        on_disk = {
+            int(p.rsplit("/", 1)[-1].split(".")[0])
+            for p in lsm.fs.listdir("segments/")
+        }
+        assert on_disk == live
+
+    def test_fully_dead_segment_disappears_without_replacement(self):
+        lsm = make_lsm(tombstone_purge_ratio=0.25)
+        rng = np.random.default_rng(8)
+        ids, vecs, attrs = batch(rng, np.arange(16))
+        lsm.insert(ids, vecs, attrs)
+        lsm.flush()
+        lsm.delete(ids)
+        lsm.flush()
+        lsm.maybe_merge()
+        assert lsm.num_live_rows == 0
+        assert list(lsm.manifest.live_segment_ids()) == []
+        assert lsm.fs.listdir("segments/") == []
+
+    def test_ratio_zero_disables_purge(self):
+        lsm = make_lsm(tombstone_purge_ratio=0.0)
+        rng = np.random.default_rng(9)
+        ids, vecs, attrs = batch(rng, np.arange(16))
+        lsm.insert(ids, vecs, attrs)
+        lsm.flush()
+        lsm.delete(np.arange(15))
+        lsm.flush()
+        lsm.maybe_merge()
+        assert lsm.purge_count == 0
+        assert len(lsm.manifest.live_segment_ids()) == 1
+
+
+class TestDeferredInvalidation:
+    def test_pinned_invalidate_defers_to_final_unpin(self):
+        rng = np.random.default_rng(10)
+        seg = Segment(
+            7, np.arange(4, dtype=np.int64),
+            {"emb": rng.normal(size=(4, 8)).astype(np.float32)}, {}, SPECS,
+        )
+        pool = BufferPool(1 << 20, loader=lambda sid: seg)
+        pool.put(seg, pin=True)
+        pool.get(7, pin=True)  # second pin
+        pool.invalidate(7, defer=True)  # queued, not raised
+        assert pool.peek(7) is not None
+        pool.unpin(7)
+        assert pool.peek(7) is not None  # still one pin outstanding
+        pool.unpin(7)
+        assert pool.peek(7) is None  # dropped at the final unpin
+
+    def test_pinned_invalidate_without_defer_still_raises(self):
+        rng = np.random.default_rng(11)
+        seg = Segment(
+            3, np.arange(4, dtype=np.int64),
+            {"emb": rng.normal(size=(4, 8)).astype(np.float32)}, {}, SPECS,
+        )
+        pool = BufferPool(1 << 20, loader=lambda sid: seg)
+        pool.put(seg, pin=True)
+        with pytest.raises(RuntimeError):
+            pool.invalidate(3)

@@ -83,6 +83,7 @@ class TestCrashRecoverySchedules:
         acked = set()
         with pytest.raises(SimulatedCrash):
             script(lsm, rng, acked)
+        lsm.quiesce_after_crash()  # a real crash stops *all* threads
         recovered = make_lsm(inner)
         recovered.recover()
         return acked, recovered
@@ -224,6 +225,123 @@ class TestCrashRecoverySchedules:
         recovered.recover()
         assert visible_row_ids(recovered) == acked
         assert faulty.faults_fired("error") >= 3  # schedule actually ran
+
+
+def orphan_segment_files(lsm):
+    """Segment files on storage that no live manifest entry references."""
+    on_disk = set()
+    for path in lsm.fs.listdir("segments/"):
+        try:
+            on_disk.add(int(path.rsplit("/", 1)[-1].split(".")[0]))
+        except ValueError:
+            continue
+    return on_disk - set(lsm.manifest.live_segment_ids())
+
+
+def _bg_workload(lsm, rng, acked):
+    """Deterministic mixed workload driving every background crash point.
+
+    Filesystem op stream (the coordinates the crash specs below index
+    into): segment writes #1/#2 are flushes, #3 is the first compaction
+    output, #4 another flush, #5+ the second compaction round; manifest
+    writes follow each commit; WAL deletes are the per-flush checkpoints.
+    """
+    for start in (0, 30):
+        ids, vecs, attrs = batch(rng, np.arange(start, start + 30))
+        lsm.insert(ids, vecs, attrs)
+        acked.update(int(i) for i in ids)
+        lsm.flush()
+    lsm.delete(np.arange(10))
+    acked.difference_update(range(10))
+    lsm.flush()
+    lsm.maybe_merge()  # background compaction: segment write #3
+    ids, vecs, attrs = batch(rng, np.arange(60, 90))
+    lsm.insert(ids, vecs, attrs)
+    acked.update(int(i) for i in ids)
+    lsm.flush()  # segment write #4
+    lsm.maybe_merge()  # second compaction round
+    lsm.flush()  # barrier: surfaces any crash the flusher recorded
+
+
+#: (label, plan-arming function) — each crashes a different point in the
+#: background engine's op stream.  Crossed with the seeds below this is
+#: a 12 x 5 = 60-schedule matrix (acceptance floor: 50).
+BG_CRASH_POINTS = [
+    # crash between freeze and flush: the frozen memtable's rows are
+    # acked + WAL-covered, the segment file never (fully) lands
+    ("freeze-to-flush", lambda p: p.crash_before("segments/*", op="write", nth=1)),
+    ("flush-after-seg-1", lambda p: p.crash_after("segments/*", op="write", nth=1)),
+    ("flush-after-seg-2", lambda p: p.crash_after("segments/*", op="write", nth=2)),
+    # crash during background compaction, before/after the merged
+    # output persists (the orphan-GC and double-apply hazards)
+    ("compact-before-out", lambda p: p.crash_before("segments/*", op="write", nth=3)),
+    ("compact-after-out", lambda p: p.crash_after("segments/*", op="write", nth=3)),
+    ("compact-round-2", lambda p: p.crash_after("segments/*", op="write", nth=5)),
+    # manifest commit torn / interrupted mid-sequence
+    ("manifest-after-1", lambda p: p.crash_after("manifest/*", op="write", nth=1)),
+    ("manifest-after-4", lambda p: p.crash_after("manifest/*", op="write", nth=4)),
+    ("manifest-torn-1", lambda p: p.torn_write("manifest/*", truncate_at=16, nth=1)),
+    ("manifest-torn-4", lambda p: p.torn_write("manifest/*", truncate_at=16, nth=4)),
+    # WAL checkpoint interrupted (double-apply hazard on replay)
+    ("wal-truncate-1", lambda p: p.crash_after("wal/*", op="delete", nth=1)),
+    # writer-path crash before the WAL record lands: never acked
+    ("wal-append-before-2", lambda p: p.crash_before("wal/*", op="write", nth=2)),
+]
+
+BG_SEEDS = [101, 202, 303, 404, 505]
+
+
+class TestBackgroundCrashSchedules:
+    """Seeded crash matrix against the *background* write engine.
+
+    Same invariant as above — no acked write lost, none applied twice —
+    plus: recovery leaves no orphan segment files, whichever thread the
+    crash landed on (writer path or the background flusher/compactor).
+    """
+
+    def run_bg_schedule(self, plan, seed):
+        inner = InMemoryObjectStore()
+        rng = np.random.default_rng(seed)
+        lsm = make_lsm(FaultyFileSystem(inner, plan), background=True)
+        acked = set()
+        fired = False
+        try:
+            _bg_workload(lsm, rng, acked)
+        except SimulatedCrash:
+            fired = True
+        # A real crash kills the flusher with the process; the simulated
+        # one must stop it explicitly before "restarting".
+        lsm.quiesce_after_crash()
+        recovered = make_lsm(inner)
+        recovered.recover()
+        return acked, recovered, fired
+
+    @pytest.mark.parametrize("seed", BG_SEEDS)
+    @pytest.mark.parametrize(
+        "label,arm", BG_CRASH_POINTS, ids=[l for l, __ in BG_CRASH_POINTS]
+    )
+    def test_bg_crash_schedule(self, label, arm, seed):
+        plan = FaultPlan(seed=seed)
+        rule = arm(plan)
+        acked, recovered, fired = self.run_bg_schedule(plan, seed)
+        assert fired, f"schedule {label!r} never reached its crash point"
+        assert rule.fired >= 1
+        assert orphan_segment_files(recovered) == set()
+        visible = visible_row_ids(recovered)
+        assert visible == acked  # nothing acked lost, nothing un-acked leaked
+        assert recovered.num_live_rows == len(acked)  # nothing applied twice
+
+    def test_crash_free_background_run_converges(self):
+        """Control schedule: no faults — bg engine matches the workload."""
+        inner = InMemoryObjectStore()
+        rng = np.random.default_rng(7)
+        lsm = make_lsm(inner, background=True)
+        acked = set()
+        _bg_workload(lsm, rng, acked)
+        lsm.close()
+        assert orphan_segment_files(lsm) == set()
+        assert visible_row_ids(lsm) == acked
+        assert lsm.num_live_rows == len(acked)
 
 
 class TestWalRace:

@@ -68,6 +68,9 @@ def build_collection(data, prices, index_type="IVF_FLAT", n_segments=2,
         memtable_flush_bytes=1 << 30,
         index_build_min_rows=1 << 30,
         merge_policy=TieredMergePolicy(merge_factor=64, min_segment_bytes=1),
+        # keep fully-tombstoned segments around: the explain tests below
+        # assert the planner *skips* them rather than compaction purging them
+        tombstone_purge_ratio=0.0,
     )
     coll = Collection(schema, lsm_config=cfg)
     for chunk, price_chunk in zip(

@@ -180,22 +180,28 @@ class TestEngineIntegration:
         assert tsan._edges, "no lock acquisitions were observed"
 
     def test_deliberate_inversion_through_engine_is_reported(self, tsan):
-        """Taking the engine's locks in bufferpool -> lsm order inverts the
-        lsm -> bufferpool order the write path established."""
+        """Taking the engine's locks in bufferpool -> lsm-bg order inverts
+        the lsm-bg -> bufferpool order the flush path established.
+
+        (The writer lock itself is never held across bufferpool work any
+        more — flush processing runs under the maintenance lock — so the
+        runtime edge to invert is lsm-bg's, not lsm's.)"""
         coll = make_collection()
         data = sift_like(100, dim=8, seed=1)
         coll.insert({"emb": data})
-        coll.flush()  # establishes lsm -> bufferpool
+        coll.flush()  # establishes lsm-bg -> bufferpool
         assert tsan.report()["lock_order_violations"] == []
 
         bp_lock = coll.lsm.bufferpool._lock
-        lsm_lock = coll.lsm._lock
+        bg_lock = coll.lsm._bg_lock
         assert isinstance(bp_lock, san.SanitizedLock)
-        with bp_lock:  # wrong order: bufferpool -> lsm
-            with lsm_lock:
+        with bp_lock:  # wrong order: bufferpool -> lsm-bg
+            with bg_lock:
                 pass
         violations = tsan.report()["lock_order_violations"]
-        assert any({v.first, v.second} == {"bufferpool", "lsm"} for v in violations)
+        assert any(
+            {v.first, v.second} == {"bufferpool", "lsm-bg"} for v in violations
+        )
 
     def test_async_writer_clean_under_sanitizer(self, tsan):
         coll = make_collection(async_writes=True)
