@@ -17,12 +17,21 @@ import numpy as np
 import pytest
 
 from repro.bench import emit_bench_json, print_series
-from repro.filtering import AttributeFilterEngine, PartitionedFilterEngine
+from repro.filtering import (
+    AdaptivePlanner,
+    AttributeFilterEngine,
+    CalibratedCostModel,
+    PartitionedFilterEngine,
+)
+from repro.index import create_index
 from repro.obs.profile import QueryProfile
 
 from common import attribute_bundle, selectivity_to_range
 
 SELECTIVITIES = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99)
+#: selectivities for the in-traversal-vs-post-filter graph comparison
+#: (the extreme tail routes to strategy A, see the cost model)
+GRAPH_SELECTIVITIES = (0.3, 0.5, 0.7, 0.9)
 NPROBE = 16
 NQ = 20
 
@@ -36,6 +45,105 @@ def engines():
         part = PartitionedFilterEngine(data, attrs, n_partitions=10, metric="l2", seed=0)
         _cache["engines"] = (engine, part, queries[:NQ])
     return _cache["engines"]
+
+
+def graph_setup():
+    """HNSW over the same bundle, for in-traversal filtered search."""
+    if "graph" not in _cache:
+        data, attrs, queries = attribute_bundle()
+        hnsw = create_index(
+            "HNSW", data.shape[1], metric="l2", M=16, ef_construction=100, seed=0
+        )
+        hnsw.add(data)
+        _cache["graph"] = (data, attrs, queries[:NQ], hnsw)
+    return _cache["graph"]
+
+
+def run_filtered_graph(k=10):
+    """In-traversal pushdown (B) vs vector-first post-filter (C) on HNSW.
+
+    Both get the same traversal budget shape they would receive from
+    the adaptive planner: B a fixed admissible-beam ``ef`` (the
+    filter bitmap is computed once per batch, as the collection read
+    path does), C the selectivity-aware over-fetch with widening.
+    Recall is against the exact answer over the admissible subset.
+    """
+    from common import best_time
+
+    data, attrs, queries, hnsw = graph_setup()
+    n = len(data)
+    planner = AdaptivePlanner()
+    out = {"B_hnsw": [], "C_hnsw": []}
+
+    def post_filter_c(lo, hi, p, ok):
+        fetch0 = max(int(np.ceil(planner.theta * k / max(p, 1e-9))), k)
+        rows = []
+        for q in queries:
+            fetch = fetch0
+            while True:
+                fetch_eff = min(fetch, n)
+                r = hnsw.search(q[None], fetch_eff, ef=max(64, fetch_eff))
+                ids = r.ids[0]
+                ids = ids[ids >= 0]
+                keep = ids[ok[ids]]
+                if len(keep) >= k or fetch_eff >= n:
+                    break
+                fetch *= 2
+            rows.append(keep[:k])
+        return rows
+
+    for sel in GRAPH_SELECTIVITIES:
+        lo, hi = selectivity_to_range(sel)
+        p = 1.0 - sel
+        ok = (attrs >= lo) & (attrs <= hi)
+        allowed = np.flatnonzero(ok).astype(np.int64)
+        ef = planner.select_ef(k, p)
+        d = ((data[allowed][None, :, :] - queries[:, None, :]) ** 2).sum(-1)
+        exact = allowed[np.argsort(d, axis=1, kind="stable")[:, :k]]
+
+        t_b = best_time(
+            lambda: hnsw.search(queries, k, ef=ef, row_filter=allowed), repeats=2
+        ) / len(queries)
+        b_ids = hnsw.search(queries, k, ef=ef, row_filter=allowed).ids
+        recall_b = float(np.mean([
+            len(set(row[row >= 0].tolist()) & set(truth.tolist())) / k
+            for row, truth in zip(b_ids, exact)
+        ]))
+
+        t_c = best_time(lambda: post_filter_c(lo, hi, p, ok), repeats=2) / len(queries)
+        c_rows = post_filter_c(lo, hi, p, ok)
+        recall_c = float(np.mean([
+            len(set(row.tolist()) & set(truth.tolist())) / k
+            for row, truth in zip(c_rows, exact)
+        ]))
+
+        out["B_hnsw"].append((sel, t_b, recall_b))
+        out["C_hnsw"].append((sel, t_c, recall_c))
+    return out
+
+
+def run_adaptive(k=10, warm_rounds=3):
+    """Calibrated strategy D: latency per selectivity after warm-up."""
+    from common import best_time
+
+    data, attrs, queries = attribute_bundle()
+    engine = AttributeFilterEngine(
+        data, attrs, metric="l2", nlist=64, seed=0,
+        cost_model=CalibratedCostModel(),
+    )
+    points = []
+    for sel in SELECTIVITIES:
+        lo, hi = selectivity_to_range(sel)
+        for __ in range(warm_rounds):  # feed the calibrator
+            for q in queries[:5]:
+                engine.strategy_d(q, lo, hi, k, nprobe=NPROBE)
+        elapsed = best_time(
+            lambda: [engine.strategy_d(q, lo, hi, k, nprobe=NPROBE)
+                     for q in queries[:NQ]],
+            repeats=2,
+        ) / NQ
+        points.append((sel, elapsed))
+    return points
 
 
 def run_figure(k):
@@ -102,6 +210,25 @@ def test_e_wins_in_the_pruning_regime(fig14):
     assert e_times[0.99] <= 6.0 * d_times[0.99]
 
 
+@pytest.fixture(scope="module")
+def graph14():
+    return run_filtered_graph(k=10)
+
+
+def test_in_traversal_beats_post_filter_mid_selectivity(graph14):
+    """Acceptance gate: pushdown B wins on mid-selectivity HNSW queries."""
+    b = dict((s, t) for s, t, __ in graph14["B_hnsw"])
+    c = dict((s, t) for s, t, __ in graph14["C_hnsw"])
+    mid = (0.3, 0.5)
+    assert np.mean([b[s] for s in mid]) < np.mean([c[s] for s in mid])
+
+
+def test_in_traversal_recall_within_one_percent(graph14):
+    """Acceptance gate: B recall within 1% of exact over the filter."""
+    for __, ___, recall in graph14["B_hnsw"]:
+        assert recall >= 0.99
+
+
 def test_partition_count_ablation():
     """DESIGN.md ablation: rho too small -> no pruning; too large ->
     per-partition indexes degenerate.  The sweet spot is in between."""
@@ -153,6 +280,31 @@ def main():
                         engine.strategy_d(queries[0], lo, hi, k, nprobe=NPROBE)
                     entry["counters"] = prof.total_counters()
                 entries.append(entry)
+    print("=== in-traversal pushdown vs post-filter (HNSW, k=10) ===")
+    graph = run_filtered_graph(k=10)
+    for name, points in graph.items():
+        print_series(
+            name,
+            [f"sel={s}" for s, __, ___ in points],
+            [f"{t * 1000:.2f} ms/q r={r:.3f}" for __, t, r in points],
+        )
+        for sel, latency, recall in points:
+            entries.append({
+                "k": 10, "strategy": name, "selectivity": sel, "index": "HNSW",
+                "latency_seconds": latency, "recall": recall,
+            })
+    print("=== calibrated strategy D (k=10, warmed) ===")
+    adaptive = run_adaptive(k=10)
+    print_series(
+        "D_cal",
+        [f"sel={s}" for s, __ in adaptive],
+        [f"{t * 1000:.2f} ms/q" for __, t in adaptive],
+    )
+    for sel, latency in adaptive:
+        entries.append({
+            "k": 10, "strategy": "D_cal", "selectivity": sel,
+            "latency_seconds": latency,
+        })
     emit_bench_json(
         "fig14_attr_strategies",
         workload={"selectivities": list(SELECTIVITIES), "nprobe": NPROBE, "nq": NQ},

@@ -16,6 +16,7 @@ from repro.core.errors import (
     InvalidQueryError,
     NodeNotFoundError,
     NoLiveReadersError,
+    UnsupportedSearchParamError,
 )
 from repro.core.schema import (
     VectorField,
@@ -34,6 +35,7 @@ __all__ = [
     "InvalidQueryError",
     "NodeNotFoundError",
     "NoLiveReadersError",
+    "UnsupportedSearchParamError",
     "VectorField",
     "AttributeField",
     "CategoricalField",

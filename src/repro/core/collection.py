@@ -15,6 +15,7 @@ immediately see the inserted data" until they flush.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -24,14 +25,22 @@ import numpy as np
 
 from repro.core.errors import InvalidQueryError, SchemaError
 from repro.core.schema import CollectionSchema
+from repro.filtering.cost import AdaptivePlanner
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
 from repro.obs.explain import ExplainedResult, explain_search
-from repro.obs.profile import QueryProfile, current_node, profile_stage
+from repro.obs.profile import (
+    QueryProfile,
+    current_node,
+    measurement_stage,
+    profile_attr,
+    profile_stage,
+)
 from repro.storage import LSMConfig, LSMManager
 from repro.storage.filesystem import FileSystem
 from repro.storage.manifest import Snapshot
+from repro.utils import sorted_membership
 from repro.utils.sanitizer import maybe_sanitize
 
 #: an attribute range filter: (attribute_name, low, high), inclusive.
@@ -47,6 +56,7 @@ class Collection:
         lsm_config: Optional[LSMConfig] = None,
         fs: Optional[FileSystem] = None,
         async_writes: bool = False,
+        adaptive: Optional[bool] = None,
     ):
         from repro.storage.categorical import CategoryDictionary
 
@@ -69,6 +79,16 @@ class Collection:
         # declaration styles stay exercised.
         self._next_row_id = 0
         self._id_lock = maybe_sanitize(threading.Lock(), "collection-ids")
+        # Feedback-calibrated filtered-search planning (paper Sec. 4.1
+        # strategy D + online calibration); ``None`` defers to the
+        # REPRO_ADAPTIVE env knob.  The planner itself is built lazily
+        # so a recover() run after construction still seeds it from the
+        # persisted manifest state.
+        self._adaptive = (
+            os.environ.get("REPRO_ADAPTIVE") == "1" if adaptive is None
+            else bool(adaptive)
+        )
+        self._planner: Optional[AdaptivePlanner] = None
         self._async = async_writes
         self._queue: "queue.Queue" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
@@ -115,6 +135,10 @@ class Collection:
         if self._async:
             self._queue.join()
         self._lsm.flush()
+        # Calibration learned since the last flush rides the durable
+        # manifest, so a restart + recover() resumes a warm planner.
+        if self._planner is not None:
+            self._lsm.set_planner_state(self._planner.to_dict(), persist=True)
 
     def _split_payload(self, data: Dict[str, np.ndarray]):
         specs = self.schema.vector_specs()
@@ -280,6 +304,11 @@ class Collection:
                 metric = get_metric(self.schema.vector_field(field).metric)
                 queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
                 return SearchResult.empty(len(queries), k, metric)
+            if self._adaptive:
+                return self._adaptive_filtered_search(
+                    field, queries, k, admissible, snap,
+                    parallel=parallel, pool_size=pool_size, **search_params
+                )
             return self._lsm.search(
                 field, queries, k, snapshot=snap, row_filter=admissible,
                 parallel=parallel, pool_size=pool_size, **search_params
@@ -287,6 +316,142 @@ class Collection:
         finally:
             if owned:
                 self._lsm.release(snap)
+
+    # -- adaptive filtered search (calibrated strategy D) -----------------
+
+    @property
+    def planner(self) -> AdaptivePlanner:
+        """The collection's query planner, seeded from persisted state.
+
+        Built on first use so calibration recovered by
+        :meth:`LSMManager.recover` (which runs after construction) is
+        picked up.  Benign race: two threads may both build one; the
+        losing instance carries no observations yet.
+        """
+        if self._planner is None:
+            self._planner = AdaptivePlanner.from_dict(self._lsm.planner_state())
+        return self._planner
+
+    def _index_info(self, field: str, snap: Snapshot):
+        """(index_type, nlist, bucket_sizes, supports_pushdown, knob_names)
+        of the first indexed visible segment, or defaults when none is.
+        """
+        for segment in self._visible_segments(snap):
+            index = segment.indexes.get(field)
+            if index is not None:
+                nlist = getattr(index, "nlist", None)
+                sizes = (
+                    index.bucket_sizes().tolist()
+                    if hasattr(index, "bucket_sizes") else None
+                )
+                return (
+                    index.index_type,
+                    nlist,
+                    sizes,
+                    index.supports_search_param("row_filter"),
+                    type(index).SEARCH_PARAMS,
+                )
+        return None, None, None, True, frozenset()
+
+    def _adaptive_filtered_search(
+        self,
+        field: str,
+        queries: np.ndarray,
+        k: int,
+        admissible: np.ndarray,
+        snap: Snapshot,
+        parallel: Optional[bool] = None,
+        pool_size: Optional[int] = None,
+        **search_params,
+    ) -> SearchResult:
+        """Plan (strategy + knobs) from calibrated costs, execute, feed back."""
+        planner = self.planner
+        n = max(int(self._lsm.num_live_rows), 1)
+        index_type, nlist, bucket_sizes, supports, knob_names = self._index_info(
+            field, snap
+        )
+        plan = planner.plan(
+            n=n,
+            passing_fraction=len(admissible) / n,
+            k=k,
+            index_type=index_type or "",
+            nlist=nlist,
+            bucket_sizes=bucket_sizes,
+            supports_pushdown=supports,
+        )
+        # Planned knobs the field's index understands; explicit caller
+        # params always win over the planner's choices.
+        knobs = {
+            name: value for name, value in plan.knobs().items()
+            if name in knob_names
+        }
+        knobs.update(search_params)
+        profile_attr("adaptive_plan", plan.to_dict())
+        with measurement_stage("adaptive.exec", strategy=plan.strategy) as stage:
+            result = self._execute_plan(
+                field, queries, k, admissible, snap, plan, knobs,
+                index_type, parallel, pool_size,
+            )
+        nq = len(np.atleast_2d(np.asarray(queries)))
+        planner.observe(plan, stage.total_counters(), nq=nq)
+        # Cheap in-memory staging; the next manifest write (flush,
+        # merge, or an explicit Collection.flush) makes it durable.
+        self._lsm.set_planner_state(planner.to_dict())
+        return result
+
+    def _execute_plan(
+        self, field, queries, k, admissible, snap, plan, knobs,
+        index_type, parallel, pool_size,
+    ) -> SearchResult:
+        if plan.strategy == "A" or not index_type:
+            # Attribute-first exact scan: brute force over admissible
+            # rows only (recall 1 within the filter).
+            return self._lsm.search(
+                field, queries, k, snapshot=snap, row_filter=admissible,
+                brute_force=True, parallel=parallel, pool_size=pool_size,
+            )
+        if plan.strategy == "B":
+            return self._lsm.search(
+                field, queries, k, snapshot=snap, row_filter=admissible,
+                parallel=parallel, pool_size=pool_size, **knobs
+            )
+        # Strategy C: one widened unfiltered search, post-filtered
+        # against the admissible set; fall back to pushdown if the
+        # widening undershoots (estimation error), so results never
+        # come back short when k admissible rows exist.
+        p = max(len(admissible) / plan.n, 1e-9)
+        k_eff = min(max(int(np.ceil(plan.theta * k / p)), k), plan.n)
+        raw = self._lsm.search(
+            field, queries, k_eff, snapshot=snap,
+            parallel=parallel, pool_size=pool_size, **knobs
+        )
+        metric = get_metric(self.schema.vector_field(field).metric)
+        queries_2d = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        out = SearchResult.empty(len(queries_2d), k, metric)
+        want = min(k, len(admissible))
+        short = False
+        pruned = 0
+        for qi in range(len(queries_2d)):
+            valid = raw.ids[qi] >= 0
+            ids_row = raw.ids[qi][valid]
+            keep = sorted_membership(ids_row, admissible)
+            kept_ids = ids_row[keep]
+            kept_scores = raw.scores[qi][valid][keep]
+            pruned += int(len(ids_row) - len(kept_ids))
+            m = min(k, len(kept_ids))
+            out.ids[qi, :m] = kept_ids[:m]
+            out.scores[qi, :m] = kept_scores[:m]
+            if m < want:
+                short = True
+        node = current_node()
+        if node is not None and pruned:
+            node.count("candidates_pruned", pruned)
+        if short:
+            return self._lsm.search(
+                field, queries, k, snapshot=snap, row_filter=admissible,
+                parallel=parallel, pool_size=pool_size, **knobs
+            )
+        return out
 
     def _filter_rows(self, filter: AttributeFilter, snap: Snapshot) -> np.ndarray:
         """Resolve any filter form to sorted admissible row ids."""

@@ -1,5 +1,9 @@
 """Exception hierarchy for the system's public API."""
 
+# Re-exported here so API users catch index-capability errors from one
+# module; defined next to VectorIndex to keep the import DAG acyclic.
+from repro.index.base import UnsupportedSearchParamError  # noqa: F401
+
 
 class MilvusError(Exception):
     """Base class for every error raised by the system."""

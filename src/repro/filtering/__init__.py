@@ -13,14 +13,25 @@ strategies, exactly as the paper lays out (Figure 4):
   check entirely in partitions fully covered by the query range.
 """
 
-from repro.filtering.cost import CostModel, StrategyCosts
+from repro.filtering.cost import (
+    AdaptivePlanner,
+    CalibratedCostModel,
+    CostModel,
+    QueryPlan,
+    StrategyCosts,
+    weighted_scanned_fraction,
+)
 from repro.filtering.engine import AttributeFilterEngine, FilterResult
 from repro.filtering.partition import PartitionedFilterEngine
 from repro.filtering.frequency import AttributeUsageTracker
 
 __all__ = [
+    "AdaptivePlanner",
+    "CalibratedCostModel",
     "CostModel",
+    "QueryPlan",
     "StrategyCosts",
+    "weighted_scanned_fraction",
     "AttributeFilterEngine",
     "FilterResult",
     "PartitionedFilterEngine",

@@ -6,11 +6,26 @@ for bitmap tests and attribute checks.  The shape matters, not the
 absolute constants: A is linear in passing rows, B pays the index scan
 plus bitmap testing, C pays the index scan plus theta*k attribute
 checks but fails when the attribute constraint is too selective.
+
+:class:`CalibratedCostModel` closes the loop: executed queries report
+their exact work counters back (``distance_evals``, ``rows_scanned``,
+``buckets_probed`` from :mod:`repro.obs.profile`), and a per-strategy
+EWMA coefficient scales future analytical estimates toward measured
+reality.  :class:`AdaptivePlanner` builds on that to pick the strategy
+*and* the index knobs (``nprobe``, ``ef``/``search_l``) per query, and
+round-trips its calibration state through a plain dict so the LSM
+manifest can persist it across restarts.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils import EwmaCalibrator
 
 
 @dataclass(frozen=True)
@@ -80,3 +95,376 @@ class CostModel:
             fetch = theta * k / max(passing_fraction, 1e-9)
             cost_c = scanned + fetch * (self.attr_check_cost + 0.02)
         return StrategyCosts(cost_a, cost_b, cost_c)
+
+
+def weighted_scanned_fraction(
+    nprobe: int, bucket_sizes: Optional[Sequence[int]], nlist: Optional[int] = None
+) -> float:
+    """Fraction of rows an IVF probe of ``nprobe`` buckets scans.
+
+    Buckets are chosen by centroid proximity, which size-biases the
+    expectation: a query is more likely to land near the centroid of a
+    heavy bucket, so with bucket masses ``s_i`` the expected scanned
+    mass per probe is ``sum(s_i^2) / total`` rows — the size-biased
+    mean — not the naive ``total / nlist``.  For balanced buckets this
+    reduces to exactly ``nprobe / nlist``; under skew (the common case
+    after k-means on clustered data) it is strictly larger, which is
+    why the unweighted ratio systematically underestimated strategy B
+    and C costs.  Falls back to ``nprobe / nlist`` when sizes are
+    unavailable, and to 1.0 for non-IVF (full-scan-equivalent) indexes.
+    """
+    if bucket_sizes is None or len(bucket_sizes) == 0:
+        if not nlist:
+            return 1.0
+        return min(1.0, nprobe / nlist)
+    sizes = np.asarray(bucket_sizes, dtype=np.float64)
+    total = float(sizes.sum())
+    if total <= 0.0:
+        return 1.0
+    if nprobe >= len(sizes):
+        return 1.0
+    biased_mean = float((sizes * sizes).sum()) / total
+    return min(1.0, nprobe * biased_mean / total)
+
+
+class CalibratedCostModel(CostModel):
+    """Analytical costs corrected by online execution feedback.
+
+    Keeps :class:`CostModel`'s closed-form shapes but learns one
+    multiplicative coefficient per strategy from the exact work
+    counters of executed queries:
+
+        measured = distance_evals + attr_check_cost * rows_scanned
+        coef_S  <- EWMA(coef_S, measured / raw_estimate_S)
+
+    The coefficient absorbs everything the analytical form gets wrong
+    on this substrate — numpy batching effects, bucket skew the
+    estimator missed, graph traversal overshoot — without changing the
+    model's structure.  Updates are deterministic (see
+    :class:`~repro.utils.calibrate.EwmaCalibrator`), and the whole
+    state round-trips through :meth:`to_dict` / :meth:`from_dict` so
+    the LSM manifest can persist calibration across restarts.
+    """
+
+    def __init__(
+        self,
+        calibrator: Optional[EwmaCalibrator] = None,
+        bitmap_test_cost: float = 0.8,
+        attr_check_cost: float = 0.05,
+    ):
+        super().__init__(
+            bitmap_test_cost=bitmap_test_cost, attr_check_cost=attr_check_cost
+        )
+        self.calibrator = calibrator or EwmaCalibrator()
+
+    # -- estimation --------------------------------------------------------
+
+    def raw_estimate(self, *args, **kwargs) -> StrategyCosts:
+        """The uncorrected analytical estimate (calibration baseline)."""
+        return CostModel.estimate(self, *args, **kwargs)
+
+    def estimate(self, *args, **kwargs) -> StrategyCosts:
+        raw = self.raw_estimate(*args, **kwargs)
+        return StrategyCosts(
+            a=self._corrected("A", raw.a),
+            b=self._corrected("B", raw.b),
+            c=self._corrected("C", raw.c),
+        )
+
+    def _corrected(self, strategy: str, raw: float) -> float:
+        if not math.isfinite(raw):
+            return raw
+        return self.calibrator.correct(strategy, raw)
+
+    # -- feedback ----------------------------------------------------------
+
+    def measured_work(self, counters: Dict[str, int]) -> float:
+        """Collapse exact work counters into the model's cost unit."""
+        return float(counters.get("distance_evals", 0)) + self.attr_check_cost * float(
+            counters.get("rows_scanned", 0)
+        )
+
+    def observe(
+        self, strategy: str, raw_estimate: float, counters: Dict[str, int]
+    ) -> float:
+        """Fold one executed query's counters into ``strategy``'s coefficient.
+
+        ``raw_estimate`` must be the *uncorrected* analytical cost so
+        the coefficient converges to measured/analytical rather than
+        chasing its own corrections.  Returns the updated coefficient.
+        """
+        if not math.isfinite(raw_estimate):
+            return self.calibrator.coefficient(strategy)
+        return self.calibrator.observe(
+            strategy, raw_estimate, self.measured_work(counters)
+        )
+
+    def is_calibrated(self, strategy: str) -> bool:
+        return self.calibrator.is_calibrated(strategy)
+
+    def residuals(self) -> Dict[str, Dict[str, object]]:
+        return self.calibrator.residuals()
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bitmap_test_cost": self.bitmap_test_cost,
+            "attr_check_cost": self.attr_check_cost,
+            "calibration": self.calibrator.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Optional[Dict[str, object]]) -> "CalibratedCostModel":
+        if not state:
+            return cls()
+        return cls(
+            calibrator=EwmaCalibrator.from_dict(state.get("calibration")),
+            bitmap_test_cost=float(state.get("bitmap_test_cost", 0.8)),
+            attr_check_cost=float(state.get("attr_check_cost", 0.05)),
+        )
+
+
+#: graph beam search visits roughly this many nodes per admitted result
+#: (average out-degree effect); the calibration coefficient absorbs the
+#: per-dataset error in this constant.
+_GRAPH_EXPANSION = 8.0
+
+#: candidate nprobe values, probed smallest-first.
+_NPROBE_GRID = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+_EF_MIN = 16
+_EF_MAX = 512
+
+
+@dataclass
+class QueryPlan:
+    """One query's plan: chosen strategy, knobs, and cost estimates.
+
+    ``estimated`` is the calibrated cost per strategy (what the choice
+    was made on); ``raw`` is the uncorrected analytical cost (what
+    feedback is measured against).  EXPLAIN renders both next to the
+    executed counters so estimation error is visible per query.
+    """
+
+    strategy: str
+    nprobe: Optional[int]
+    ef: Optional[int]
+    search_l: Optional[int]
+    theta: float
+    estimated: StrategyCosts
+    raw: StrategyCosts
+    passing_fraction: float
+    scanned_fraction: float
+    n: int
+    k: int
+
+    def knobs(self) -> Dict[str, int]:
+        """The index search params this plan injects, by knob name."""
+        out: Dict[str, int] = {}
+        if self.nprobe is not None:
+            out["nprobe"] = self.nprobe
+        if self.ef is not None:
+            out["ef"] = self.ef
+        if self.search_l is not None:
+            out["search_l"] = self.search_l
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "knobs": self.knobs(),
+            "theta": self.theta,
+            "passing_fraction": self.passing_fraction,
+            "scanned_fraction": self.scanned_fraction,
+            "estimated_cost": {
+                "A": self.estimated.a, "B": self.estimated.b, "C": self.estimated.c,
+            },
+            "analytical_cost": {
+                "A": self.raw.a, "B": self.raw.b, "C": self.raw.c,
+            },
+        }
+
+
+class AdaptivePlanner:
+    """Feedback-calibrated per-query strategy and knob selection.
+
+    Strategy D from the paper (Sec. 4.1) picks among A/B/C with an
+    analytical cost model; this planner adds two things on top:
+
+    * **knob selection** — ``nprobe`` (IVF) is the smallest grid value
+      whose expected *admissible* scanned rows reach ``theta * k``;
+      ``ef``/``search_l`` (graph) is ``theta * k / p`` clamped to
+      ``[max(16, k), 512]`` — both sized so the index surfaces enough
+      filter-passing candidates in one pass;
+    * **calibration** — estimates are corrected by per-strategy EWMA
+      coefficients learned from executed queries' exact counters
+      (:meth:`observe`), so the A/B/C break-even points drift toward
+      where this machine actually lands rather than where the
+      analytical constants put them.
+
+    Thread-safety: the underlying calibrator is locked; planning reads
+    are unlocked snapshots, which is fine — a stale coefficient costs
+    at most one suboptimal plan.
+    """
+
+    def __init__(
+        self,
+        model: Optional[CalibratedCostModel] = None,
+        theta: float = 1.1,
+    ):
+        self.model = model or CalibratedCostModel()
+        self.theta = float(theta)
+
+    # -- knob selection ----------------------------------------------------
+
+    def select_nprobe(
+        self,
+        n: int,
+        passing_fraction: float,
+        k: int,
+        nlist: int,
+        bucket_sizes: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Smallest grid ``nprobe`` expected to surface ``theta*k`` admissible rows."""
+        target = self.theta * k
+        p = max(passing_fraction, 1e-9)
+        best = min(nlist, _NPROBE_GRID[-1])
+        for cand in _NPROBE_GRID:
+            if cand > nlist:
+                break
+            frac = weighted_scanned_fraction(cand, bucket_sizes, nlist)
+            if frac * n * p >= target:
+                return cand
+            best = cand
+        return best
+
+    def select_ef(self, k: int, passing_fraction: float) -> int:
+        """Admissible-result beam width for in-traversal filtered search.
+
+        ``ef`` counts *admissible* entries in the result heap, so the
+        1/p traversal widening through filtered-out territory happens
+        automatically — sizing ``ef`` by ``theta*k/p`` would multiply
+        that widening a second time (measured: ~6x slower at p=0.1
+        with no recall gain).  ``2*theta*k`` keeps recall at exact
+        levels across the fig14 selectivity sweep.
+        """
+        del passing_fraction  # widening is traversal-side, not beam-side
+        ef = int(math.ceil(2.0 * self.theta * k))
+        return max(min(ef, _EF_MAX), _EF_MIN, k)
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(
+        self,
+        n: int,
+        passing_fraction: float,
+        k: int,
+        index_type: str = "IVF_FLAT",
+        nlist: Optional[int] = None,
+        bucket_sizes: Optional[Sequence[int]] = None,
+        supports_pushdown: bool = True,
+    ) -> QueryPlan:
+        """Choose strategy + knobs for one query from calibrated costs."""
+        n = max(n, 1)
+        index_type = (index_type or "").upper()
+        graph = index_type in ("HNSW", "NSG")
+        nprobe = ef = search_l = None
+        if graph:
+            width = self.select_ef(k, passing_fraction)
+            if index_type == "HNSW":
+                ef = width
+            else:
+                search_l = width
+            # The beam visits ~expansion nodes per admitted result and
+            # traverses through ~1/p filtered-out nodes to find each.
+            p = max(passing_fraction, 1e-9)
+            scanned_fraction = min(1.0, width * _GRAPH_EXPANSION / (n * p))
+        elif nlist:
+            nprobe = self.select_nprobe(n, passing_fraction, k, nlist, bucket_sizes)
+            scanned_fraction = weighted_scanned_fraction(nprobe, bucket_sizes, nlist)
+        else:
+            scanned_fraction = 1.0
+        raw = self.model.raw_estimate(
+            n, passing_fraction, k, scanned_fraction, self.theta
+        )
+        estimated = self.model.estimate(
+            n, passing_fraction, k, scanned_fraction, self.theta
+        )
+        if not supports_pushdown:
+            estimated = StrategyCosts(estimated.a, float("inf"), estimated.c)
+        return QueryPlan(
+            strategy=estimated.best(),
+            nprobe=nprobe,
+            ef=ef,
+            search_l=search_l,
+            theta=self.theta,
+            estimated=estimated,
+            raw=raw,
+            passing_fraction=passing_fraction,
+            scanned_fraction=scanned_fraction,
+            n=n,
+            k=k,
+        )
+
+    # -- feedback ----------------------------------------------------------
+
+    @staticmethod
+    def _raw_counters(plan: QueryPlan, strategy: str) -> Dict[str, float]:
+        """Analytical per-query counter predictions for one strategy."""
+        n, p, scanned = plan.n, plan.passing_fraction, plan.scanned_fraction
+        if strategy == "A":
+            rows = dist = p * n
+        elif strategy == "B":
+            rows = scanned * n
+            dist = scanned * n * p
+        else:
+            rows = scanned * n
+            dist = scanned * n
+        return {"rows_scanned": rows, "distance_evals": dist}
+
+    def observe(self, plan: QueryPlan, counters: Dict[str, int], nq: int = 1) -> None:
+        """Report one executed plan's exact counters back to the model.
+
+        ``counters`` covers the whole batch; ``nq`` normalizes to
+        per-query so batch size never leaks into the coefficients.
+        Two things are calibrated: the scalar cost (drives strategy
+        choice) and each work counter individually (drives EXPLAIN's
+        estimated-vs-actual view).
+        """
+        strategy = plan.strategy.rsplit("->", 1)[-1]
+        raw = {"A": plan.raw.a, "B": plan.raw.b, "C": plan.raw.c}.get(strategy)
+        if raw is None:
+            return
+        nq = max(int(nq), 1)
+        scaled = {key: value / nq for key, value in counters.items()}
+        self.model.observe(strategy, raw, scaled)
+        for name, predicted in self._raw_counters(plan, strategy).items():
+            self.model.calibrator.observe(
+                f"{strategy}:{name}", predicted, scaled.get(name, 0.0)
+            )
+
+    def estimated_counters(self, plan: QueryPlan) -> Dict[str, float]:
+        """Calibrated per-query counter predictions (EXPLAIN's estimate side)."""
+        strategy = plan.strategy.rsplit("->", 1)[-1]
+        return {
+            name: self.model.calibrator.correct(f"{strategy}:{name}", raw)
+            for name, raw in self._raw_counters(plan, strategy).items()
+        }
+
+    def residuals(self) -> Dict[str, Dict[str, object]]:
+        return self.model.residuals()
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"theta": self.theta, "model": self.model.to_dict()}
+
+    @classmethod
+    def from_dict(cls, state: Optional[Dict[str, object]]) -> "AdaptivePlanner":
+        if not state:
+            return cls()
+        return cls(
+            model=CalibratedCostModel.from_dict(state.get("model")),
+            theta=float(state.get("theta", 1.1)),
+        )

@@ -12,11 +12,20 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.filtering.cost import CostModel
+from repro.filtering.cost import (
+    CalibratedCostModel,
+    CostModel,
+    weighted_scanned_fraction,
+)
 from repro.index import create_index
 from repro.index.base import VectorIndex
 from repro.metrics import get_metric
-from repro.obs.profile import current_node, profile_attr, profile_stage
+from repro.obs.profile import (
+    current_node,
+    measurement_stage,
+    profile_attr,
+    profile_stage,
+)
 from repro.storage.attributes import AttributeColumn
 from repro.utils import topk_from_scores
 
@@ -125,8 +134,11 @@ class AttributeFilterEngine:
         front so the common case finishes in one round (the widening
         loop remains as the fallback for estimation error).
         """
-        passing = max(self.column.selectivity(low, high), 1e-9)
-        fetch = max(int(np.ceil(self.theta * k / passing)), k)
+        selectivity = max(self.column.selectivity(low, high), 1e-9)
+        fetch = max(int(np.ceil(self.theta * k / selectivity)), k)
+        found_ids = np.empty(0, dtype=np.int64)
+        found_scores = np.empty(0, dtype=np.float64)
+        last_pruned = 0
         for __ in range(max_rounds):
             fetch_eff = min(fetch, self.index.ntotal)
             result = self.index.search(np.atleast_2d(query), fetch_eff, **search_params)
@@ -134,19 +146,23 @@ class AttributeFilterEngine:
             found_scores = result.scores[0]
             valid = found_ids >= 0
             found_ids, found_scores = found_ids[valid], found_scores[valid]
+            last_pruned = 0
             if len(found_ids):
                 pos = np.searchsorted(self.ids, found_ids)
                 values = self._attr_by_row[pos]
                 passing = (values >= low) & (values <= high)
-                node = current_node()
-                if node is not None:
-                    node.count("candidates_pruned", int((~passing).sum()))
+                last_pruned = int((~passing).sum())
                 found_ids, found_scores = found_ids[passing], found_scores[passing]
             if len(found_ids) >= k or fetch_eff >= self.index.ntotal:
-                return FilterResult(
-                    found_ids[:k], found_scores[:k], "C", exact=False
-                )
+                break
             fetch *= 2
+        node = current_node()
+        if node is not None and last_pruned:
+            # Only the *final* round's prune count: each widening round
+            # re-fetches a superset of the previous round's candidates,
+            # so summing per-round prunes would bill every carried-over
+            # candidate once per round it survived.
+            node.count("candidates_pruned", last_pruned)
         return FilterResult(found_ids[:k], found_scores[:k], "C", exact=False)
 
     # -- strategy D: cost-based --------------------------------------------------
@@ -160,24 +176,40 @@ class AttributeFilterEngine:
         )
 
     def _scanned_fraction(self, nprobe: int) -> float:
+        """Bucket-size weighted fraction of rows an ``nprobe`` probe scans."""
         nlist = getattr(self.index, "nlist", None)
         if not nlist:
             return 1.0
-        return min(1.0, nprobe / nlist)
+        sizes = None
+        if hasattr(self.index, "bucket_sizes"):
+            sizes = self.index.bucket_sizes()
+        return weighted_scanned_fraction(nprobe, sizes, nlist)
 
     def strategy_d(
         self, query: np.ndarray, low: float, high: float, k: int, **search_params
     ) -> FilterResult:
         nprobe = int(search_params.get("nprobe", 8))
-        costs = self.estimate_costs(low, high, k, nprobe=nprobe)
+        n = max(len(self.ids), 1)
+        passing_fraction = self.column.selectivity(low, high)
+        scanned_fraction = self._scanned_fraction(nprobe)
+        costs = self.cost_model.estimate(
+            n, passing_fraction, k, scanned_fraction, self.theta
+        )
         choice = costs.best()
         profile_attr("cost_choice", choice)
-        if choice == "A":
-            result = self.strategy_a(query, low, high, k)
-        elif choice == "B":
-            result = self.strategy_b(query, low, high, k, **search_params)
-        else:
-            result = self.strategy_c(query, low, high, k, **search_params)
+        with measurement_stage("filter.exec", strategy=choice) as stage:
+            if choice == "A":
+                result = self.strategy_a(query, low, high, k)
+            elif choice == "B":
+                result = self.strategy_b(query, low, high, k, **search_params)
+            else:
+                result = self.strategy_c(query, low, high, k, **search_params)
+        if isinstance(self.cost_model, CalibratedCostModel):
+            raw = self.cost_model.raw_estimate(
+                n, passing_fraction, k, scanned_fraction, self.theta
+            )
+            raw_cost = {"A": raw.a, "B": raw.b, "C": raw.c}[choice]
+            self.cost_model.observe(choice, raw_cost, stage.total_counters())
         return FilterResult(result.ids, result.scores, f"D->{result.strategy}", result.exact)
 
     # -- uniform entry point ---------------------------------------------------------

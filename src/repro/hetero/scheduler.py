@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hetero.gpu import GPUDevice
 from repro.obs import get_obs
+from repro.utils import EwmaCalibrator
 
 
 @dataclass(frozen=True)
@@ -42,10 +43,18 @@ class Assignment:
 class SegmentScheduler:
     """Assign segment search tasks to GPU devices, one device per segment."""
 
-    def __init__(self, devices: Optional[Sequence[GPUDevice]] = None):
+    def __init__(
+        self,
+        devices: Optional[Sequence[GPUDevice]] = None,
+        calibrator: Optional[EwmaCalibrator] = None,
+    ):
         self._devices: Dict[int, GPUDevice] = {}
         self._busy_until: Dict[int, float] = {}
         self.assignments: List[Assignment] = []
+        #: optional per-device cost calibration: greedy placement then
+        #: compares *corrected* finish times, so a device whose modeled
+        #: speed is optimistic stops winning every dispatch.
+        self.calibrator = calibrator
         for device in devices or ():
             self.add_device(device)
 
@@ -73,11 +82,30 @@ class SegmentScheduler:
     # -- scheduling ----------------------------------------------------------
 
     def task_cost(self, device: GPUDevice, task: SearchTask) -> float:
-        """Modeled seconds: transfer (if segment not resident) + kernel."""
+        """Modeled seconds: transfer (if segment not resident) + kernel.
+
+        With a calibrator attached the raw model is multiplied by the
+        device's learned measured/modeled ratio (EWMA over
+        :meth:`observe_execution` feedback).
+        """
         transfer = 0.0
         if not device.is_resident(task.segment_id):
             transfer = device.transfer_seconds(task.nbytes, batched=True)
-        return transfer + device.kernel_seconds(task.m, task.n, task.dim)
+        raw = transfer + device.kernel_seconds(task.m, task.n, task.dim)
+        if self.calibrator is None:
+            return raw
+        return self.calibrator.correct(f"device:{device.device_id}", raw)
+
+    def observe_execution(
+        self, assignment: Assignment, measured_seconds: float
+    ) -> None:
+        """Feed one task's measured wall time back into the device EWMA."""
+        if self.calibrator is None:
+            return
+        modeled = assignment.end_seconds - assignment.start_seconds
+        self.calibrator.observe(
+            f"device:{assignment.device_id}", modeled, measured_seconds
+        )
 
     def dispatch(self, task: SearchTask) -> Assignment:
         """Assign one task to the device that finishes it earliest."""

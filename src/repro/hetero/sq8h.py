@@ -27,6 +27,7 @@ from repro.hetero.gpu import GPUDevice
 from repro.hetero.hardware import CPUSpec, XEON_PLATINUM_8269
 from repro.index.base import SearchResult
 from repro.index.ivf_sq8 import IVFSQ8Index
+from repro.utils import EwmaCalibrator
 
 
 @dataclass
@@ -69,11 +70,15 @@ class SQ8HExecutor:
         gpu: Optional[GPUDevice] = None,
         cpu: CPUSpec = XEON_PLATINUM_8269,
         config: Optional[SQ8HConfig] = None,
+        calibrator: Optional[EwmaCalibrator] = None,
     ):
         self.index = index
         self.gpu = gpu or GPUDevice()
         self.cpu = cpu
         self.config = config or SQ8HConfig()
+        #: when set, :meth:`model_plan` picks the mode by argmin over
+        #: calibrated per-mode costs instead of the static threshold.
+        self.calibrator = calibrator
 
     # -- real execution over the attached index ---------------------------
 
@@ -101,17 +106,46 @@ class SQ8HExecutor:
     # -- pure model (paper-scale what-ifs, Fig. 13) -----------------------------
 
     def model_plan(self, m: int, n: int, dim: int, nlist: int) -> ExecutionPlan:
-        """Algorithm 1 as a cost model (SQ8: 1 byte per dimension)."""
-        cfg = self.config
-        if m >= cfg.batch_threshold:
-            transfer = self._bucket_transfer_seconds(m, n, dim, nlist, batched=True)
-            step1 = self.gpu.kernel_seconds(m, nlist, dim, cfg.flops_per_pair)
-            step2 = self.gpu.kernel_seconds(
-                m, self._scanned_rows(n, nlist), dim, cfg.flops_per_pair
+        """Algorithm 1 as a cost model (SQ8: 1 byte per dimension).
+
+        Static mode: the paper's batch-size threshold picks GPU vs
+        hybrid.  With a :class:`~repro.utils.EwmaCalibrator` attached,
+        the choice is instead an argmin over the two modeled mode costs
+        after applying each mode's learned measured/modeled ratio, so a
+        machine whose real PCIe or CPU differs from the model migrates
+        the crossover point automatically.
+        """
+        gpu_plan = self._model_gpu_plan(m, n, dim, nlist)
+        hybrid_plan = self._model_hybrid_plan(m, n, dim, nlist)
+        if self.calibrator is None:
+            if m >= self.config.batch_threshold:
+                return gpu_plan
+            return hybrid_plan
+        corrected = sorted(
+            (self.calibrator.correct(f"mode:{p.mode}", p.total_seconds), p.mode, p)
+            for p in (gpu_plan, hybrid_plan)
+        )
+        return corrected[0][2]
+
+    def observe_execution(self, plan: ExecutionPlan, measured_seconds: float) -> None:
+        """Feed a measured wall time back into the mode calibration."""
+        if self.calibrator is not None:
+            self.calibrator.observe(
+                f"mode:{plan.mode}", plan.total_seconds, measured_seconds
             )
-            return ExecutionPlan("gpu", "gpu", "gpu", transfer, step1, step2)
-        # Hybrid: centroids are resident on GPU (tiny), buckets stay on CPU.
+
+    def _model_gpu_plan(self, m: int, n: int, dim: int, nlist: int) -> ExecutionPlan:
+        cfg = self.config
+        transfer = self._bucket_transfer_seconds(m, n, dim, nlist, batched=True)
         step1 = self.gpu.kernel_seconds(m, nlist, dim, cfg.flops_per_pair)
+        step2 = self.gpu.kernel_seconds(
+            m, self._scanned_rows(n, nlist), dim, cfg.flops_per_pair
+        )
+        return ExecutionPlan("gpu", "gpu", "gpu", transfer, step1, step2)
+
+    def _model_hybrid_plan(self, m: int, n: int, dim: int, nlist: int) -> ExecutionPlan:
+        # Hybrid: centroids are resident on GPU (tiny), buckets stay on CPU.
+        step1 = self.gpu.kernel_seconds(m, nlist, dim, self.config.flops_per_pair)
         step2 = self._cpu_scan_seconds(m, n, dim, nlist)
         return ExecutionPlan("hybrid", "gpu", "cpu", 0.0, step1, step2)
 

@@ -8,7 +8,7 @@ interface is :class:`VectorIndex`; the registry maps index-type names
 to constructors.
 """
 
-from repro.index.base import VectorIndex, SearchResult
+from repro.index.base import VectorIndex, SearchResult, UnsupportedSearchParamError
 from repro.index.kmeans import KMeans
 from repro.index.flat import FlatIndex
 from repro.index.ivf_flat import IVFFlatIndex
@@ -28,6 +28,7 @@ from repro.index.io import index_to_bytes, index_from_bytes, SERIALIZABLE_TYPES
 __all__ = [
     "VectorIndex",
     "SearchResult",
+    "UnsupportedSearchParamError",
     "KMeans",
     "FlatIndex",
     "BinaryFlatIndex",

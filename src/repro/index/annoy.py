@@ -19,7 +19,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics.base import MetricKind
 from repro.obs.profile import current_node
-from repro.utils import ensure_positive, topk_from_scores
+from repro.utils import ensure_positive, sorted_membership, topk_from_scores
 
 
 @dataclass
@@ -47,6 +47,7 @@ class AnnoyIndex(VectorIndex):
 
     index_type = "ANNOY"
     requires_training = False
+    SEARCH_PARAMS = frozenset({"search_k", "row_filter"})
 
     def __init__(
         self,
@@ -131,7 +132,12 @@ class AnnoyIndex(VectorIndex):
     # -- query -----------------------------------------------------------------
 
     def _search(
-        self, queries: np.ndarray, k: int, search_k: Optional[int] = None, **params
+        self,
+        queries: np.ndarray,
+        k: int,
+        search_k: Optional[int] = None,
+        row_filter: Optional[np.ndarray] = None,
+        **params,
     ) -> SearchResult:
         if params:
             raise TypeError(f"unknown search params: {sorted(params)}")
@@ -139,10 +145,21 @@ class AnnoyIndex(VectorIndex):
             self.build()
         budget = search_k if search_k is not None else self.n_trees * self.leaf_size * 2
         budget = max(budget, k)
+        allowed = None
+        if row_filter is not None and self.ntotal:
+            # Tree descent ignores the filter (candidate generation), the
+            # exact rerank admits admissible candidates only.
+            allowed = sorted_membership(
+                self._ids.astype(np.int64), np.asarray(row_filter, dtype=np.int64)
+            )
         result = SearchResult.empty(len(queries), k, self.metric)
-        rows_scanned = distance_evals = 0
+        rows_scanned = distance_evals = pruned = 0
         for qi, vec in enumerate(queries):
             candidates = self._collect_candidates(vec, budget)
+            if allowed is not None and len(candidates):
+                kept = candidates[allowed[candidates]]
+                pruned += len(candidates) - len(kept)
+                candidates = kept
             if len(candidates) == 0:
                 continue
             rows_scanned += len(candidates)
@@ -159,6 +176,8 @@ class AnnoyIndex(VectorIndex):
         if node is not None:
             node.count("rows_scanned", rows_scanned)
             node.count("distance_evals", distance_evals)
+            if pruned:
+                node.count("candidates_pruned", pruned)
         return result
 
     def _collect_candidates(self, vec: np.ndarray, budget: int) -> np.ndarray:

@@ -26,6 +26,25 @@ from repro.utils import ensure_matrix, ensure_positive, ensure_vector_dim
 PAD_ID = -1
 
 
+class UnsupportedSearchParamError(TypeError):
+    """A search parameter the target index cannot honor.
+
+    Raised instead of silently ignoring the parameter: dropping
+    ``row_filter`` on the floor would return *unfiltered* results for
+    a filtered query, which is a correctness bug, not a degradation.
+    Subclasses :class:`TypeError` so callers with a generic
+    "index rejected these params -> fall back to brute force" handler
+    (:meth:`repro.storage.segment.Segment.search`) keep working.
+    """
+
+    def __init__(self, index_type: str, param: str):
+        super().__init__(
+            f"index {index_type!r} does not support search param {param!r}"
+        )
+        self.index_type = index_type
+        self.param = param
+
+
 @dataclass
 class SearchResult:
     """Top-k results for a batch of queries.
@@ -84,6 +103,17 @@ class VectorIndex(abc.ABC):
     index_type: str = ""
     #: whether :meth:`train` must run before :meth:`add`.
     requires_training: bool = False
+    #: the per-call search parameters this index honors.  The adaptive
+    #: planner routes its chosen knobs (``nprobe``, ``ef``, ...) only
+    #: to indexes that declare them, and the filter engines use
+    #: ``"row_filter" in SEARCH_PARAMS`` to decide between pushdown and
+    #: explicit rejection.  Declaring a param here is a contract: the
+    #: index must *honor* it, never swallow it.
+    SEARCH_PARAMS: frozenset = frozenset()
+
+    @classmethod
+    def supports_search_param(cls, name: str) -> bool:
+        return name in cls.SEARCH_PARAMS
 
     def __init__(self, dim: int, metric: Union[str, Metric] = "l2"):
         self.dim = ensure_positive(dim, "dim")

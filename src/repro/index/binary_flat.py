@@ -11,7 +11,7 @@ from typing import List
 
 import numpy as np
 
-from repro.index.base import SearchResult, VectorIndex
+from repro.index.base import SearchResult, UnsupportedSearchParamError, VectorIndex
 from repro.metrics import get_metric
 from repro.metrics.base import MetricKind
 from repro.utils import topk_from_scores, merge_topk
@@ -63,6 +63,10 @@ class BinaryFlatIndex(VectorIndex):
         return self._blocks[0], self._id_blocks[0]
 
     def _search(self, queries: np.ndarray, k: int, **params) -> SearchResult:
+        if "row_filter" in params:
+            # Explicit rejection, never a silent drop: callers must fall
+            # back to a predicate-aware scan (the segment layer does).
+            raise UnsupportedSearchParamError(self.index_type, "row_filter")
         if params:
             raise TypeError(f"BIN_FLAT takes no search params, got {sorted(params)}")
         data, ids = self._compacted()

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
 from repro.obs.profile import current_node
-from repro.utils import topk_from_scores
+from repro.utils import sorted_membership, topk_from_scores
 
 _SCAN_CHUNK = 16384
 
@@ -22,6 +22,7 @@ class FlatIndex(VectorIndex):
 
     index_type = "FLAT"
     requires_training = False
+    SEARCH_PARAMS = frozenset({"row_filter"})
 
     def __init__(self, dim: int, metric="l2"):
         super().__init__(dim, metric)
@@ -53,10 +54,21 @@ class FlatIndex(VectorIndex):
             return np.empty(0, dtype=np.int64)
         return self._compacted()[1]
 
-    def _search(self, queries: np.ndarray, k: int, **params) -> SearchResult:
+    def _search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        row_filter: Optional[np.ndarray] = None,
+        **params,
+    ) -> SearchResult:
         if params:
             raise TypeError(f"FLAT takes no search params, got {sorted(params)}")
         data, ids = self._compacted()
+        if row_filter is not None:
+            keep = sorted_membership(
+                ids.astype(np.int64), np.asarray(row_filter, dtype=np.int64)
+            )
+            data, ids = data[keep], ids[keep]
         node = current_node()
         if node is not None:
             node.count("rows_scanned", len(data))

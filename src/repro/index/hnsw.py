@@ -19,7 +19,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics.base import MetricKind
 from repro.obs.profile import current_node
-from repro.utils import ensure_positive
+from repro.utils import ensure_positive, sorted_membership
 
 
 class HNSWIndex(VectorIndex):
@@ -33,6 +33,7 @@ class HNSWIndex(VectorIndex):
 
     index_type = "HNSW"
     requires_training = False
+    SEARCH_PARAMS = frozenset({"ef", "row_filter"})
 
     def __init__(
         self,
@@ -149,24 +150,43 @@ class HNSWIndex(VectorIndex):
         return curr
 
     def _search_layer(
-        self, vec: np.ndarray, entries: List[int], ef: int, level: int
+        self,
+        vec: np.ndarray,
+        entries: List[int],
+        ef: int,
+        level: int,
+        allowed: Optional[np.ndarray] = None,
     ) -> List[Tuple[float, int]]:
-        """Beam search within one layer -> sorted (dist, node) list."""
+        """Beam search within one layer -> sorted (dist, node) list.
+
+        With ``allowed`` (a per-node boolean mask), the beam practices
+        *in-traversal filtering*: disallowed nodes still steer
+        navigation — they are visited, scored, and their neighbors
+        expanded, keeping the graph connected under selective
+        predicates — but they never enter the result heap, so the
+        returned list contains admissible nodes only.  Until ``ef``
+        admissible results accumulate, no candidate is pruned by the
+        beam bound, so a sparse filter widens the traversal instead of
+        starving it.
+        """
         dists = self._dist(vec, entries)
         visited = set(entries)
         candidates = [(float(d), n) for d, n in zip(dists, entries)]
         heapq.heapify(candidates)
-        # results: max-heap by distance via negation.
-        results = [(-float(d), n) for d, n in zip(dists, entries)]
+        # results: max-heap by distance via negation; admissible only.
+        results = [
+            (-float(d), n) for d, n in zip(dists, entries)
+            if allowed is None or allowed[n]
+        ]
         heapq.heapify(results)
         while len(results) > ef:
             heapq.heappop(results)
 
         pushes = 0
+        filtered = 0
         while candidates:
             dist, node = heapq.heappop(candidates)
-            worst = -results[0][0]
-            if dist > worst and len(results) >= ef:
+            if len(results) >= ef and dist > -results[0][0]:
                 break
             unvisited = [n for n in self._neighbors[level][node] if n not in visited]
             if not unvisited:
@@ -177,14 +197,19 @@ class HNSWIndex(VectorIndex):
                 nd = float(nd)
                 if len(results) < ef or nd < -results[0][0]:
                     heapq.heappush(candidates, (nd, nn))
-                    heapq.heappush(results, (-nd, nn))
-                    pushes += 1
-                    if len(results) > ef:
-                        heapq.heappop(results)
+                    if allowed is None or allowed[nn]:
+                        heapq.heappush(results, (-nd, nn))
+                        pushes += 1
+                        if len(results) > ef:
+                            heapq.heappop(results)
+                    else:
+                        filtered += 1
         pnode = current_node()
         if pnode is not None:
             pnode.count("heap_pushes", pushes)
             pnode.count("rows_scanned", len(visited))
+            if filtered:
+                pnode.count("candidates_pruned", filtered)
         out = sorted(((-d, n) for d, n in results))
         return out
 
@@ -217,16 +242,33 @@ class HNSWIndex(VectorIndex):
 
     # -- query -----------------------------------------------------------------
 
-    def _search(self, queries: np.ndarray, k: int, ef: int = 64, **params) -> SearchResult:
+    def _search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef: int = 64,
+        row_filter: Optional[np.ndarray] = None,
+        **params,
+    ) -> SearchResult:
         if params:
             raise TypeError(f"unknown search params: {sorted(params)}")
         ef = max(ensure_positive(ef, "ef"), k)
         result = SearchResult.empty(len(queries), k, self.metric)
+        if self._entry == -1:
+            return result
+        allowed = None
+        if row_filter is not None:
+            allowed = sorted_membership(
+                np.asarray(self._ids, dtype=np.int64),
+                np.asarray(row_filter, dtype=np.int64),
+            )
+            if not allowed.any():
+                return result
         for qi, vec in enumerate(queries):
             curr = self._entry
             for lvl in range(self._max_level, 0, -1):
                 curr = self._greedy_closest(vec, curr, lvl)
-            found = self._search_layer(vec, [curr], ef, 0)[:k]
+            found = self._search_layer(vec, [curr], ef, 0, allowed=allowed)[:k]
             for j, (dist, node) in enumerate(found):
                 result.ids[qi, j] = self._ids[node]
                 result.scores[qi, j] = -dist if self.metric.higher_is_better else dist

@@ -78,6 +78,7 @@ class IVFIndexBase(VectorIndex):
     """Coarse-quantized inverted-file index base class."""
 
     requires_training = True
+    SEARCH_PARAMS = frozenset({"nprobe", "row_filter"})
 
     def __init__(
         self,

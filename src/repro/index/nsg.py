@@ -21,7 +21,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.metrics.base import MetricKind
 from repro.obs.profile import current_node
-from repro.utils import ensure_positive
+from repro.utils import ensure_positive, sorted_membership
 
 _KNN_CHUNK = 2048
 
@@ -37,6 +37,7 @@ class NSGIndex(VectorIndex):
 
     index_type = "NSG"
     requires_training = False
+    SEARCH_PARAMS = frozenset({"search_l", "row_filter"})
 
     def __init__(
         self,
@@ -230,7 +231,12 @@ class NSGIndex(VectorIndex):
         return -scores if self.metric.higher_is_better else scores
 
     def _search(
-        self, queries: np.ndarray, k: int, search_l: Optional[int] = None, **params
+        self,
+        queries: np.ndarray,
+        k: int,
+        search_l: Optional[int] = None,
+        row_filter: Optional[np.ndarray] = None,
+        **params,
     ) -> SearchResult:
         if params:
             raise TypeError(f"unknown search params: {sorted(params)}")
@@ -238,21 +244,40 @@ class NSGIndex(VectorIndex):
             self.build()
         pool = max(search_l or self.search_l, k)
         result = SearchResult.empty(len(queries), k, self.metric)
+        if self.ntotal == 0:
+            return result
+        allowed = None
+        if row_filter is not None:
+            allowed = sorted_membership(
+                self._ids.astype(np.int64),
+                np.asarray(row_filter, dtype=np.int64),
+            )
+            if not allowed.any():
+                return result
         for qi, vec in enumerate(queries):
-            found = self._beam_search(vec, pool)[:k]
+            found = self._beam_search(vec, pool, allowed=allowed)[:k]
             for j, (dist, node) in enumerate(found):
                 result.ids[qi, j] = self._ids[node]
                 result.scores[qi, j] = -dist if self.metric.higher_is_better else dist
         return result
 
-    def _beam_search(self, vec: np.ndarray, pool: int) -> List[Tuple[float, int]]:
+    def _beam_search(
+        self, vec: np.ndarray, pool: int, allowed: Optional[np.ndarray] = None
+    ) -> List[Tuple[float, int]]:
+        """Best-first beam from the medoid.
+
+        As in :meth:`HNSWIndex._search_layer`, an ``allowed`` mask turns
+        this into in-traversal filtering: disallowed nodes are expanded
+        for navigation but never admitted into the result pool.
+        """
         entry = self._medoid
         start = np.array([entry])
         d0 = float(self._dist(vec, start)[0])
         visited = {entry}
         candidates = [(d0, entry)]
-        results = [(-d0, entry)]
+        results = [(-d0, entry)] if allowed is None or allowed[entry] else []
         pushes = 0
+        filtered = 0
         while candidates:
             dist, node = heapq.heappop(candidates)
             if len(results) >= pool and dist > -results[0][0]:
@@ -266,14 +291,19 @@ class NSGIndex(VectorIndex):
                 nd = float(nd)
                 if len(results) < pool or nd < -results[0][0]:
                     heapq.heappush(candidates, (nd, nn))
-                    heapq.heappush(results, (-nd, nn))
-                    pushes += 1
-                    if len(results) > pool:
-                        heapq.heappop(results)
+                    if allowed is None or allowed[nn]:
+                        heapq.heappush(results, (-nd, nn))
+                        pushes += 1
+                        if len(results) > pool:
+                            heapq.heappop(results)
+                    else:
+                        filtered += 1
         pnode = current_node()
         if pnode is not None:
             pnode.count("heap_pushes", pushes)
             pnode.count("rows_scanned", len(visited))
+            if filtered:
+                pnode.count("candidates_pruned", filtered)
         return sorted((-d, n) for d, n in results)
 
     # -- introspection ----------------------------------------------------------

@@ -39,6 +39,32 @@ class ExplainedResult:
     def to_dict(self) -> Dict[str, object]:
         return {"plan": self.plan, "profile": self.profile.to_dict()}
 
+    def estimated_vs_actual(self) -> Dict[str, Dict[str, float]]:
+        """Calibrated counter estimates against executed counters.
+
+        Only meaningful for adaptive filtered searches (the plan then
+        carries ``filter.estimated_counters``); empty otherwise.  The
+        per-counter ``relative_error`` is what the calibration
+        acceptance gate tracks toward +/-20%.
+        """
+        filter_section = self.plan.get("filter") or {}
+        estimated = filter_section.get("estimated_counters") or {}
+        actual = self.profile.total_counters()
+        out: Dict[str, Dict[str, float]] = {}
+        for key, value in estimated.items():
+            if not isinstance(value, (int, float)):
+                continue
+            measured = float(actual.get(key, 0))
+            out[key] = {
+                "estimated": float(value),
+                "actual": measured,
+                "relative_error": (
+                    abs(float(value) - measured) / measured
+                    if measured else float("inf")
+                ),
+            }
+        return out
+
 
 def _segment_plan(segment, field: str, tombstones, admissible) -> Dict[str, object]:
     """Plan entry for one segment: index choice + selected/skipped."""
@@ -77,19 +103,55 @@ def _segment_plan(segment, field: str, tombstones, admissible) -> Dict[str, obje
     return entry
 
 
-def _filter_plan(collection, filter, snap, k: int, scanned_fraction: float):
+def _filter_plan(collection, filter, snap, k: int, scanned_fraction: float,
+                 index_info=None, nq: int = 1):
     """Filter section: selectivity + what the cost model recommends.
 
-    The collection's filtered read path always executes strategy B
-    (attribute-first bitmap pushdown); the cost model's pick is
-    reported alongside so plan output shows when B was *not* the
-    cheapest choice for this selectivity (paper Sec. 4.1).
+    Without adaptive planning the collection's filtered read path
+    always executes strategy B (attribute-first bitmap pushdown); the
+    static cost model's pick is reported alongside so plan output shows
+    when B was *not* the cheapest choice for this selectivity (paper
+    Sec. 4.1).  With ``REPRO_ADAPTIVE`` on, the collection's calibrated
+    planner picks strategy *and* knobs, and the section carries both
+    the calibrated and analytical costs, the predicted work counters,
+    and the per-strategy calibration residuals.
     """
     from repro.filtering.cost import CostModel
 
     admissible = collection._filter_rows(filter, snap)
     n = int(collection._lsm.num_live_rows)
     passing = len(admissible) / n if n else 0.0
+    if getattr(collection, "_adaptive", False) and index_info is not None:
+        index_type, nlist, bucket_sizes, supports, __ = index_info
+        planner = collection.planner
+        qplan = planner.plan(
+            n=max(n, 1), passing_fraction=passing, k=k,
+            index_type=index_type or "", nlist=nlist,
+            bucket_sizes=bucket_sizes, supports_pushdown=supports,
+        )
+        return {
+            "spec": list(filter),
+            "admissible_rows": int(len(admissible)),
+            "selectivity": passing,
+            "adaptive": True,
+            "cost_model": {
+                "A": qplan.estimated.a, "B": qplan.estimated.b,
+                "C": qplan.estimated.c,
+            },
+            "analytical_cost": {
+                "A": qplan.raw.a, "B": qplan.raw.b, "C": qplan.raw.c,
+            },
+            "recommended": qplan.strategy,
+            "executed": qplan.strategy,
+            "knobs": qplan.knobs(),
+            # scaled to the batch so they compare 1:1 with the executed
+            # profile's counters in estimated_vs_actual().
+            "estimated_counters": {
+                name: value * nq
+                for name, value in planner.estimated_counters(qplan).items()
+            },
+            "calibration": planner.residuals(),
+        }, admissible
     costs = CostModel().estimate(n, passing, k, scanned_fraction)
     return {
         "spec": list(filter),
@@ -163,19 +225,35 @@ def explain_search(
             collection._lsm.bufferpool.get(seg_id) for seg_id in snap.segment_ids
         ]
         # scanned fraction for the cost model: IVF probes nprobe of
-        # nlist buckets; everything else scans the full segment.
+        # nlist buckets (bucket-size weighted — heavy buckets are
+        # probed disproportionately often); everything else scans the
+        # full segment.
+        from repro.filtering.cost import weighted_scanned_fraction
+
         scanned_fraction = 1.0
+        index_info = None
         for segment in segments:
             index = segment.indexes.get(field)
+            if index is None:
+                continue
             nlist = getattr(index, "nlist", None)
+            sizes = (
+                index.bucket_sizes().tolist()
+                if hasattr(index, "bucket_sizes") else None
+            )
+            index_info = (
+                index.index_type, nlist, sizes,
+                index.supports_search_param("row_filter"),
+                type(index).SEARCH_PARAMS,
+            )
             if nlist:
                 nprobe = int(search_params.get("nprobe", 8))
-                scanned_fraction = min(1.0, nprobe / nlist)
-                break
+                scanned_fraction = weighted_scanned_fraction(nprobe, sizes, nlist)
+            break
         filter_section, admissible = (None, None)
         if filter is not None:
             filter_section, admissible = _filter_plan(
-                collection, filter, snap, k, scanned_fraction
+                collection, filter, snap, k, scanned_fraction, index_info, nq=nq
             )
         segment_entries = [
             _segment_plan(segment, field, snap.tombstones, admissible)

@@ -55,6 +55,7 @@ __all__ = [
     "profile_count",
     "profile_attr",
     "profile_stage",
+    "measurement_stage",
 ]
 
 #: children retained per node before overflow counts into
@@ -228,6 +229,22 @@ def profile_stage(name: str, **attrs):
     node = _ACTIVE.get()
     if node is None:
         return NULL_STAGE
+    return node.stage(name, **attrs)
+
+
+def measurement_stage(name: str, **attrs) -> ProfileNode:
+    """A *recording* stage even when no profile is active.
+
+    Calibration feedback needs exact counters for every executed query,
+    not only the explained ones.  With an ambient profile this is an
+    ordinary child stage (the measurements show up in EXPLAIN ANALYZE);
+    without one it is a detached root node the caller reads counters
+    from and then drops — never :data:`NULL_STAGE`, which would feed
+    the calibrator zeros.
+    """
+    node = _ACTIVE.get()
+    if node is None:
+        return ProfileNode(name, attrs)
     return node.stage(name, **attrs)
 
 

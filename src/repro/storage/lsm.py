@@ -148,6 +148,7 @@ class LSMManager:
         "_next_segment_id": "_bg_lock",
         "_flushed_lsn": "_bg_lock",
         "_manifest_seq": "_bg_lock",
+        "_planner_state": "_bg_lock",
         "flush_count": "_bg_lock",
         "merge_count": "_bg_lock",
         "purge_count": "_bg_lock",
@@ -201,6 +202,9 @@ class LSMManager:
         self._next_segment_id = 0
         self._flushed_lsn = -1
         self._manifest_seq = 0
+        #: query-planner calibration (JSON-safe dict), carried in every
+        #: manifest version so calibration survives restarts.
+        self._planner_state: Optional[dict] = None
         self.flush_count = 0
         self.merge_count = 0
         self.purge_count = 0
@@ -879,6 +883,34 @@ class LSMManager:
         # persisted long ago — their files can go now.
         self._drain_dead_segment_files()
 
+    # -- planner calibration ------------------------------------------------
+
+    def planner_state(self) -> Optional[dict]:
+        """The persisted query-planner calibration dict, if any.
+
+        Returned as a deep copy (json round-trip — the state is
+        JSON-safe by construction, it lives in the manifest) so the
+        caller cannot mutate the guarded staging dict.
+        """
+        with self._bg_lock:
+            if self._planner_state is None:
+                return None
+            return json.loads(json.dumps(self._planner_state))
+
+    def set_planner_state(self, state: dict, persist: bool = False) -> None:
+        """Stage planner calibration for the next manifest version.
+
+        Cheap by default (in-memory; every subsequent flush/merge
+        manifest write carries it).  ``persist=True`` writes a manifest
+        version immediately — used when durability is wanted *now*,
+        e.g. at collection flush, without waiting for the next
+        compaction.
+        """
+        with self._bg_lock:
+            self._planner_state = state
+            if persist:
+                self._persist_manifest_locked()
+
     def search(
         self,
         field: str,
@@ -886,6 +918,7 @@ class LSMManager:
         k: int,
         snapshot: Optional[Snapshot] = None,
         row_filter: Optional[np.ndarray] = None,
+        brute_force: bool = False,
         parallel: Optional[bool] = None,
         pool_size: Optional[int] = None,
         **search_params,
@@ -930,6 +963,7 @@ class LSMManager:
                                 field, queries, k,
                                 exclude=exclude,
                                 row_filter=row_filter,
+                                brute_force=brute_force,
                                 **search_params,
                             )
                     finally:
@@ -946,6 +980,7 @@ class LSMManager:
                             field, queries, k,
                             exclude=exclude,
                             row_filter=row_filter,
+                            brute_force=brute_force,
                             **search_params,
                         )
 
@@ -1145,6 +1180,8 @@ class LSMManager:
             "flushed_lsn": self._flushed_lsn,
             "seq": self._manifest_seq,
         }
+        if self._planner_state is not None:
+            state["planner"] = self._planner_state
         payload = json.dumps(state, sort_keys=True)
         blob = json.dumps(
             {"crc": zlib.crc32(payload.encode()), "state": state}, sort_keys=True
@@ -1218,6 +1255,7 @@ class LSMManager:
             if state is not None:
                 self._next_segment_id = state["next_segment_id"]
                 self._flushed_lsn = state.get("flushed_lsn", -1)
+                self._planner_state = state.get("planner")
                 tombs = np.array(state["tombstones"], dtype=np.int64)
                 sizes = {
                     int(k): int(v) for k, v in state.get("sizes", {}).items()

@@ -166,6 +166,7 @@ class Segment:
         k: int,
         exclude: Optional[np.ndarray] = None,
         row_filter: Optional[np.ndarray] = None,
+        brute_force: bool = False,
         **search_params,
     ) -> SearchResult:
         """Top-k within this segment.
@@ -174,6 +175,8 @@ class Segment:
             exclude: sorted row ids to hide (delete tombstones).
             row_filter: sorted row ids that are admissible (attribute
                 filtering); ``None`` admits everything.
+            brute_force: bypass the index and scan exactly — strategy A
+                of Sec. 4.1, chosen by the planner at high selectivity.
             search_params: forwarded to the index (``nprobe``, ``ef``...).
         """
         metric = get_metric(self.vector_specs[field][1])
@@ -181,7 +184,7 @@ class Segment:
         if queries.ndim == 1:
             queries = queries[np.newaxis, :]
 
-        index = self.indexes.get(field)
+        index = None if brute_force else self.indexes.get(field)
         node = current_node()
         if node is not None:
             node.set_attr(

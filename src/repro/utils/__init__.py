@@ -1,5 +1,11 @@
 """Shared utilities: top-k heaps, result merging, validation, retry, sanitizer."""
 
+from repro.utils.arrays import (
+    sorted_membership,
+)
+from repro.utils.calibrate import (
+    EwmaCalibrator,
+)
 from repro.utils.retry import (
     RetryExhaustedError,
     RetryPolicy,
@@ -23,6 +29,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "sorted_membership",
+    "EwmaCalibrator",
     "RetryExhaustedError",
     "RetryPolicy",
     "ThreadSanitizer",

@@ -1,0 +1,20 @@
+"""Small shared ndarray helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sorted_membership(values: np.ndarray, sorted_ref: np.ndarray) -> np.ndarray:
+    """Boolean mask of ``values`` present in the *sorted* ``sorted_ref``.
+
+    The shared primitive behind every ``row_filter`` pushdown: one
+    ``searchsorted`` per call, no set materialization.  ``sorted_ref``
+    must be sorted ascending; ``values`` may be in any order.
+    """
+    values = np.asarray(values)
+    if len(sorted_ref) == 0:
+        return np.zeros(len(values), dtype=bool)
+    pos = np.searchsorted(sorted_ref, values)
+    pos = np.minimum(pos, len(sorted_ref) - 1)
+    return sorted_ref[pos] == values

@@ -1,0 +1,143 @@
+"""EWMA calibration of analytical cost models against measured work.
+
+One :class:`EwmaCalibrator` maintains a multiplicative coefficient per
+key (a filter strategy, a device id, ...) that scales a model's *raw*
+estimate toward what execution actually measured.  Each observation
+folds the ratio ``measured / predicted`` into the coefficient with an
+exponentially weighted moving average:
+
+    coef <- (1 - alpha) * coef + alpha * clamp(measured / predicted)
+
+Everything is deterministic: no randomness, no wall-clock reads — two
+runs feeding the same observation sequence produce bit-identical
+coefficients, which is what lets seeded planner tests assert exact
+choices.  State round-trips through plain JSON-safe dicts so callers
+can persist calibration in a durable catalog (the LSM manifest).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.utils.sanitizer import maybe_sanitize
+
+__all__ = ["EwmaCalibrator"]
+
+#: per-observation ratio clamp: one pathological query (empty bucket,
+#: cold cache) must not swing a coefficient by orders of magnitude.
+_RATIO_MIN = 0.05
+_RATIO_MAX = 20.0
+
+
+class EwmaCalibrator:
+    """Per-key multiplicative correction factors, EWMA-updated.
+
+    Args:
+        alpha: EWMA weight of the newest observation.
+        window: observations per key before that key counts as
+            *calibrated* (the "calibration window"); consumers use
+            :meth:`is_calibrated` to decide whether to trust the
+            corrected estimate over the raw analytical one.
+    """
+
+    _GUARDED_BY = {"_coef": "_lock", "_count": "_lock", "_last_ratio": "_lock"}
+
+    def __init__(self, alpha: float = 0.3, window: int = 8):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.alpha = float(alpha)
+        self.window = int(window)
+        self._lock = maybe_sanitize(threading.Lock(), "calibrate")
+        self._coef: Dict[str, float] = {}
+        self._count: Dict[str, int] = {}
+        self._last_ratio: Dict[str, float] = {}
+
+    # -- updates -----------------------------------------------------------
+
+    def observe(self, key: str, predicted: float, measured: float) -> float:
+        """Fold one (predicted, measured) pair into ``key``'s coefficient.
+
+        Returns the updated coefficient.  Observations with a
+        non-positive prediction carry no ratio information and are
+        ignored (the coefficient is returned unchanged).
+        """
+        if predicted <= 0.0 or measured < 0.0:
+            return self.coefficient(key)
+        ratio = min(max(measured / predicted, _RATIO_MIN), _RATIO_MAX)
+        with self._lock:
+            old = self._coef.get(key, 1.0)
+            new = (1.0 - self.alpha) * old + self.alpha * ratio
+            self._coef[key] = new
+            self._count[key] = self._count.get(key, 0) + 1
+            self._last_ratio[key] = ratio
+            return new
+
+    # -- reads -------------------------------------------------------------
+
+    def coefficient(self, key: str) -> float:
+        with self._lock:
+            return self._coef.get(key, 1.0)
+
+    def observations(self, key: str) -> int:
+        with self._lock:
+            return self._count.get(key, 0)
+
+    def is_calibrated(self, key: str) -> bool:
+        """True once ``key`` has seen a full calibration window."""
+        with self._lock:
+            return self._count.get(key, 0) >= self.window
+
+    def correct(self, key: str, raw_estimate: float) -> float:
+        """``raw_estimate`` scaled by ``key``'s learned coefficient."""
+        return raw_estimate * self.coefficient(key)
+
+    def residuals(self) -> Dict[str, Dict[str, object]]:
+        """Per-key calibration report for EXPLAIN output.
+
+        ``last_relative_error`` is ``|measured/predicted - 1|`` of the
+        newest observation *after* correction by the coefficient that
+        was in place when it arrived — the quantity the acceptance
+        gate tracks toward +/-20%.
+        """
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for key, coef in self._coef.items():
+                ratio = self._last_ratio.get(key, 1.0)
+                out[key] = {
+                    "coefficient": coef,
+                    "observations": self._count.get(key, 0),
+                    "calibrated": self._count.get(key, 0) >= self.window,
+                    "last_relative_error": abs(ratio / coef - 1.0),
+                }
+            return out
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "window": self.window,
+                "coef": dict(self._coef),
+                "count": dict(self._count),
+                "last_ratio": dict(self._last_ratio),
+            }
+
+    @classmethod
+    def from_dict(cls, state: Optional[Dict[str, object]]) -> "EwmaCalibrator":
+        if not state:
+            return cls()
+        cal = cls(
+            alpha=float(state.get("alpha", 0.3)),
+            window=int(state.get("window", 8)),
+        )
+        with cal._lock:
+            cal._coef = {str(k): float(v) for k, v in state.get("coef", {}).items()}
+            cal._count = {str(k): int(v) for k, v in state.get("count", {}).items()}
+            cal._last_ratio = {
+                str(k): float(v) for k, v in state.get("last_ratio", {}).items()
+            }
+        return cal
