@@ -37,6 +37,7 @@ MODULES = [
     "bench_ablation_lsm",
     "bench_ablation_blocksize",
     "bench_ablation_batched_ivf",
+    "bench_ablation_kernels",
     "bench_ablation_categorical",
     "bench_ablation_parallel",
     "bench_mixed_rw",

@@ -49,6 +49,7 @@ class MilvusEngine(BaselineEngine):
         if self._index.requires_training:
             self._index.train(data)
         self._index.add(data)
+        self._index.warm()
         if isinstance(self._index, IVFIndexBase):
             self._batched = BatchedIVFSearcher(self._index)
         if attributes is not None:

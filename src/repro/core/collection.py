@@ -333,8 +333,9 @@ class Collection:
         return self._planner
 
     def _index_info(self, field: str, snap: Snapshot):
-        """(index_type, nlist, bucket_sizes, supports_pushdown, knob_names)
-        of the first indexed visible segment, or defaults when none is.
+        """(index_type, nlist, bucket_sizes, supports_pushdown, knob_names,
+        row_bytes) of the first indexed visible segment, or defaults when
+        none is.
         """
         for segment in self._visible_segments(snap):
             index = segment.indexes.get(field)
@@ -350,8 +351,9 @@ class Collection:
                     sizes,
                     index.supports_search_param("row_filter"),
                     type(index).SEARCH_PARAMS,
+                    index.row_code_bytes(),
                 )
-        return None, None, None, True, frozenset()
+        return None, None, None, True, frozenset(), None
 
     def _adaptive_filtered_search(
         self,
@@ -367,8 +369,8 @@ class Collection:
         """Plan (strategy + knobs) from calibrated costs, execute, feed back."""
         planner = self.planner
         n = max(int(self._lsm.num_live_rows), 1)
-        index_type, nlist, bucket_sizes, supports, knob_names = self._index_info(
-            field, snap
+        index_type, nlist, bucket_sizes, supports, knob_names, row_bytes = (
+            self._index_info(field, snap)
         )
         plan = planner.plan(
             n=n,
@@ -378,6 +380,7 @@ class Collection:
             nlist=nlist,
             bucket_sizes=bucket_sizes,
             supports_pushdown=supports,
+            row_bytes=row_bytes,
         )
         # Planned knobs the field's index understands; explicit caller
         # params always win over the planner's choices.

@@ -258,6 +258,11 @@ class QueryPlan:
     scanned_fraction: float
     n: int
     k: int
+    #: bytes of stored code the index reads per scanned row
+    #: (:meth:`repro.index.base.VectorIndex.row_code_bytes`); drives the
+    #: ``bytes_read`` counter prediction that separates quantized scans
+    #: (1 byte/dim SQ8, m bytes/row PQ) from full-width flat scans.
+    row_bytes: Optional[int] = None
 
     def knobs(self) -> Dict[str, int]:
         """The index search params this plan injects, by knob name."""
@@ -364,6 +369,7 @@ class AdaptivePlanner:
         nlist: Optional[int] = None,
         bucket_sizes: Optional[Sequence[int]] = None,
         supports_pushdown: bool = True,
+        row_bytes: Optional[int] = None,
     ) -> QueryPlan:
         """Choose strategy + knobs for one query from calibrated costs."""
         n = max(n, 1)
@@ -405,6 +411,7 @@ class AdaptivePlanner:
             scanned_fraction=scanned_fraction,
             n=n,
             k=k,
+            row_bytes=row_bytes,
         )
 
     # -- feedback ----------------------------------------------------------
@@ -421,7 +428,12 @@ class AdaptivePlanner:
         else:
             rows = scanned * n
             dist = scanned * n
-        return {"rows_scanned": rows, "distance_evals": dist}
+        out = {"rows_scanned": rows, "distance_evals": dist}
+        if plan.row_bytes and strategy in ("B", "C"):
+            # Index-scan strategies walk the stored codes; A touches the
+            # raw float vectors directly, outside the index's code path.
+            out["bytes_read"] = rows * plan.row_bytes
+        return out
 
     def observe(self, plan: QueryPlan, counters: Dict[str, int], nq: int = 1) -> None:
         """Report one executed plan's exact counters back to the model.

@@ -8,17 +8,21 @@ one GEMM per (bucket, query-group), maximal data reuse.  This is the
 fine-grained "threads own data, query blocks stay resident" idea in
 inverted-file form, and it is genuinely faster in this substrate
 because blocking maps onto BLAS.
+
+The bucket-major loop now lives *inside* the IVF family
+(:meth:`repro.index.ivf_common.IVFIndexBase._search_batched`), where it
+composes with the per-query-batch scan contexts (ADC tables built once,
+decode-free SQ8 terms) and the blocked fast-scan kernels.  This wrapper
+delegates and is kept for API compatibility with the heterogeneous
+scheduler and the figure-12 benchmark.
 """
 
 from __future__ import annotations
-
-from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.index.base import SearchResult
 from repro.index.ivf_common import IVFIndexBase
-from repro.utils import merge_topk, topk_from_scores
 
 
 class BatchedIVFSearcher:
@@ -31,35 +35,7 @@ class BatchedIVFSearcher:
 
     def search(self, queries: np.ndarray, k: int, nprobe: int = 8) -> SearchResult:
         """Same results as per-query IVF search, bucket-major execution."""
-        index = self.index
-        metric = index.metric
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        m = len(queries)
-        if index.ntotal == 0:
-            return SearchResult.empty(m, k, metric)
-
-        bucket_ids = index.select_buckets(queries, nprobe)  # (m, nprobe)
-        # Invert to bucket -> probing query indexes.
-        by_bucket: Dict[int, List[int]] = {}
-        for qi in range(m):
-            for b in bucket_ids[qi]:
-                by_bucket.setdefault(int(b), []).append(qi)
-
-        partials: List[List] = [[] for __ in range(m)]
-        for bucket, qidx in by_bucket.items():
-            ids, codes = index.lists.get(bucket)
-            if len(ids) == 0:
-                continue
-            sub = queries[np.array(qidx)]
-            scores = index._scan_list(sub, codes, bucket)
-            for row, qi in enumerate(qidx):
-                partials[qi].append(
-                    topk_from_scores(scores[row], k, metric.higher_is_better, ids=ids)
-                )
-
-        result = SearchResult.empty(m, k, metric)
-        for qi in range(m):
-            top_ids, top_scores = merge_topk(partials[qi], k, metric.higher_is_better)
-            result.ids[qi, : len(top_ids)] = top_ids
-            result.scores[qi, : len(top_scores)] = top_scores
-        return result
+        if self.index.ntotal == 0:
+            return SearchResult.empty(len(queries), k, self.index.metric)
+        return self.index.search(queries, k, nprobe=nprobe)

@@ -13,7 +13,7 @@ from repro.index.kmeans import KMeans
 from repro.index.flat import FlatIndex
 from repro.index.ivf_flat import IVFFlatIndex
 from repro.index.ivf_sq8 import IVFSQ8Index, ScalarQuantizer
-from repro.index.ivf_pq import IVFPQIndex, ProductQuantizer
+from repro.index.ivf_pq import IVFOPQIndex, IVFPQIndex, ProductQuantizer
 from repro.index.hnsw import HNSWIndex
 from repro.index.nsg import NSGIndex
 from repro.index.annoy import AnnoyIndex
@@ -35,6 +35,7 @@ __all__ = [
     "IVFFlatIndex",
     "IVFSQ8Index",
     "IVFPQIndex",
+    "IVFOPQIndex",
     "ScalarQuantizer",
     "ProductQuantizer",
     "HNSWIndex",

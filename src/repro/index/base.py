@@ -199,6 +199,25 @@ class VectorIndex(abc.ABC):
     def memory_bytes(self) -> int:
         """Approximate resident size, used by the bufferpool."""
 
+    def warm(self) -> None:
+        """Precompute query-independent scan-acceleration state.
+
+        Optional build-time hook (engines call it after ``add``) so
+        first-query latency excludes one-time work such as per-bucket
+        code casts, decoded norms, or flat LUT indices.  Idempotent;
+        never changes results or work counters.  Default: nothing.
+        """
+
+    def row_code_bytes(self) -> int:
+        """Bytes of stored code scanned per row during search.
+
+        The calibrated cost model uses this to predict ``bytes_read``
+        per strategy, distinguishing quantized scans (1 byte/dim for
+        SQ8, ``m`` bytes/row for PQ) from full-width float scans.
+        Default: uncompressed float32 rows.
+        """
+        return 4 * self.dim
+
     def stats(self) -> Dict[str, object]:
         """Human-readable summary for monitoring."""
         return {

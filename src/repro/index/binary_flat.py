@@ -110,6 +110,9 @@ class BinaryFlatIndex(VectorIndex):
     def ntotal(self) -> int:
         return self._count
 
+    def row_code_bytes(self) -> int:
+        return self.code_bytes
+
     def memory_bytes(self) -> int:
         return sum(b.nbytes for b in self._blocks) + sum(
             b.nbytes for b in self._id_blocks

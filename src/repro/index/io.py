@@ -22,10 +22,10 @@ from repro.index.binary_flat import BinaryFlatIndex
 from repro.index.flat import FlatIndex
 from repro.index.ivf_common import IVFIndexBase
 from repro.index.ivf_flat import IVFFlatIndex
-from repro.index.ivf_pq import IVFPQIndex
+from repro.index.ivf_pq import IVFOPQIndex, IVFPQIndex
 from repro.index.ivf_sq8 import IVFSQ8Index
 
-SERIALIZABLE_TYPES = ("FLAT", "BIN_FLAT", "IVF_FLAT", "IVF_SQ8", "IVF_PQ")
+SERIALIZABLE_TYPES = ("FLAT", "BIN_FLAT", "IVF_FLAT", "IVF_SQ8", "IVF_PQ", "IVF_OPQ")
 
 
 def index_to_bytes(index: VectorIndex) -> bytes:
@@ -64,6 +64,9 @@ def index_to_bytes(index: VectorIndex) -> bytes:
             meta["pq_m"] = index.pq.m
             meta["pq_nbits"] = index.pq.nbits
             arrays["pq_codebooks"] = index.pq.codebooks
+        if isinstance(index, IVFOPQIndex):
+            meta["opq_iters"] = index.opq_iters
+            arrays["opq_rotation"] = index.rotation
 
     buf = io.BytesIO()
     np.savez_compressed(
@@ -101,6 +104,12 @@ def index_from_bytes(blob: bytes) -> VectorIndex:
                 dim, metric=metric, nlist=nlist,
                 m=meta["pq_m"], nbits=meta["pq_nbits"],
             )
+        elif itype == "IVF_OPQ":
+            index = IVFOPQIndex(
+                dim, metric=metric, nlist=nlist,
+                m=meta["pq_m"], nbits=meta["pq_nbits"],
+                opq_iters=meta["opq_iters"],
+            )
         else:  # pragma: no cover - guarded by SERIALIZABLE_TYPES
             raise TypeError(f"unknown serialized index type {itype!r}")
 
@@ -108,8 +117,10 @@ def index_from_bytes(blob: bytes) -> VectorIndex:
         if itype == "IVF_SQ8":
             index.sq.vmin = archive["sq_vmin"]
             index.sq.vdiff = archive["sq_vdiff"]
-        if itype == "IVF_PQ":
+        if itype in ("IVF_PQ", "IVF_OPQ"):
             index.pq.codebooks = archive["pq_codebooks"]
+        if itype == "IVF_OPQ":
+            index.rotation = archive["opq_rotation"]
         index._trained = True
         total = 0
         for list_no in range(nlist):

@@ -9,21 +9,42 @@ each relevant bucket with the fine quantizer.
 :class:`IVFIndexBase` implements the coarse step, inverted-list
 bookkeeping, bucket selection, and the two-step search loop; fine
 quantizers only implement ``_encode`` and ``_scan_list``.
+
+Two execution paths share the same counters and (up to float summation
+order and tie-breaks) the same results:
+
+* the **kernel path** (default): a per-query-batch scan context from
+  ``_begin_scan`` (PQ ADC tables / SQ8 affine terms built exactly once
+  per batch) plus bucket-major execution — every bucket is scanned
+  once for *all* the queries probing it, and per-query results are
+  assembled with one :func:`merge_topk_batch` call over the padded
+  per-bucket partials (paper Sec. 3.2.1, cache-aware design);
+* the **reference path** (``REPRO_KERNELS=0``): the original
+  query-major loop with no context, kept as the equivalence baseline
+  for tests and the kernel ablation bench.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
+import threading
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.index import kernels
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.kmeans import KMeans, assign_to_centroids
 from repro.metrics.base import MetricKind
 from repro.metrics.dense import l2_squared_pairwise
 from repro.obs.profile import current_node
-from repro.utils import ensure_positive, merge_topk, topk_from_scores
+from repro.utils import (
+    ensure_positive,
+    merge_topk,
+    merge_topk_batch,
+    topk_from_scores,
+)
+from repro.utils.sanitizer import maybe_sanitize
 
 DEFAULT_NLIST = 128
 DEFAULT_NPROBE = 8
@@ -34,10 +55,22 @@ class InvertedLists:
 
     Codes are stored as one ndarray per bucket with an index-specific
     dtype/shape chosen by the fine quantizer; this class is agnostic.
+
+    Thread-safety: :meth:`get` compacts a bucket's append blocks into
+    one array *lazily on the read path*, and concurrent queries hit the
+    same index under the parallel per-segment executor — so every
+    block-list access runs under an internal leaf lock (sanitizer role
+    ``"ivf-lists"``, guarded fields declared below and in pyproject).
+    The lock is held only around list bookkeeping and the concatenate;
+    returned arrays are immutable by convention (appends create new
+    blocks, never mutate returned ones).
     """
+
+    _GUARDED_BY = {"ids": "_lock", "codes": "_lock", "_sizes": "_lock"}
 
     def __init__(self, nlist: int):
         self.nlist = nlist
+        self._lock = maybe_sanitize(threading.Lock(), "ivf-lists")
         self.ids: List[List[np.ndarray]] = [[] for __ in range(nlist)]
         self.codes: List[List[np.ndarray]] = [[] for __ in range(nlist)]
         self._sizes = np.zeros(nlist, dtype=np.int64)
@@ -45,18 +78,31 @@ class InvertedLists:
     def append(self, list_no: int, ids: np.ndarray, codes: np.ndarray) -> None:
         if len(ids) == 0:
             return
-        self.ids[list_no].append(np.asarray(ids, dtype=np.int64))
-        self.codes[list_no].append(codes)
-        self._sizes[list_no] += len(ids)
+        with self._lock:
+            self.ids[list_no].append(np.asarray(ids, dtype=np.int64))
+            self.codes[list_no].append(codes)
+            self._sizes[list_no] += len(ids)
 
     def get(self, list_no: int):
         """Return (ids, codes) for one bucket, compacting lazily."""
-        if len(self.ids[list_no]) > 1:
-            self.ids[list_no] = [np.concatenate(self.ids[list_no])]
-            self.codes[list_no] = [np.concatenate(self.codes[list_no])]
-        if not self.ids[list_no]:
-            return np.empty(0, dtype=np.int64), None
-        return self.ids[list_no][0], self.codes[list_no][0]
+        with self._lock:
+            if len(self.ids[list_no]) > 1:
+                self.ids[list_no] = [np.concatenate(self.ids[list_no])]
+                self.codes[list_no] = [np.concatenate(self.codes[list_no])]
+            if not self.ids[list_no]:
+                return np.empty(0, dtype=np.int64), None
+            return self.ids[list_no][0], self.codes[list_no][0]
+
+    def is_compacted_block(self, list_no: int, codes: np.ndarray) -> bool:
+        """Is ``codes`` the bucket's single compacted block (by identity)?
+
+        Kernel caches key bucket-side precomputations on this: a
+        ``row_filter`` slices codes into a fresh array, which must be
+        scored directly rather than against cached full-bucket terms.
+        """
+        with self._lock:
+            blocks = self.codes[list_no]
+            return len(blocks) == 1 and codes is blocks[0]
 
     def size(self, list_no: int) -> int:
         return int(self._sizes[list_no])
@@ -66,12 +112,13 @@ class InvertedLists:
         return int(self._sizes.sum())
 
     def memory_bytes(self) -> int:
-        total = 0
-        for blocks in self.ids:
-            total += sum(b.nbytes for b in blocks)
-        for blocks in self.codes:
-            total += sum(b.nbytes for b in blocks)
-        return total
+        with self._lock:
+            total = 0
+            for blocks in self.ids:
+                total += sum(b.nbytes for b in blocks)
+            for blocks in self.codes:
+                total += sum(b.nbytes for b in blocks)
+            return total
 
 
 class IVFIndexBase(VectorIndex):
@@ -123,6 +170,23 @@ class IVFIndexBase(VectorIndex):
             self.lists.append(int(list_no), ids[mask], codes)
         self._ntotal += len(vectors)
 
+    def warm(self) -> None:
+        """Precompute per-bucket kernel terms for every populated bucket.
+
+        Compacts each inverted list and runs the subclass's
+        ``_warm_list`` hook (code casts, decoded norms, flat LUT
+        indices) so the first search of a batch pays only the scans.
+        """
+        if not kernels.kernels_enabled():
+            return
+        for list_no in range(self.nlist):
+            ids, codes = self.lists.get(list_no)
+            if len(ids):
+                self._warm_list(list_no, codes)
+
+    def _warm_list(self, list_no: int, codes: np.ndarray) -> None:
+        """Hook: cache query-independent terms for one compacted bucket."""
+
     # -- search --------------------------------------------------------------
 
     def select_buckets(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
@@ -156,6 +220,19 @@ class IVFIndexBase(VectorIndex):
         if params:
             raise TypeError(f"unknown search params: {sorted(params)}")
         bucket_ids = self.select_buckets(queries, nprobe)
+        if kernels.kernels_enabled():
+            ctx = self._begin_scan(queries)
+            return self._search_batched(queries, k, bucket_ids, row_filter, ctx)
+        return self._search_perquery(queries, k, bucket_ids, row_filter)
+
+    def _search_perquery(
+        self,
+        queries: np.ndarray,
+        k: int,
+        bucket_ids: np.ndarray,
+        row_filter: Optional[np.ndarray],
+    ) -> SearchResult:
+        """Reference query-major loop (the pre-kernel execution path)."""
         result = SearchResult.empty(len(queries), k, self.metric)
         node = current_node()
         buckets_probed = rows_scanned = pruned = 0
@@ -188,6 +265,84 @@ class IVFIndexBase(VectorIndex):
                 node.count("candidates_pruned", pruned)
         return result
 
+    def _search_batched(
+        self,
+        queries: np.ndarray,
+        k: int,
+        bucket_ids: np.ndarray,
+        row_filter: Optional[np.ndarray],
+        ctx,
+    ) -> SearchResult:
+        """Bucket-major execution over the whole query block.
+
+        Each bucket is scanned once for the group of queries probing it
+        (one kernel call / GEMM per bucket), per-bucket top-k is
+        extracted with one vectorized ``argpartition`` over the group,
+        and the padded partials merge with one :func:`merge_topk_batch`
+        call.  Work counters are exactly the reference path's: every
+        (query, bucket) probe still accounts its rows, evals, and
+        pruning individually.
+        """
+        nq = len(queries)
+        higher = self.metric.higher_is_better
+        node = current_node()
+        buckets_probed = rows_scanned = pruned = 0
+
+        by_bucket: Dict[int, List[int]] = {}
+        for qi in range(nq):
+            for b in bucket_ids[qi]:
+                by_bucket.setdefault(int(b), []).append(qi)
+
+        # One sparse candidate buffer for the whole block: each query
+        # probes at most nprobe buckets contributing <= k rows each, so
+        # (nq, nprobe * k) bounds every per-query candidate list.  Each
+        # bucket's top rows scatter behind a per-query cursor — no
+        # (nq, k)-wide padding per bucket, which would dwarf the real
+        # work at small nprobe.
+        worst = -np.inf if higher else np.inf
+        width = bucket_ids.shape[1] * k
+        cand_ids = np.full((nq, width), -1, dtype=np.int64)
+        cand_scores = np.full((nq, width), worst, dtype=np.float32)
+        cursor = np.zeros(nq, dtype=np.int64)
+        for list_no, qlist in by_bucket.items():
+            ids, codes = self.lists.get(list_no)
+            if len(ids) == 0:
+                continue
+            group = len(qlist)
+            buckets_probed += group
+            rows_scanned += group * len(ids)
+            if row_filter is not None:
+                keep = _sorted_membership(ids, row_filter)
+                pruned += group * (len(ids) - int(keep.sum()))
+                if not keep.any():
+                    continue
+                ids = ids[keep]
+                codes = codes[keep]
+            qidx = np.asarray(qlist, dtype=np.int64)
+            scores = self._scan_list(
+                queries[qidx], codes, list_no, ctx=ctx, qidx=qidx
+            )
+            top_idx, top_scores = _topk_rows(scores, k, higher)
+            k_eff = top_idx.shape[1]
+            cols = cursor[qidx, np.newaxis] + np.arange(k_eff)
+            cand_ids[qidx[:, np.newaxis], cols] = ids[top_idx]
+            cand_scores[qidx[:, np.newaxis], cols] = top_scores
+            cursor[qidx] += k_eff
+
+        result = SearchResult.empty(nq, k, self.metric)
+        if cursor.any():
+            out_ids, out_scores = merge_topk_batch(
+                [(cand_ids, cand_scores)], k, higher, nq=nq
+            )
+            result.ids[:] = out_ids
+            result.scores[:] = out_scores
+        if node is not None:
+            node.count("buckets_probed", buckets_probed)
+            node.count("rows_scanned", rows_scanned)
+            if pruned:
+                node.count("candidates_pruned", pruned)
+        return result
+
     def _range_search(
         self, queries: np.ndarray, radius: float, nprobe: int = DEFAULT_NPROBE,
         **params,
@@ -198,13 +353,17 @@ class IVFIndexBase(VectorIndex):
         if params:
             raise TypeError(f"unknown range params: {sorted(params)}")
         bucket_ids = self.select_buckets(queries, nprobe)
+        ctx = self._begin_scan(queries) if kernels.kernels_enabled() else None
         out = [[] for __ in range(len(queries))]
         for qi in range(len(queries)):
+            qidx = np.array([qi], dtype=np.int64)
             for list_no in bucket_ids[qi]:
                 ids, codes = self.lists.get(int(list_no))
                 if len(ids) == 0:
                     continue
-                scores = self._scan_list(queries[qi : qi + 1], codes, int(list_no))[0]
+                scores = self._scan_list(
+                    queries[qi : qi + 1], codes, int(list_no), ctx=ctx, qidx=qidx
+                )[0]
                 if self.metric.higher_is_better:
                     hits = np.flatnonzero(scores >= radius)
                 else:
@@ -215,15 +374,35 @@ class IVFIndexBase(VectorIndex):
 
     # -- fine quantizer hooks ---------------------------------------------
 
+    def _begin_scan(self, queries: np.ndarray):
+        """Hook: build a per-query-batch scan context (or ``None``).
+
+        Called once per search batch before any bucket is scanned; the
+        returned context is threaded into every ``_scan_list`` call of
+        the batch so per-query precomputations (PQ ADC tables, SQ8
+        affine terms) are never rebuilt per probed bucket.
+        """
+        return None
+
     @abc.abstractmethod
     def _encode(self, vectors: np.ndarray, list_no: int) -> np.ndarray:
         """Encode raw vectors into this index's code format."""
 
     @abc.abstractmethod
     def _scan_list(
-        self, queries: np.ndarray, codes: np.ndarray, list_no: int
+        self,
+        queries: np.ndarray,
+        codes: np.ndarray,
+        list_no: int,
+        ctx=None,
+        qidx: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Score queries against one bucket's codes -> (m, len(codes))."""
+        """Score queries against one bucket's codes -> (m, len(codes)).
+
+        ``ctx`` is the batch context from :meth:`_begin_scan` (``None``
+        on the reference path) and ``qidx`` the row indices of
+        ``queries`` within that batch context.
+        """
 
     # -- introspection -------------------------------------------------------
 
@@ -249,6 +428,31 @@ class IVFIndexBase(VectorIndex):
             base["bucket_min"] = int(sizes.min())
             base["bucket_max"] = int(sizes.max())
         return base
+
+
+def _topk_rows(
+    scores: np.ndarray, k: int, higher_is_better: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise top-k over a 2-D score block, best-first.
+
+    The vectorized form of :func:`topk_from_scores` applied to every
+    row at once: one ``argpartition`` + stable argsort for the whole
+    query group instead of a python call per (query, bucket) pair.
+    Returns ``(indices, scores)`` of shape ``(rows, min(k, n))``.
+    """
+    rows, n = scores.shape
+    k_eff = min(k, n)
+    keyed = -scores if higher_is_better else scores
+    row_idx = np.arange(rows)[:, np.newaxis]
+    if k_eff < n:
+        sel = np.argpartition(keyed, k_eff - 1, axis=1)[:, :k_eff]
+        part = keyed[row_idx, sel]
+    else:
+        sel = np.broadcast_to(np.arange(n), (rows, n))
+        part = keyed
+    order = np.argsort(part, axis=1, kind="stable")
+    idx = sel[row_idx, order]
+    return idx, scores[row_idx, idx]
 
 
 def _sorted_membership(ids: np.ndarray, sorted_filter: np.ndarray) -> np.ndarray:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.exec.normcache import NormCache
@@ -32,18 +34,20 @@ class IVFFlatIndex(IVFIndexBase):
         super()._add(vectors, ids)
         self.kernel_cache.invalidate()
 
-    def _is_full_bucket(self, codes: np.ndarray, list_no: int) -> bool:
-        blocks = self.lists.codes[list_no]
-        return len(blocks) == 1 and codes is blocks[0]
-
     def _encode(self, vectors: np.ndarray, list_no: int) -> np.ndarray:
         return vectors.astype(np.float32, copy=True)
 
     def _scan_list(
-        self, queries: np.ndarray, codes: np.ndarray, list_no: int
+        self,
+        queries: np.ndarray,
+        codes: np.ndarray,
+        list_no: int,
+        ctx=None,
+        qidx: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         profile_count("distance_evals", len(queries) * len(codes))
-        if self._is_full_bucket(codes, list_no):
+        profile_count("bytes_read", len(queries) * codes.nbytes)
+        if self.lists.is_compacted_block(list_no, codes):
             if self.metric.name == "l2":
                 norms = self.kernel_cache.squared_norms(list_no, codes)
                 return l2_squared_pairwise(queries, codes, data_sq_norms=norms)

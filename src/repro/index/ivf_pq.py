@@ -5,6 +5,11 @@ vector into multiple sub-vectors and applies K-means for each
 sub-space" (Jégou et al., TPAMI 2011).  Search uses asymmetric
 distance computation (ADC): per query, a lookup table of
 sub-distances is built and bucket scans reduce to table gathers.
+
+On the kernel path the tables are built once per query *batch*
+(:class:`~repro.index.kernels.PQScanContext`) and buckets are scored
+with the blocked flat-LUT fast-scan kernel; :class:`IVFOPQIndex` adds
+a trained orthogonal rotation (OPQ) in front of the codec.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.index import kernels
 from repro.index.ivf_common import IVFIndexBase
 from repro.index.kmeans import KMeans
 from repro.obs.profile import profile_count
@@ -40,7 +46,13 @@ class ProductQuantizer:
     def is_trained(self) -> bool:
         return self.codebooks is not None
 
-    def train(self, vectors: np.ndarray) -> "ProductQuantizer":
+    def train(self, vectors: np.ndarray, max_iter: int = 15) -> "ProductQuantizer":
+        """Learn the ``m`` sub-codebooks.
+
+        ``max_iter`` bounds each sub-space k-means; OPQ's alternating
+        optimization passes a small budget for the steering iterations
+        and the default for the final codebooks.
+        """
         vectors = ensure_matrix(vectors, "vectors")
         if len(vectors) < self.ksub:
             raise ValueError(
@@ -50,7 +62,7 @@ class ProductQuantizer:
         for sub in range(self.m):
             chunk = vectors[:, sub * self.dsub : (sub + 1) * self.dsub]
             seed = None if self.seed is None else self.seed + sub
-            km = KMeans(self.ksub, max_iter=15, seed=seed)
+            km = KMeans(self.ksub, max_iter=max_iter, seed=seed)
             km.fit(np.ascontiguousarray(chunk))
             books[sub] = km.centroids
         self.codebooks = books
@@ -77,18 +89,19 @@ class ProductQuantizer:
         return codes
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
-        """Reconstruct approximate vectors from codes."""
+        """Reconstruct approximate vectors; output rank mirrors input rank."""
         if not self.is_trained:
             raise RuntimeError("ProductQuantizer is not trained")
         codes = np.asarray(codes)
-        if codes.ndim == 1:
+        single = codes.ndim == 1
+        if single:
             codes = codes[np.newaxis, :]
         out = np.empty((len(codes), self.dim), dtype=np.float32)
         for sub in range(self.m):
             out[:, sub * self.dsub : (sub + 1) * self.dsub] = self.codebooks[sub][
                 codes[:, sub]
             ]
-        return out
+        return out[0] if single else out
 
     def build_tables(self, queries: np.ndarray, metric_name: str) -> np.ndarray:
         """ADC tables of sub-scores, shape (nq, m, ksub).
@@ -110,7 +123,11 @@ class ProductQuantizer:
 
     @staticmethod
     def adc_scan(tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
-        """Sum table entries along codes: (nq, m, ksub) x (n, m) -> (nq, n)."""
+        """Sum table entries along codes: (nq, m, ksub) x (n, m) -> (nq, n).
+
+        The naive per-sub-quantizer loop — kept as the reference for
+        :func:`~repro.index.kernels.adc_scan_blocked`.
+        """
         nq = tables.shape[0]
         n, m = codes.shape
         out = np.zeros((nq, n), dtype=np.float32)
@@ -141,27 +158,121 @@ class IVFPQIndex(IVFIndexBase):
     ):
         super().__init__(dim, metric, nlist=nlist, kmeans_iters=kmeans_iters, seed=seed)
         if self.metric.name not in ("l2", "ip", "cosine"):
-            raise ValueError(f"IVF_PQ does not support metric {self.metric.name!r}")
+            raise ValueError(f"{self.index_type} does not support metric {self.metric.name!r}")
         self.pq = ProductQuantizer(dim, m=m, nbits=nbits, seed=seed)
+        #: per-bucket flat LUT-index cache (``flat_code_indices``);
+        #: appends mutate buckets, so ``_add`` invalidates wholesale.
+        self.kernel_cache = kernels.CodeCache()
 
     def _train_fine(self, vectors: np.ndarray) -> None:
         self.pq.train(vectors)
 
+    def _add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        super()._add(vectors, ids)
+        self.kernel_cache.invalidate()
+
+    def _warm_list(self, list_no: int, codes: np.ndarray) -> None:
+        self.kernel_cache.get(
+            "pqflat", list_no, lambda: kernels.flat_code_indices(codes, self.pq.ksub)
+        )
+
+    def _codec_space(self, queries: np.ndarray) -> np.ndarray:
+        """Hook: map rows (queries or data) into the codec's space (OPQ rotates)."""
+        return queries
+
     def _encode(self, vectors: np.ndarray, list_no: int) -> np.ndarray:
-        return self.pq.encode(vectors)
+        return self.pq.encode(self._codec_space(vectors))
+
+    def _begin_scan(self, queries: np.ndarray):
+        # ADC tables for the whole batch, flattened for the blocked
+        # fast-scan kernel — built once, reused by every bucket probe.
+        return kernels.PQScanContext.build(
+            self.pq, self._codec_space(queries), self.metric.name
+        )
 
     def _scan_list(
-        self, queries: np.ndarray, codes: np.ndarray, list_no: int
+        self,
+        queries: np.ndarray,
+        codes: np.ndarray,
+        list_no: int,
+        ctx=None,
+        qidx: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        # ADC table construction is O(m * ksub * dsub) per query — far
-        # cheaper than the gather over the bucket, so rebuilding per
-        # scan keeps the code path simple.
         profile_count("distance_evals", len(queries) * len(codes))
-        tables = self.pq.build_tables(queries, self.metric.name)
+        # Code bytes gathered for this scan: each probing query walks
+        # the bucket's (n, m) uint8 code block once.
+        profile_count("bytes_read", len(queries) * codes.nbytes)
+        if ctx is not None:
+            if self.lists.is_compacted_block(list_no, codes):
+                return ctx.scan(
+                    codes, qidx, cache=self.kernel_cache, cache_key=list_no
+                )
+            return ctx.scan(codes, qidx)
+        tables = self.pq.build_tables(self._codec_space(queries), self.metric.name)
         return ProductQuantizer.adc_scan(tables, codes)
+
+    def row_code_bytes(self) -> int:
+        return self.pq.m
 
     def memory_bytes(self) -> int:
         total = super().memory_bytes()
         if self.pq.codebooks is not None:
             total += self.pq.codebooks.nbytes
+        return total + self.kernel_cache.memory_bytes()
+
+
+class IVFOPQIndex(IVFPQIndex):
+    """IVF_PQ behind a trained orthogonal rotation (OPQ).
+
+    The rotation redistributes correlated variance across the ``m``
+    sub-spaces before product quantization (Ge et al., CVPR 2013),
+    cutting reconstruction error where raw dimension order is
+    unfavorable.  Orthogonality preserves L2/IP/cosine, so search just
+    rotates the queries (``_codec_space``) and reuses the whole PQ
+    scan path — tables, blocked LUT kernel, counters — unchanged.
+    Training alternates codebook fitting with a Procrustes rotation
+    solve (:func:`repro.index.kernels.train_opq_rotation`); seeded and
+    deterministic.
+    """
+
+    index_type = "IVF_OPQ"
+
+    def __init__(
+        self,
+        dim,
+        metric="l2",
+        nlist=128,
+        m: int = 8,
+        nbits: int = 8,
+        opq_iters: int = 8,
+        kmeans_iters=20,
+        seed=0,
+    ):
+        super().__init__(
+            dim, metric, nlist=nlist, m=m, nbits=nbits,
+            kmeans_iters=kmeans_iters, seed=seed,
+        )
+        self.opq_iters = ensure_positive(opq_iters, "opq_iters")
+        #: (dim, dim) float32 orthogonal rotation after training.
+        self.rotation: Optional[np.ndarray] = None
+
+    def _train_fine(self, vectors: np.ndarray) -> None:
+        self.rotation, self.pq = kernels.train_opq_rotation(
+            vectors,
+            pq_factory=lambda: ProductQuantizer(
+                self.dim, m=self.pq.m, nbits=self.pq.nbits, seed=self.seed
+            ),
+            opq_iters=self.opq_iters,
+            seed=self.seed,
+        )
+
+    def _codec_space(self, queries: np.ndarray) -> np.ndarray:
+        if self.rotation is None:
+            raise RuntimeError("IVF_OPQ is not trained")
+        return np.asarray(queries, dtype=np.float32) @ self.rotation
+
+    def memory_bytes(self) -> int:
+        total = super().memory_bytes()
+        if self.rotation is not None:
+            total += self.rotation.nbytes
         return total

@@ -15,7 +15,7 @@ from repro.index.binary_flat import BinaryFlatIndex
 from repro.index.flat import FlatIndex
 from repro.index.hnsw import HNSWIndex
 from repro.index.ivf_flat import IVFFlatIndex
-from repro.index.ivf_pq import IVFPQIndex
+from repro.index.ivf_pq import IVFOPQIndex, IVFPQIndex
 from repro.index.ivf_sq8 import IVFSQ8Index
 from repro.index.nsg import NSGIndex
 
@@ -64,6 +64,7 @@ for _cls in (
     IVFFlatIndex,
     IVFSQ8Index,
     IVFPQIndex,
+    IVFOPQIndex,
     HNSWIndex,
     NSGIndex,
     AnnoyIndex,

@@ -41,6 +41,23 @@ def unit_rows(rows: np.ndarray) -> np.ndarray:
     return np.divide(rows, norms, out=np.zeros_like(rows), where=norms > 0)
 
 
+def l2_from_expansion(
+    q_sq_norms: np.ndarray, dots: np.ndarray, x_sq_norms: np.ndarray
+) -> np.ndarray:
+    """Assemble ``|q - x|^2 = |q|^2 - 2 q.x + |x|^2`` from its parts.
+
+    Single home for the expansion's clamping semantics (rounding can
+    produce tiny negatives), shared by the dense L2 kernel and the
+    decode-free SQ8 kernel — which computes ``q.x`` and ``|x|^2``
+    straight from uint8 codes (:mod:`repro.index.kernels`) but must
+    clamp identically to the reference path.  Inputs must already be
+    broadcastable to the output shape.
+    """
+    dists = q_sq_norms + x_sq_norms - 2.0 * dots
+    np.maximum(dists, 0.0, out=dists)
+    return dists
+
+
 def l2_squared_pairwise(
     queries: np.ndarray,
     data: np.ndarray,
@@ -60,10 +77,7 @@ def l2_squared_pairwise(
     else:
         x_norms = np.asarray(data_sq_norms)[np.newaxis, :]
     dots = queries @ data.T
-    dists = q_norms + x_norms - 2.0 * dots
-    # Rounding in the expansion can produce tiny negatives.
-    np.maximum(dists, 0.0, out=dists)
-    return dists
+    return l2_from_expansion(q_norms, dots, x_norms)
 
 
 def inner_product_pairwise(queries: np.ndarray, data: np.ndarray) -> np.ndarray:

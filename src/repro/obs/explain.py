@@ -122,12 +122,13 @@ def _filter_plan(collection, filter, snap, k: int, scanned_fraction: float,
     n = int(collection._lsm.num_live_rows)
     passing = len(admissible) / n if n else 0.0
     if getattr(collection, "_adaptive", False) and index_info is not None:
-        index_type, nlist, bucket_sizes, supports, __ = index_info
+        index_type, nlist, bucket_sizes, supports, __, row_bytes = index_info
         planner = collection.planner
         qplan = planner.plan(
             n=max(n, 1), passing_fraction=passing, k=k,
             index_type=index_type or "", nlist=nlist,
             bucket_sizes=bucket_sizes, supports_pushdown=supports,
+            row_bytes=row_bytes,
         )
         return {
             "spec": list(filter),
@@ -245,6 +246,7 @@ def explain_search(
                 index.index_type, nlist, sizes,
                 index.supports_search_param("row_filter"),
                 type(index).SEARCH_PARAMS,
+                index.row_code_bytes(),
             )
             if nlist:
                 nprobe = int(search_params.get("nprobe", 8))

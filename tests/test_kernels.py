@@ -1,0 +1,463 @@
+"""Quantized-scan kernel layer: equivalence vs the reference paths.
+
+Every kernel (blocked flat-LUT PQ, decode-free SQ8, bucket-major
+batched execution) must reproduce its naive reference up to float
+summation order, with *exactly* the same work counters.  The reference
+paths stay live behind ``REPRO_KERNELS=0``, so these tests A/B the two
+implementations on the same built index.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.filtering.cost import AdaptivePlanner
+from repro.index import (
+    IVFOPQIndex,
+    IVFPQIndex,
+    IVFSQ8Index,
+    ProductQuantizer,
+    available_index_types,
+    create_index,
+    index_from_bytes,
+    index_to_bytes,
+)
+from repro.index import kernels
+from repro.index.ivf_common import InvertedLists
+from repro.obs.profile import QueryProfile
+
+METRICS = ("l2", "ip", "cosine")
+
+#: work counters that must match bit-for-bit between the kernel and
+#: reference execution paths (cache counters legitimately differ).
+WORK_COUNTERS = (
+    "distance_evals",
+    "rows_scanned",
+    "buckets_probed",
+    "candidates_pruned",
+    "bytes_read",
+)
+
+
+def _work(counters):
+    return {key: counters.get(key, 0) for key in WORK_COUNTERS}
+
+
+@pytest.fixture()
+def reference_path(monkeypatch):
+    """Force the naive per-query reference path."""
+    monkeypatch.setenv("REPRO_KERNELS", "0")
+
+
+def _build(factory, data):
+    index = factory(data.shape[1])
+    index.train(data)
+    index.add(data)
+    return index
+
+
+# -- blocked flat-LUT PQ kernel --------------------------------------------
+
+
+class TestBlockedADC:
+    @pytest.fixture(scope="class")
+    def pq(self, request):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(600, 16)).astype(np.float32)
+        pq = ProductQuantizer(16, m=4, nbits=6, seed=0).train(data)
+        return pq, data
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("block", [1, 2, 3, 4, 8])
+    def test_matches_naive_all_blocks(self, pq, metric, block):
+        pq, data = pq
+        rng = np.random.default_rng(4)
+        queries = rng.normal(size=(7, 16)).astype(np.float32)
+        codes = pq.encode(data[:200])
+        tables = pq.build_tables(queries, metric)
+        naive = ProductQuantizer.adc_scan(tables, codes)
+        blocked = kernels.adc_scan_blocked(
+            kernels.flatten_tables(tables), codes, pq.ksub, block=block
+        )
+        np.testing.assert_allclose(blocked, naive, rtol=1e-5, atol=1e-4)
+
+    def test_edge_shapes(self, pq):
+        pq, data = pq
+        rng = np.random.default_rng(5)
+        queries = rng.normal(size=(1, 16)).astype(np.float32)  # nq=1
+        tables_flat = kernels.flatten_tables(pq.build_tables(queries, "l2"))
+        empty = pq.encode(data[:0])
+        assert kernels.adc_scan_blocked(tables_flat, empty, pq.ksub).shape == (1, 0)
+        single = pq.encode(data[:1])  # one row
+        out = kernels.adc_scan_blocked(tables_flat, single, pq.ksub)
+        naive = ProductQuantizer.adc_scan(pq.build_tables(queries, "l2"), single)
+        np.testing.assert_allclose(out, naive, rtol=1e-5, atol=1e-4)
+
+    def test_non_contiguous_inputs(self, pq):
+        pq, data = pq
+        rng = np.random.default_rng(6)
+        wide = rng.normal(size=(10, 16)).astype(np.float32)
+        queries = wide[::2]  # stride-2 view
+        codes = pq.encode(data[:100])[::3]  # non-contiguous codes too
+        tables = pq.build_tables(queries, "ip")
+        blocked = kernels.adc_scan_blocked(
+            kernels.flatten_tables(tables), codes, pq.ksub
+        )
+        np.testing.assert_allclose(
+            blocked, ProductQuantizer.adc_scan(tables, codes), rtol=1e-5, atol=1e-4
+        )
+
+    def test_block_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BLOCK", "7")
+        assert kernels.kernel_block_size() == 7
+        monkeypatch.setenv("REPRO_KERNEL_BLOCK", "junk")
+        assert kernels.kernel_block_size() == kernels.DEFAULT_BLOCK
+
+
+# -- decode-free SQ8 kernel ------------------------------------------------
+
+
+class TestDecodeFreeSQ8:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_matches_decoded_reference(self, metric, rng):
+        from repro.index import ScalarQuantizer
+        from repro.metrics import get_metric
+
+        data = rng.normal(size=(300, 12)).astype(np.float32)
+        sq = ScalarQuantizer().train(data)
+        codes = sq.encode(data)
+        queries = rng.normal(size=(5, 12)).astype(np.float32)
+        ctx = kernels.SQ8ScanContext(sq, queries, metric)
+        got = ctx.scan(codes)
+        want = get_metric(metric).pairwise(queries, sq.decode(codes))
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-3)
+
+    def test_edge_shapes_and_zero_vector(self, rng):
+        from repro.index import ScalarQuantizer
+        from repro.metrics import get_metric
+
+        data = rng.normal(size=(50, 8)).astype(np.float32)
+        data[0] = 0.0  # cosine zero-row must score 0, not NaN
+        sq = ScalarQuantizer().train(data)
+        codes = sq.encode(data)
+        queries = rng.normal(size=(1, 8)).astype(np.float32)
+        for metric in METRICS:
+            ctx = kernels.SQ8ScanContext(sq, queries, metric)
+            assert ctx.scan(codes[:0]).shape == (1, 0)
+            got = ctx.scan(codes[:1])
+            want = get_metric(metric).pairwise(queries, sq.decode(codes[:1]))
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-3)
+        ctx = kernels.SQ8ScanContext(sq, queries, "cosine")
+        decoded0 = sq.decode(codes[:1])
+        scores = ctx.scan(codes[:1])
+        assert np.isfinite(scores).all()
+        if not decoded0.any():
+            assert np.isclose(scores[0, 0], 0.0)
+
+    def test_qidx_slices_batch_terms(self, rng):
+        from repro.index import ScalarQuantizer
+
+        data = rng.normal(size=(100, 8)).astype(np.float32)
+        sq = ScalarQuantizer().train(data)
+        codes = sq.encode(data)
+        queries = rng.normal(size=(6, 8)).astype(np.float32)
+        ctx = kernels.SQ8ScanContext(sq, queries, "l2")
+        qidx = np.array([4, 1])
+        np.testing.assert_allclose(ctx.scan(codes, qidx), ctx.scan(codes)[qidx])
+
+    def test_cache_hit_returns_same_terms(self, rng):
+        from repro.index import ScalarQuantizer
+
+        data = rng.normal(size=(80, 8)).astype(np.float32)
+        sq = ScalarQuantizer().train(data)
+        codes = sq.encode(data)
+        queries = rng.normal(size=(3, 8)).astype(np.float32)
+        ctx = kernels.SQ8ScanContext(sq, queries, "l2")
+        cache = kernels.CodeCache()
+        first = ctx.scan(codes, cache=cache, cache_key=7)
+        assert len(cache) == 2  # cast + sqnorms
+        second = ctx.scan(codes, cache=cache, cache_key=7)
+        np.testing.assert_array_equal(first, second)
+        cache.invalidate()
+        assert len(cache) == 0 and cache.memory_bytes() == 0
+
+
+# -- end-to-end: kernel path vs reference path ------------------------------
+
+
+IVF_FACTORIES = [
+    ("IVF_FLAT", lambda d, m: create_index("IVF_FLAT", d, metric=m, nlist=16)),
+    ("IVF_SQ8", lambda d, m: IVFSQ8Index(d, metric=m, nlist=16)),
+    ("IVF_PQ", lambda d, m: IVFPQIndex(d, metric=m, nlist=16, m=4, nbits=6)),
+    ("IVF_OPQ", lambda d, m: IVFOPQIndex(d, metric=m, nlist=16, m=4, nbits=6,
+                                         opq_iters=2)),
+]
+
+
+class TestKernelVsReferenceSearch:
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("name,factory", IVF_FACTORIES,
+                             ids=[n for n, __ in IVF_FACTORIES])
+    def test_results_and_counters_match(self, name, factory, metric,
+                                        medium_data, medium_queries,
+                                        monkeypatch):
+        index = _build(lambda d: factory(d, metric), medium_data)
+        index.search(medium_queries, 5, nprobe=4)  # warm caches both ways
+
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        with QueryProfile("kernel") as prof_k:
+            fast = index.search(medium_queries, 5, nprobe=4)
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        with QueryProfile("reference") as prof_r:
+            ref = index.search(medium_queries, 5, nprobe=4)
+
+        np.testing.assert_allclose(
+            np.sort(fast.scores, axis=1), np.sort(ref.scores, axis=1),
+            rtol=5e-4, atol=1e-3,
+        )
+        if name in ("IVF_FLAT", "IVF_SQ8"):
+            # real float distances: no score collisions, ids must agree
+            np.testing.assert_array_equal(fast.ids, ref.ids)
+        else:
+            # PQ rows sharing codes tie exactly; require heavy overlap
+            overlap = np.mean([
+                len(set(fast.ids[qi]) & set(ref.ids[qi])) / fast.ids.shape[1]
+                for qi in range(fast.nq)
+            ])
+            assert overlap >= 0.9, overlap
+        assert _work(prof_k.total_counters()) == _work(prof_r.total_counters())
+
+    def test_row_filter_counter_parity(self, medium_data, medium_queries,
+                                       monkeypatch):
+        index = _build(lambda d: IVFSQ8Index(d, nlist=16), medium_data)
+        row_filter = np.arange(0, len(medium_data), 3, dtype=np.int64)
+        index.search(medium_queries, 5, nprobe=4, row_filter=row_filter)
+
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        with QueryProfile("kernel") as prof_k:
+            fast = index.search(medium_queries, 5, nprobe=4, row_filter=row_filter)
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        with QueryProfile("reference") as prof_r:
+            ref = index.search(medium_queries, 5, nprobe=4, row_filter=row_filter)
+
+        np.testing.assert_array_equal(fast.ids, ref.ids)
+        counters = _work(prof_k.total_counters())
+        assert counters == _work(prof_r.total_counters())
+        assert counters["candidates_pruned"] > 0
+        valid = fast.ids[fast.ids >= 0]
+        assert np.isin(valid, row_filter).all()
+
+    def test_range_search_matches(self, medium_data, medium_queries, monkeypatch):
+        index = _build(lambda d: IVFSQ8Index(d, nlist=16), medium_data)
+        # midpoint radius: kernel-vs-reference epsilon must not flip a
+        # row's membership, so keep the threshold away from any score
+        probe = index.search(medium_queries[:1], 10, nprobe=4)
+        radius = float(probe.scores[0, 5] + probe.scores[0, 6]) / 2.0
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        fast = index.range_search(medium_queries[:4], radius, nprobe=4)
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        ref = index.range_search(medium_queries[:4], radius, nprobe=4)
+        for got, want in zip(fast, ref):
+            assert [i for i, __ in got] == [i for i, __ in want]
+            np.testing.assert_allclose(
+                [s for __, s in got], [s for __, s in want], rtol=5e-4, atol=1e-3
+            )
+
+    def test_single_query_batch(self, medium_data, medium_queries):
+        index = _build(lambda d: IVFPQIndex(d, nlist=16, m=4, nbits=6), medium_data)
+        full = index.search(medium_queries, 5, nprobe=4)
+        solo = index.search(medium_queries[2:3], 5, nprobe=4)
+        # Same scores in the same order; ids may permute only within
+        # exact ADC ties (duplicate codes), whose merge order depends
+        # on the batch's bucket iteration order.
+        np.testing.assert_array_equal(solo.scores[0], full.scores[2])
+        assert set(solo.ids[0].tolist()) == set(full.ids[2].tolist())
+
+
+# -- OPQ ---------------------------------------------------------------------
+
+
+class TestOPQ:
+    def _correlated(self, n=900, dim=16, seed=11):
+        rng = np.random.default_rng(seed)
+        latent = rng.normal(size=(n, dim)).astype(np.float32)
+        mix = rng.normal(size=(dim, dim)).astype(np.float32)
+        mix += 3.0 * np.eye(dim, dtype=np.float32)  # strong correlation
+        return latent @ mix
+
+    def test_two_runs_bit_identical(self):
+        data = self._correlated()
+        factory = lambda: ProductQuantizer(16, m=4, nbits=6, seed=0)
+        rot_a, pq_a = kernels.train_opq_rotation(data, factory, opq_iters=3, seed=0)
+        rot_b, pq_b = kernels.train_opq_rotation(data, factory, opq_iters=3, seed=0)
+        np.testing.assert_array_equal(rot_a, rot_b)
+        np.testing.assert_array_equal(pq_a.codebooks, pq_b.codebooks)
+
+    def test_rotation_is_orthogonal(self):
+        data = self._correlated(n=400)
+        rotation, __ = kernels.train_opq_rotation(
+            data, lambda: ProductQuantizer(16, m=4, nbits=4, seed=0),
+            opq_iters=2, seed=0,
+        )
+        np.testing.assert_allclose(
+            rotation @ rotation.T, np.eye(16), atol=1e-4
+        )
+
+    def test_opq_reduces_reconstruction_error(self):
+        data = self._correlated()
+        pq = ProductQuantizer(16, m=4, nbits=6, seed=0).train(data)
+        plain_err = float(((pq.decode(pq.encode(data)) - data) ** 2).sum())
+        rotation, opq = kernels.train_opq_rotation(
+            data, lambda: ProductQuantizer(16, m=4, nbits=6, seed=0),
+            opq_iters=4, seed=0,
+        )
+        rotated = data @ rotation
+        opq_err = float(((opq.decode(opq.encode(rotated)) - rotated) ** 2).sum())
+        assert opq_err < plain_err
+
+    def test_registry_and_search(self, medium_data, medium_queries):
+        assert "IVF_OPQ" in available_index_types()
+        index = create_index("IVF_OPQ", medium_data.shape[1], nlist=16,
+                             m=4, nbits=6, opq_iters=2)
+        index.train(medium_data)
+        index.add(medium_data)
+        result = index.search(medium_queries, 10, nprobe=8)
+        assert result.ids.shape == (len(medium_queries), 10)
+        assert (result.ids >= 0).any(axis=1).all()
+
+    def test_untrained_search_raises(self, medium_data):
+        index = IVFOPQIndex(medium_data.shape[1], nlist=16, m=4, nbits=6)
+        with pytest.raises(RuntimeError):
+            index._codec_space(medium_data[:1])
+
+    def test_serialization_roundtrip(self, medium_data, medium_queries):
+        index = IVFOPQIndex(medium_data.shape[1], nlist=16, m=4, nbits=6,
+                            opq_iters=2)
+        index.train(medium_data)
+        index.add(medium_data)
+        restored = index_from_bytes(index_to_bytes(index))
+        assert isinstance(restored, IVFOPQIndex)
+        np.testing.assert_array_equal(restored.rotation, index.rotation)
+        want = index.search(medium_queries, 5, nprobe=4)
+        got = restored.search(medium_queries, 5, nprobe=4)
+        np.testing.assert_array_equal(got.ids, want.ids)
+
+
+# -- decode rank regression --------------------------------------------------
+
+
+class TestDecodeRank:
+    def test_pq_decode_rank_mirrors_input(self, rng):
+        data = rng.normal(size=(300, 8)).astype(np.float32)
+        pq = ProductQuantizer(8, m=2, nbits=4, seed=0).train(data)
+        codes = pq.encode(data[:5])
+        assert pq.decode(codes).shape == (5, 8)
+        assert pq.decode(codes[0]).shape == (8,)
+        np.testing.assert_array_equal(pq.decode(codes[0]), pq.decode(codes)[0])
+
+    def test_sq_decode_rank_mirrors_input(self, rng):
+        from repro.index import ScalarQuantizer
+
+        data = rng.normal(size=(50, 6)).astype(np.float32)
+        sq = ScalarQuantizer().train(data)
+        codes = sq.encode(data[:4])
+        assert sq.decode(codes).shape == (4, 6)
+        assert sq.decode(codes[0]).shape == (6,)
+        np.testing.assert_array_equal(sq.decode(codes[0]), sq.decode(codes)[0])
+
+
+# -- planner row_bytes -------------------------------------------------------
+
+
+class TestRowBytesPlanning:
+    def test_bytes_read_predicted_for_index_strategies(self):
+        planner = AdaptivePlanner()
+        plan = planner.plan(
+            n=10_000, passing_fraction=0.5, k=10,
+            index_type="IVF_SQ8", nlist=64, row_bytes=24,
+        )
+        assert plan.row_bytes == 24
+        for strategy in ("B", "C"):
+            raw = planner._raw_counters(plan, strategy)
+            assert raw["bytes_read"] == pytest.approx(
+                raw["rows_scanned"] * 24
+            )
+        assert "bytes_read" not in planner._raw_counters(plan, "A")
+
+    def test_no_row_bytes_no_prediction(self):
+        planner = AdaptivePlanner()
+        plan = planner.plan(n=10_000, passing_fraction=0.5, k=10,
+                            index_type="IVF_FLAT", nlist=64)
+        assert "bytes_read" not in planner._raw_counters(plan, "B")
+
+    def test_row_code_bytes_per_index(self, medium_data):
+        dim = medium_data.shape[1]
+        flat = create_index("IVF_FLAT", dim, nlist=16)
+        sq8 = IVFSQ8Index(dim, nlist=16)
+        pq = IVFPQIndex(dim, nlist=16, m=4, nbits=6)
+        assert flat.row_code_bytes() == 4 * dim
+        assert sq8.row_code_bytes() == dim
+        assert pq.row_code_bytes() == 4
+
+
+# -- InvertedLists thread safety --------------------------------------------
+
+
+class TestInvertedListsConcurrency:
+    def test_concurrent_get_compaction(self):
+        lists = InvertedLists(1)
+        for block in range(40):
+            ids = np.arange(block * 10, block * 10 + 10, dtype=np.int64)
+            lists.append(0, ids, np.full((10, 4), block, dtype=np.uint8))
+        errors = []
+
+        def reader():
+            try:
+                for __ in range(50):
+                    ids, codes = lists.get(0)
+                    assert len(ids) == len(codes) == 400
+                    assert lists.is_compacted_block(0, codes)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        ids, codes = lists.get(0)
+        np.testing.assert_array_equal(ids, np.arange(400))
+
+    def test_concurrent_append_and_get(self):
+        lists = InvertedLists(4)
+        errors = []
+
+        def writer():
+            try:
+                for i in range(60):
+                    lists.append(i % 4, np.array([i], dtype=np.int64),
+                                 np.full((1, 4), i % 256, dtype=np.uint8))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def reader():
+            try:
+                for __ in range(120):
+                    for ln in range(4):
+                        ids, codes = lists.get(ln)
+                        if codes is not None:
+                            assert len(ids) == len(codes)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for __ in range(4)]
+        threads += [threading.Thread(target=reader) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert lists.total == 240

@@ -624,10 +624,40 @@ class _BodyVisitor(ast.NodeVisitor):
                 if isinstance(node.optional_vars, ast.Name):
                     names = [node.optional_vars.id]
                     value = node.context_expr
+            elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+                self.locals.setdefault(node.target.id, set()).update(
+                    self._iter_types(node.iter)
+                )
+            elif isinstance(node, ast.comprehension) and isinstance(
+                node.target, ast.Name
+            ):
+                self.locals.setdefault(node.target.id, set()).update(
+                    self._iter_types(node.iter)
+                )
             if value is not None:
                 types = self._expr_types(value)
                 for name in names:
                     self.locals.setdefault(name, set()).update(types)
+
+    def _iter_types(self, node: ast.AST) -> Set[str]:
+        """Element types for a loop/comprehension iterable.
+
+        Annotation flattening already conflates container and element
+        classes (``Dict[str, VectorIndex]`` types the attribute as
+        ``{VectorIndex}``), so iterating an annotated collection — or
+        its ``.values()`` view — types the iteration variable with the
+        same set.  This is what lets held-lock propagation follow
+        ``for ix in self.indexes.values(): ix.memory_bytes()`` into the
+        index classes' lock acquisitions.
+        """
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "values"
+            and not node.args
+        ):
+            return self._expr_types(node.func.value)
+        return self._expr_types(node)
 
     def _expr_types(self, node: ast.AST) -> Set[str]:
         """Candidate class qualnames for an expression's value."""
