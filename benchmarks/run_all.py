@@ -41,6 +41,7 @@ MODULES = [
     "bench_ablation_categorical",
     "bench_ablation_parallel",
     "bench_mixed_rw",
+    "bench_obs_overhead",
 ]
 
 REPORT_PATH = "BENCH_report.json"

@@ -182,6 +182,35 @@ class MilvusClient:
     def count(self, collection: str) -> int:
         return self.server.get_collection(collection).num_entities
 
+    # -- operational health (INTERNALS §19) -----------------------------
+    #
+    # Thin accessors over the process-global observability handle, so
+    # scripts and dashboards read the same data as the REST routes
+    # without building a router.  With observability off they return
+    # the null objects' empty shapes.
+
+    def health(self) -> Dict[str, object]:
+        """Watchdog rollup: status + per-component detail."""
+        return get_obs().health.report()
+
+    def events(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Newest ``limit`` journal events (all when ``None``), newest first."""
+        return [
+            e.to_dict()
+            for e in get_obs().events.events(limit=limit, newest_first=True)
+        ]
+
+    def jobs(self) -> Dict[str, object]:
+        """Background-job registry snapshot: running, finished, queues."""
+        return get_obs().jobs.snapshot()
+
+    def usage(self, collection: Optional[str] = None):
+        """Per-collection usage accounting; one record or the full map."""
+        meter = get_obs().usage
+        if collection is not None:
+            return meter.collection(collection)
+        return meter.snapshot()
+
 
 class ClusterClient:
     """SDK facade over a :class:`~repro.distributed.cluster.MilvusCluster`.

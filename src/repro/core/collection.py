@@ -114,6 +114,7 @@ class Collection:
             self._queue.put(("insert", row_ids, vectors, attributes, categoricals))
         else:
             self._lsm.insert(row_ids, vectors, attributes, categoricals)
+        get_obs().usage.record_insert(self.schema.name, n)
         return row_ids
 
     def delete(self, row_ids: Sequence[int]) -> None:
@@ -241,8 +242,9 @@ class Collection:
         # top-level search when observability is on (nested searches —
         # e.g. from the multi-vector searcher — land in the ambient
         # profile as stages instead of spawning their own).
+        top_level = current_node() is None
         profile = None
-        if explain or (obs.profiler.enabled and current_node() is None):
+        if explain or (obs.profiler.enabled and top_level):
             profile = QueryProfile(
                 "collection.search",
                 collection=self.schema.name, field=field, k=int(k),
@@ -263,6 +265,13 @@ class Collection:
             elapsed = time.perf_counter() - started
         if profile is not None:
             obs.profiler.record(span.trace_id, profile)
+            # Exact usage accounting: the profile's integer counters are
+            # deterministic (serial == pooled), so per-collection usage
+            # equals the sum of the recorded query profiles.
+            obs.usage.record_query(
+                self.schema.name, elapsed, profile.total_counters())
+        elif top_level:
+            obs.usage.record_query(self.schema.name, elapsed, None)
         obs.registry.histogram("collection_search_seconds").observe(elapsed)
         obs.slow_query_log.observe(
             "collection.search", elapsed, trace_id=span.trace_id,

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 from repro.core.collection import Collection
 from repro.core.errors import CollectionExistsError, CollectionNotFoundError
 from repro.core.schema import CollectionSchema
+from repro.obs import get_obs
 from repro.storage import LSMConfig
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore, LocalFileSystem
 
@@ -74,6 +75,8 @@ class MilvusLite:
         if name not in self._collections:
             raise CollectionNotFoundError(name)
         del self._collections[name]
+        # release the dropped name's usage record (bounded-name budget)
+        get_obs().usage.forget(name)
 
     def has_collection(self, name: str) -> bool:
         return name in self._collections

@@ -26,6 +26,7 @@ from repro.exec import ExecTimeoutError, QueryExecutor
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
+from repro.obs import events as obs_events
 from repro.obs.profile import QueryProfile, current_node, profile_stage
 from repro.storage.filesystem import FileSystem, InMemoryObjectStore
 from repro.utils import merge_topk_batch
@@ -146,6 +147,9 @@ class MilvusCluster:
             with obs.tracer.span("cluster.respawn", node=node_id):
                 self.readers[node_id] = ReaderNode.respawn(reader)
             obs.registry.counter("cluster_respawns_total", node=node_id).inc()
+            obs.events.emit(
+                obs_events.READER_RESPAWN, node=node_id,
+                respawns=self.coordinator.respawns_of(node_id))
             respawned.append(node_id)
         return respawned
 

@@ -218,7 +218,8 @@ class WorkerPool:
         if self._shutdown:
             raise RuntimeError("worker pool is shut down")
         tasks = []
-        registry = get_obs().registry
+        obs = get_obs()
+        registry = obs.registry
         for fn in fns:
             task = _Task(fn, label)
             with self._lock:
@@ -226,6 +227,9 @@ class WorkerPool:
             self._queue.put(task)  # blocks at capacity: backpressure
             registry.gauge("exec_queue_depth").set(self._queue.qsize())
             tasks.append(task)
+        # Mirror the saturation signal into the job registry's named
+        # queues so /jobs and the health watchdog see pool pressure.
+        obs.jobs.set_queue_depth("exec", self._queue.qsize())
         registry.counter("exec_tasks_total").inc(len(tasks))
         settled: List[Tuple[object, Optional[BaseException]]] = []
         for task in tasks:

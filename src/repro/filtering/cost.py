@@ -25,6 +25,8 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import get_obs
+from repro.obs import events as obs_events
 from repro.utils import EwmaCalibrator
 
 
@@ -235,6 +237,10 @@ _NPROBE_GRID = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 _EF_MIN = 16
 _EF_MAX = 512
+
+#: emit a planner.calibration journal event on the first and then
+#: every Nth observation of a strategy (count-keyed: deterministic).
+_CALIBRATION_EVENT_EVERY = 32
 
 
 @dataclass
@@ -454,6 +460,17 @@ class AdaptivePlanner:
         for name, predicted in self._raw_counters(plan, strategy).items():
             self.model.calibrator.observe(
                 f"{strategy}:{name}", predicted, scaled.get(name, 0.0)
+            )
+        # Snapshot the coefficient every Nth observation of a strategy:
+        # the cadence keys off the calibrator's own observation count,
+        # so seeded runs emit identical event sequences.
+        count = self.model.calibrator.observations(strategy)
+        if count == 1 or count % _CALIBRATION_EVENT_EVERY == 0:
+            get_obs().events.emit(
+                obs_events.PLANNER_CALIBRATION,
+                strategy=strategy,
+                observations=count,
+                coefficient=round(self.model.calibrator.coefficient(strategy), 6),
             )
 
     def estimated_counters(self, plan: QueryPlan) -> Dict[str, float]:

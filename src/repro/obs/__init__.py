@@ -14,7 +14,12 @@ injectable) :class:`Observability` handle:
   layer landed, embedding the offending query's profile);
 * :class:`~repro.obs.profile.Profiler` — bounded store of per-query
   :class:`~repro.obs.profile.QueryProfile` trees (stage timings +
-  exact work counters), retrievable via ``GET /profiles/<trace_id>``.
+  exact work counters), retrievable via ``GET /profiles/<trace_id>``;
+* the operational layer (INTERNALS §19) —
+  :class:`~repro.obs.events.EventJournal` (``GET /events``),
+  :class:`~repro.obs.jobs.JobRegistry` (``GET /jobs``),
+  :class:`~repro.obs.health.HealthMonitor` (``GET /health``) and
+  :class:`~repro.obs.usage.UsageMeter` (``GET /usage``).
 
 Switchboard (mirrors :mod:`repro.utils.sanitizer`): observability is
 **off by default** and every instrumented call site then runs against
@@ -39,14 +44,39 @@ import threading
 import time
 from typing import Optional
 
+from repro.obs.events import (
+    Event,
+    EventJournal,
+    NullEventJournal,
+    NULL_JOURNAL,
+)
+from repro.obs.health import (
+    HealthMonitor,
+    NullHealthMonitor,
+    NULL_HEALTH,
+)
+from repro.obs.jobs import (
+    Job,
+    JobRegistry,
+    NullJobRegistry,
+    NULL_JOB,
+    NULL_JOBS,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    METRIC_DESCRIPTIONS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
     NULL_REGISTRY,
+    describe_metric,
+)
+from repro.obs.usage import (
+    NullUsageMeter,
+    NULL_USAGE,
+    UsageMeter,
 )
 from repro.obs.profile import (
     NullProfiler,
@@ -70,6 +100,8 @@ from repro.obs.tracing import NullTracer, NULL_TRACER, Span, Tracer
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "METRIC_DESCRIPTIONS",
+    "describe_metric",
     "Counter",
     "Gauge",
     "Histogram",
@@ -87,6 +119,21 @@ __all__ = [
     "NullProfiler",
     "NULL_PROFILER",
     "NULL_STAGE",
+    "Event",
+    "EventJournal",
+    "NullEventJournal",
+    "NULL_JOURNAL",
+    "Job",
+    "JobRegistry",
+    "NullJobRegistry",
+    "NULL_JOB",
+    "NULL_JOBS",
+    "HealthMonitor",
+    "NullHealthMonitor",
+    "NULL_HEALTH",
+    "UsageMeter",
+    "NullUsageMeter",
+    "NULL_USAGE",
     "current_node",
     "profile_count",
     "profile_attr",
@@ -101,7 +148,12 @@ __all__ = [
 
 
 class Observability:
-    """One registry + tracer + slow-query log + profiler, together."""
+    """One registry + tracer + slow-query log + profiler + ops layer.
+
+    The operational members default to instances wired to each other:
+    the job registry exports gauges through ``registry``, the health
+    monitor reads the same gauges back and watches the job heartbeats.
+    """
 
     def __init__(
         self,
@@ -109,6 +161,10 @@ class Observability:
         tracer: Optional[Tracer] = None,
         slow_query_log: Optional[SlowQueryLog] = None,
         profiler: Optional[Profiler] = None,
+        events: Optional[EventJournal] = None,
+        jobs: Optional[JobRegistry] = None,
+        health: Optional[HealthMonitor] = None,
+        usage: Optional[UsageMeter] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
@@ -116,6 +172,16 @@ class Observability:
             slow_query_log if slow_query_log is not None else SlowQueryLog()
         )
         self.profiler = profiler if profiler is not None else Profiler()
+        self.events = events if events is not None else EventJournal()
+        self.jobs = (
+            jobs if jobs is not None else JobRegistry(registry=self.registry)
+        )
+        self.health = (
+            health
+            if health is not None
+            else HealthMonitor(registry=self.registry, jobs=self.jobs)
+        )
+        self.usage = usage if usage is not None else UsageMeter()
 
 
 class _NullObservability:
@@ -125,6 +191,10 @@ class _NullObservability:
     tracer = NULL_TRACER
     slow_query_log = NULL_SLOW_LOG
     profiler = NULL_PROFILER
+    events = NULL_JOURNAL
+    jobs = NULL_JOBS
+    health = NULL_HEALTH
+    usage = NULL_USAGE
 
 
 _NULL_OBS = _NullObservability()
@@ -165,6 +235,10 @@ def enable(
     tracer: Optional[Tracer] = None,
     slow_query_log: Optional[SlowQueryLog] = None,
     profiler: Optional[Profiler] = None,
+    events: Optional[EventJournal] = None,
+    jobs: Optional[JobRegistry] = None,
+    health: Optional[HealthMonitor] = None,
+    usage: Optional[UsageMeter] = None,
 ) -> Observability:
     """Force observability on; optionally inject components (tests).
 
@@ -173,7 +247,8 @@ def enable(
     """
     global _obs
     with _state_lock:
-        _obs = Observability(registry, tracer, slow_query_log, profiler)
+        _obs = Observability(registry, tracer, slow_query_log, profiler,
+                             events, jobs, health, usage)
         return _obs
 
 

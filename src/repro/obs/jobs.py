@@ -1,0 +1,291 @@
+"""Background-job registry: what is the maintenance machinery doing?
+
+PR 7 moved flush and compaction onto a background thread; an index
+build can also run inside a flush.  Each such *unit of work* registers
+here as a :class:`Job` with a kind, a phase, progress (rows/bytes
+done vs total), and a heartbeat timestamp, so ``GET /jobs`` (and the
+``reprotop`` dashboard) can show what's in flight, and the health
+watchdog can flag a job whose heartbeat has gone stale (a flush parked
+forever on a stalled write).
+
+Structure mirrors the rest of :mod:`repro.obs`:
+
+* **bounded memory** — running jobs are naturally bounded by the
+  worker count; finished jobs are retained in a fixed-size ring;
+* **thread-safe leaf** — all mutations (including :class:`Job` field
+  updates) serialize on the registry's single lock, sanitizer role
+  ``"obs"``; gauges are updated *after* the lock is released so two
+  same-level ``"obs"`` locks never nest;
+* **injectable clock** — heartbeats default to
+  :func:`time.perf_counter`; fault-plan tests inject a fake clock so
+  stalled-job detection is deterministic;
+* **null objects** — :data:`NULL_JOBS` / :data:`NULL_JOB` make every
+  instrumented site one no-op call when observability is off.
+
+Gauges exported (through the registry handed in by
+:class:`~repro.obs.Observability`): ``bg_jobs_running{kind}``,
+``bg_queue_depth{queue}``; counter ``bg_jobs_total{kind,state}``;
+histogram ``bg_job_seconds{kind}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import NULL_REGISTRY
+from repro.utils.sanitizer import maybe_sanitize
+
+__all__ = ["Job", "JobRegistry", "NullJob", "NullJobRegistry",
+           "NULL_JOB", "NULL_JOBS"]
+
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class Job:
+    """One unit of background work; mutate via the methods only.
+
+    All fields are guarded by the owning registry's lock (shared in as
+    ``_lock``); the mutator methods take it, so call sites may update
+    progress from any thread — including while holding engine locks,
+    since ``"obs"`` is a leaf role.
+    """
+
+    _GUARDED_BY = {
+        "phase": "_lock",
+        "state": "_lock",
+        "rows_done": "_lock",
+        "rows_total": "_lock",
+        "bytes_done": "_lock",
+        "bytes_total": "_lock",
+        "heartbeat_at": "_lock",
+        "finished_at": "_lock",
+        "error": "_lock",
+    }
+
+    __slots__ = (
+        "_registry", "_lock", "job_id", "kind", "collection", "phase",
+        "state", "rows_done", "rows_total", "bytes_done", "bytes_total",
+        "started_at", "heartbeat_at", "finished_at", "error",
+    )
+
+    def __init__(self, registry: "JobRegistry", job_id: int, kind: str,
+                 collection: str, now: float):
+        self._registry = registry
+        self._lock = registry._lock
+        self.job_id = job_id
+        self.kind = kind
+        self.collection = collection
+        self.phase = "start"
+        self.state = RUNNING
+        self.rows_done = 0
+        self.rows_total = 0
+        self.bytes_done = 0
+        self.bytes_total = 0
+        self.started_at = now
+        self.heartbeat_at = now
+        self.finished_at = 0.0
+        self.error = ""
+
+    # -- mutators ---------------------------------------------------------
+
+    def advance(
+        self,
+        phase: Optional[str] = None,
+        rows_done: Optional[int] = None,
+        rows_total: Optional[int] = None,
+        bytes_done: Optional[int] = None,
+        bytes_total: Optional[int] = None,
+    ) -> None:
+        """Update phase/progress; every call refreshes the heartbeat."""
+        now = self._registry._clock()
+        with self._lock:
+            if phase is not None:
+                self.phase = phase
+            if rows_done is not None:
+                self.rows_done = int(rows_done)
+            if rows_total is not None:
+                self.rows_total = int(rows_total)
+            if bytes_done is not None:
+                self.bytes_done = int(bytes_done)
+            if bytes_total is not None:
+                self.bytes_total = int(bytes_total)
+            self.heartbeat_at = now
+
+    def heartbeat(self) -> None:
+        """I'm alive (long phases with nothing countable to report)."""
+        now = self._registry._clock()
+        with self._lock:
+            self.heartbeat_at = now
+
+    def finish(self, error: Optional[str] = None) -> None:
+        """Mark done (or failed) and move to the finished ring."""
+        self._registry._finish(self, error)
+
+    # -- reads ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "id": self.job_id,
+                "kind": self.kind,
+                "collection": self.collection,
+                "phase": self.phase,
+                "state": self.state,
+                "rows_done": self.rows_done,
+                "rows_total": self.rows_total,
+                "bytes_done": self.bytes_done,
+                "bytes_total": self.bytes_total,
+                "started_at": self.started_at,
+                "heartbeat_at": self.heartbeat_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Job(id={self.job_id}, kind={self.kind!r}, "
+                f"phase={self.phase!r}, state={self.state!r})")
+
+
+class JobRegistry:
+    """Running + recently finished jobs, with named queue depths."""
+
+    _GUARDED_BY = {
+        "_running": "_lock",
+        "_finished": "_lock",
+        "_queues": "_lock",
+        "_seq": "_lock",
+    }
+
+    def __init__(self, registry=None, finished_capacity: int = 64, clock=None):
+        self._metrics = registry if registry is not None else NULL_REGISTRY
+        self._clock = clock if clock is not None else time.perf_counter
+        self._lock = maybe_sanitize(threading.Lock(), "obs")
+        self._running: Dict[int, Job] = {}
+        self._finished: deque = deque(maxlen=finished_capacity)
+        self._queues: Dict[str, int] = {}
+        self._seq = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self, kind: str, collection: str = "") -> Job:
+        now = self._clock()
+        with self._lock:
+            self._seq += 1
+            job = Job(self, self._seq, kind, collection, now)
+            self._running[job.job_id] = job
+        # gauge updates outside the lock: "obs" locks never nest.
+        self._metrics.gauge("bg_jobs_running", kind=kind).inc()
+        return job
+
+    def _finish(self, job: Job, error: Optional[str]) -> None:
+        now = self._clock()
+        with self._lock:
+            if job.job_id not in self._running:  # already finished
+                return
+            del self._running[job.job_id]
+            job.state = FAILED if error else DONE
+            job.error = error or ""
+            job.finished_at = now
+            job.heartbeat_at = now
+            self._finished.append(job)
+            elapsed = now - job.started_at
+        self._metrics.gauge("bg_jobs_running", kind=job.kind).dec()
+        self._metrics.counter(
+            "bg_jobs_total", kind=job.kind, state=job.state).inc()
+        self._metrics.histogram("bg_job_seconds", kind=job.kind).observe(elapsed)
+
+    def set_queue_depth(self, queue: str, depth: int) -> None:
+        with self._lock:
+            self._queues[queue] = int(depth)
+        self._metrics.gauge("bg_queue_depth", queue=queue).set(depth)
+
+    # -- reads ------------------------------------------------------------
+
+    def running(self) -> List[Job]:
+        with self._lock:
+            return list(self._running.values())
+
+    def finished(self) -> List[Job]:
+        with self._lock:
+            return list(self._finished)
+
+    def queue_depths(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._queues)
+
+    def stalled(self, max_age_seconds: float) -> List[Job]:
+        """Running jobs whose heartbeat is older than ``max_age_seconds``."""
+        now = self._clock()
+        with self._lock:
+            return [
+                job for job in self._running.values()
+                if now - job.heartbeat_at > max_age_seconds
+            ]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-compatible dump (the ``GET /jobs`` payload)."""
+        return {
+            "running": [job.to_dict() for job in self.running()],
+            "finished": [job.to_dict() for job in self.finished()],
+            "queues": self.queue_depths(),
+        }
+
+
+class NullJob:
+    """Disabled-path job handle: every mutator is one no-op call."""
+
+    job_id = 0
+    kind = ""
+    collection = ""
+    phase = ""
+    state = DONE
+    rows_done = rows_total = bytes_done = bytes_total = 0
+    started_at = heartbeat_at = finished_at = 0.0
+    error = ""
+
+    def advance(self, phase=None, rows_done=None, rows_total=None,
+                bytes_done=None, bytes_total=None) -> None:
+        pass
+
+    def heartbeat(self) -> None:
+        pass
+
+    def finish(self, error=None) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+
+NULL_JOB = NullJob()
+
+
+class NullJobRegistry:
+    def start(self, kind: str, collection: str = "") -> NullJob:
+        return NULL_JOB
+
+    def set_queue_depth(self, queue: str, depth: int) -> None:
+        pass
+
+    def running(self) -> List[Job]:
+        return []
+
+    def finished(self) -> List[Job]:
+        return []
+
+    def queue_depths(self) -> Dict[str, int]:
+        return {}
+
+    def stalled(self, max_age_seconds: float) -> List[Job]:
+        return []
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"running": [], "finished": [], "queues": {}}
+
+
+NULL_JOBS = NullJobRegistry()

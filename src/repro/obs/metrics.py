@@ -36,6 +36,7 @@ from repro.utils.sanitizer import maybe_sanitize
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "METRIC_DESCRIPTIONS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -45,6 +46,7 @@ __all__ = [
     "NullHistogram",
     "NullRegistry",
     "NULL_REGISTRY",
+    "describe_metric",
 ]
 
 #: default histogram boundaries: latency in seconds, 100us .. 10s.
@@ -70,6 +72,97 @@ def _escape_label_value(value: str) -> str:
     must not be able to break out of the label quoting or inject lines.
     """
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help_text(text: str) -> str:
+    """Escaping for ``# HELP`` description text.
+
+    Per the exposition-format spec this is **not** the label escaping:
+    HELP text is unquoted, so only backslash and newline are escaped
+    (a raw newline would terminate the comment and inject a line;
+    quotes pass through verbatim).
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: one-line operator descriptions rendered as ``# HELP`` lines in the
+#: exposition.  Keyed by metric family name; unknown families fall
+#: back to :func:`describe_metric`'s generated text so every family
+#: always carries a HELP line.
+METRIC_DESCRIPTIONS: Dict[str, str] = {
+    # storage / LSM
+    "lsm_insert_rows_total": "Rows accepted into memtables.",
+    "lsm_insert_seconds": "Latency of one insert batch (WAL append + memtable).",
+    "lsm_flushes_total": "Memtable flushes committed to sealed segments.",
+    "lsm_flush_seconds": "Latency of one memtable flush (encode + write + commit).",
+    "lsm_merges_total": "Segment merge compactions committed.",
+    "lsm_merge_seconds": "Latency of one segment merge.",
+    "lsm_compaction_seconds": "Latency of one compaction task (merge or purge).",
+    "lsm_purged_rows_total": "Tombstoned rows physically removed by purge compactions.",
+    "lsm_searches_total": "Searches served by the LSM read path.",
+    "lsm_search_seconds": "Latency of one LSM search across memtable and segments.",
+    "lsm_compaction_backlog": "Compaction tasks planned but not yet executed.",
+    "lsm_frozen_memtables": "Frozen memtables queued for background flush.",
+    "wal_appends_total": "Write-ahead-log records appended.",
+    "wal_append_seconds": "Latency of one WAL append (serialize + write).",
+    "wal_lag_bytes": "WAL bytes not yet covered by a flushed-LSN checkpoint.",
+    "index_builds_total": "Segment index builds completed.",
+    "index_build_seconds": "Latency of one segment index build.",
+    "bloom_hits_total": "Point lookups answered by a segment bloom filter.",
+    "bloom_negatives_total": "Point lookups skipped by a bloom-filter negative.",
+    # buffer pool / caches
+    "bufferpool_hits_total": "Segment reads served from the buffer pool.",
+    "bufferpool_misses_total": "Segment reads faulted in from storage.",
+    "bufferpool_evictions_total": "Segments evicted from the buffer pool.",
+    "bufferpool_resident_bytes": "Bytes currently pinned or cached in the buffer pool.",
+    "normcache_hits_total": "Query-norm cache hits.",
+    "normcache_misses_total": "Query-norm cache misses.",
+    # execution pool
+    "exec_tasks_total": "Tasks submitted to the shared worker pool.",
+    "exec_task_timeouts_total": "Pooled tasks that exceeded their per-task timeout.",
+    "exec_queue_depth": "Tasks waiting in the worker-pool queue.",
+    "exec_active_workers": "Worker threads currently running a task.",
+    # distributed
+    "cluster_searches_total": "Cluster fan-out searches served.",
+    "cluster_search_seconds": "Latency of one cluster fan-out search.",
+    "cluster_insert_rows_total": "Rows routed through the cluster write path.",
+    "cluster_degraded_searches_total": "Searches answered with one or more shards missing.",
+    "cluster_missing_shards_total": "Shard reads skipped because no reader held the shard.",
+    "cluster_respawns_total": "Reader nodes respawned by the coordinator watchdog.",
+    "cluster_lazy_index_build_seconds": "Latency of lazy index builds during cluster sync.",
+    "reader_queries_served_total": "Queries served per reader node.",
+    "reader_lazy_index_builds_total": "Lazy index builds performed by reader nodes.",
+    "reader_lazy_index_build_seconds": "Latency of one reader-side lazy index build.",
+    "writer_shardlog_appends_total": "Shard-log appends by the writer node.",
+    "writer_shardlog_rows_total": "Rows appended to shard logs by the writer node.",
+    "writer_shardlog_append_seconds": "Latency of one shard-log append.",
+    # retry / faults
+    "retry_retries_total": "Transient faults absorbed by retry policies.",
+    "retry_exhausted_total": "Operations that ran out of retry budget.",
+    # client / REST
+    "rest_requests_total": "REST requests handled, by method and status.",
+    "rest_request_seconds": "Latency of one REST request end to end.",
+    "collection_search_seconds": "Latency of one collection-level search call.",
+    # queries / engine
+    "hetero_dispatch_total": "Query batches dispatched per heterogeneous backend.",
+    # background jobs / ops (INTERNALS §19)
+    "bg_jobs_running": "Background jobs currently running, by kind.",
+    "bg_jobs_total": "Background jobs finished, by kind and terminal state.",
+    "bg_job_seconds": "Wall-clock duration of one background job.",
+    "bg_queue_depth": "Depth of each named background work queue.",
+    "process_uptime_seconds": "Seconds since this process imported the REST layer.",
+    # benchmarks
+    "bench_search_seconds": "Latency samples recorded by benchmark stopwatches.",
+}
+
+
+def describe_metric(name: str) -> str:
+    """The ``# HELP`` text for a metric family.
+
+    Falls back to a generated description so families minted at call
+    sites (tests, future instruments) still expose a HELP line.
+    """
+    return METRIC_DESCRIPTIONS.get(name, f"Metric {name}.")
 
 
 def _render_labels(labels: LabelSet, extra: Iterable[Tuple[str, str]] = ()) -> str:
@@ -330,7 +423,12 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self) -> str:
-        """The classic Prometheus text exposition format."""
+        """The classic Prometheus text exposition format.
+
+        Each metric family is announced once with a ``# HELP`` line
+        (description from :data:`METRIC_DESCRIPTIONS`, HELP-escaped)
+        followed by its ``# TYPE`` line, then the samples.
+        """
         lines: List[str] = []
         seen_types = set()
         for inst in self.instruments():
@@ -342,6 +440,9 @@ class MetricsRegistry:
                 kind = "histogram"
             if inst.name not in seen_types:
                 seen_types.add(inst.name)
+                lines.append(
+                    f"# HELP {inst.name} {_escape_help_text(describe_metric(inst.name))}"
+                )
                 lines.append(f"# TYPE {inst.name} {kind}")
             if isinstance(inst, Histogram):
                 for edge, cumulative in inst.bucket_counts():

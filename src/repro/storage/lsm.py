@@ -62,6 +62,7 @@ from repro.exec import QueryExecutor
 from repro.index.base import SearchResult
 from repro.metrics import get_metric
 from repro.obs import get_obs
+from repro.obs import events as obs_events
 from repro.obs.profile import profile_count, profile_stage
 from repro.storage.bufferpool import BufferPool
 from repro.storage.faults import SimulatedCrash
@@ -372,7 +373,11 @@ class LSMManager:
         if now_seconds is not None:
             self._last_flush_time = now_seconds
         self._work.put(fid)
-        get_obs().registry.gauge("lsm_frozen_memtables").set(backlog)
+        obs = get_obs()
+        obs.registry.gauge("lsm_frozen_memtables").set(backlog)
+        obs.jobs.set_queue_depth("flush", backlog)
+        obs.events.emit(obs_events.MEMTABLE_FREEZE,
+                        fid=fid, rows=len(memtable), backlog=backlog)
         return fid
 
     # -- background engine -------------------------------------------------
@@ -409,6 +414,11 @@ class LSMManager:
                             self._bg_crash = exc
                     elif self._bg_error is None:
                         self._bg_error = exc
+                obs = get_obs()
+                obs.events.emit(obs_events.BG_ERROR, worker="flusher",
+                                error=type(exc).__name__, fatal=fatal)
+                obs.health.note_bg_failure(
+                    "flusher", f"{type(exc).__name__}: {exc}", fatal=fatal)
             finally:
                 self._work.task_done()
 
@@ -524,57 +534,72 @@ class LSMManager:
         if entry is None or entry.done:
             return
         obs = get_obs()
+        job = obs.jobs.start("flush")
         with obs.tracer.span("lsm.flush", frozen=fid):
             started = time.perf_counter()
-            if entry.rows:
-                view = self._frozen_view(fid)
-                if not entry.committed:
-                    if entry.seg_id is None:
-                        entry.seg_id = self._next_segment_id
-                        self._next_segment_id += 1
-                    # Share the view's arrays (and bloom filter): the sealed
-                    # segment is bit-identical to what readers saw frozen.
-                    segment = Segment(
-                        entry.seg_id, view.row_ids, view.vectors,
-                        view.attributes, view.vector_specs,
-                        categoricals=view.categoricals, bloom=view.bloom,
-                    )
-                    size = self._persist_segment(segment)
-                    self.bufferpool.put(segment)
+            obs.events.emit(obs_events.FLUSH_START, fid=fid, rows=entry.rows)
+            try:
+                if entry.rows:
+                    job.advance(phase="encode", rows_total=entry.rows)
+                    view = self._frozen_view(fid)
+                    if not entry.committed:
+                        if entry.seg_id is None:
+                            entry.seg_id = self._next_segment_id
+                            self._next_segment_id += 1
+                        # Share the view's arrays (and bloom filter): the sealed
+                        # segment is bit-identical to what readers saw frozen.
+                        segment = Segment(
+                            entry.seg_id, view.row_ids, view.vectors,
+                            view.attributes, view.vector_specs,
+                            categoricals=view.categoricals, bloom=view.bloom,
+                        )
+                        size = self._persist_segment(segment, job=job)
+                        self.bufferpool.put(segment)
+                        job.advance(phase="manifest-commit")
+                        self.manifest.commit(
+                            add=[entry.seg_id], remove_frozen=[fid],
+                            new_tombstones=entry.tombstones,
+                            sizes={entry.seg_id: size},
+                        )
+                        entry.committed = True
+                elif not entry.committed:
                     self.manifest.commit(
-                        add=[entry.seg_id], remove_frozen=[fid],
-                        new_tombstones=entry.tombstones,
-                        sizes={entry.seg_id: size},
+                        remove_frozen=[fid], new_tombstones=entry.tombstones
                     )
                     entry.committed = True
-            elif not entry.committed:
-                self.manifest.commit(
-                    remove_frozen=[fid], new_tombstones=entry.tombstones
-                )
-                entry.committed = True
-            seg_id = entry.seg_id
-            with self._frozen_lock:
-                entry.done = True
-                if fid in self._awaited:
-                    self._flush_results[fid] = seg_id
-                pending = [e for e in self._frozen.values() if not e.done]
-                # The checkpoint may only pass LSNs every pending freeze
-                # has outgrown: a failed (or simply later) entry still
-                # owns records from wal_from + 1 on, and truncating them
-                # would lose acked writes if it never seals.
-                safe_lsn = (
-                    min(e.wal_from for e in pending)
-                    if pending else self._frozen_wal_high
-                )
-                backlog = len(pending)
-            if self.wal is not None:
-                self._flushed_lsn = max(self._flushed_lsn, safe_lsn)
-            self._persist_manifest_locked()
-            self.flush_count += 1
-            if self.wal is not None:
-                self.wal.truncate_through(self._flushed_lsn)
+                seg_id = entry.seg_id
+                with self._frozen_lock:
+                    entry.done = True
+                    if fid in self._awaited:
+                        self._flush_results[fid] = seg_id
+                    pending = [e for e in self._frozen.values() if not e.done]
+                    # The checkpoint may only pass LSNs every pending freeze
+                    # has outgrown: a failed (or simply later) entry still
+                    # owns records from wal_from + 1 on, and truncating them
+                    # would lose acked writes if it never seals.
+                    safe_lsn = (
+                        min(e.wal_from for e in pending)
+                        if pending else self._frozen_wal_high
+                    )
+                    backlog = len(pending)
+                if self.wal is not None:
+                    self._flushed_lsn = max(self._flushed_lsn, safe_lsn)
+                job.advance(phase="checkpoint")
+                self._persist_manifest_locked()
+                self.flush_count += 1
+                if self.wal is not None:
+                    self.wal.truncate_through(self._flushed_lsn)
+            except BaseException as exc:
+                job.finish(error=f"{type(exc).__name__}: {exc}")
+                raise
             elapsed = time.perf_counter() - started
         obs.registry.gauge("lsm_frozen_memtables").set(backlog)
+        obs.jobs.set_queue_depth("flush", backlog)
+        obs.events.emit(obs_events.FLUSH_COMMIT, fid=fid,
+                        seg_id=-1 if seg_id is None else seg_id,
+                        backlog=backlog)
+        job.finish()
+        obs.health.note_bg_ok("flusher")
         if seg_id is not None:
             obs.registry.counter("lsm_flushes_total").inc()
             obs.registry.histogram("lsm_flush_seconds").observe(elapsed)
@@ -659,35 +684,47 @@ class LSMManager:
             sizes = self.manifest.live_segment_sizes()
             tasks = self.config.merge_policy.plan(sorted(sizes.items()))
             obs.registry.gauge("lsm_compaction_backlog").set(len(tasks))
+            obs.jobs.set_queue_depth("compaction", len(tasks))
             if not tasks:
                 break
+            obs.events.emit(obs_events.COMPACTION_PLAN, tasks=len(tasks))
             for task in tasks:
                 self._execute_merge_locked(task.segment_ids)
                 merged += 1
         merged += self._maybe_purge_locked()
         obs.registry.gauge("lsm_compaction_backlog").set(0)
+        obs.jobs.set_queue_depth("compaction", 0)
         return merged
 
     def _execute_merge_locked(self, segment_ids: Tuple[int, ...]) -> int:
         assert_guarded(self._bg_lock, "LSMManager", "_next_segment_id")
         obs = get_obs()
+        job = obs.jobs.start("compaction")
+        job.advance(phase="merge")
         with obs.tracer.span("lsm.merge", inputs=len(segment_ids)):
             started = time.perf_counter()
-            merged_id = self._merge_segments_locked(segment_ids)
+            try:
+                merged_id = self._merge_segments_locked(segment_ids, job=job)
+            except BaseException as exc:
+                job.finish(error=f"{type(exc).__name__}: {exc}")
+                raise
             elapsed = time.perf_counter() - started
         obs.registry.counter("lsm_merges_total").inc()
         obs.registry.histogram("lsm_merge_seconds").observe(elapsed)
         obs.registry.histogram("lsm_compaction_seconds").observe(elapsed)
+        obs.events.emit(obs_events.COMPACTION_COMMIT, op="merge",
+                        inputs=len(segment_ids), seg_id=merged_id)
+        job.finish()
         return merged_id
 
-    def _merge_segments_locked(self, segment_ids: Tuple[int, ...]) -> int:
+    def _merge_segments_locked(self, segment_ids: Tuple[int, ...], job=None) -> int:
         tombstones = self.manifest.current_tombstones()
         segments = [self.bufferpool.get(s, pin=True) for s in segment_ids]
         try:
             new_id = self._next_segment_id
             self._next_segment_id += 1
             merged = Segment.merge(new_id, segments, drop_ids=tombstones)
-            size = self._persist_segment(merged)
+            size = self._persist_segment(merged, job=job)
             self.bufferpool.put(merged)
             # Tombstones covered by the merged inputs are now physical.
             covered = np.concatenate([s.row_ids for s in segments])
@@ -739,27 +776,37 @@ class LSMManager:
         self, seg_id: int, segment: Segment, tombstones: np.ndarray
     ) -> None:
         obs = get_obs()
+        job = obs.jobs.start("compaction")
+        job.advance(phase="purge", rows_total=segment.num_rows)
         with obs.tracer.span("lsm.purge", segment=seg_id):
             started = time.perf_counter()
-            covered = np.intersect1d(tombstones, segment.row_ids)
-            new_id = self._next_segment_id
-            self._next_segment_id += 1
-            rewritten = Segment.merge(new_id, [segment], drop_ids=tombstones)
-            if rewritten.num_rows:
-                size = self._persist_segment(rewritten)
-                self.bufferpool.put(rewritten)
-                self.manifest.commit(
-                    add=[new_id], remove=[seg_id],
-                    clear_tombstones=covered, sizes={new_id: size},
-                )
-            else:
-                # Every row was dead; the segment simply disappears.
-                self.manifest.commit(remove=[seg_id], clear_tombstones=covered)
-            self._persist_manifest_locked()
-            self.purge_count += 1
+            try:
+                covered = np.intersect1d(tombstones, segment.row_ids)
+                new_id = self._next_segment_id
+                self._next_segment_id += 1
+                rewritten = Segment.merge(new_id, [segment], drop_ids=tombstones)
+                if rewritten.num_rows:
+                    size = self._persist_segment(rewritten, job=job)
+                    self.bufferpool.put(rewritten)
+                    self.manifest.commit(
+                        add=[new_id], remove=[seg_id],
+                        clear_tombstones=covered, sizes={new_id: size},
+                    )
+                else:
+                    # Every row was dead; the segment simply disappears.
+                    self.manifest.commit(remove=[seg_id], clear_tombstones=covered)
+                self._persist_manifest_locked()
+                self.purge_count += 1
+            except BaseException as exc:
+                job.finish(error=f"{type(exc).__name__}: {exc}")
+                raise
             elapsed = time.perf_counter() - started
         obs.registry.counter("lsm_purged_rows_total").inc(len(covered))
         obs.registry.histogram("lsm_compaction_seconds").observe(elapsed)
+        obs.events.emit(obs_events.COMPACTION_COMMIT, op="purge",
+                        inputs=1, seg_id=seg_id,
+                        dropped_rows=int(len(covered)))
+        job.finish()
 
     # -- index building --------------------------------------------------------
 
@@ -769,14 +816,22 @@ class LSMManager:
     ) -> None:
         """Build and catalog one segment index, timed and counted."""
         obs = get_obs()
+        job = obs.jobs.start("index-build")
+        job.advance(phase=itype, rows_total=segment.num_rows)
         with obs.tracer.span(
             "index.build", segment=seg_id, field=fieldname, index_type=itype
         ):
             started = time.perf_counter()
-            segment.build_index(fieldname, itype, **params)
+            try:
+                segment.build_index(fieldname, itype, **params)
+            except BaseException as exc:
+                job.finish(error=f"{type(exc).__name__}: {exc}")
+                raise
             elapsed = time.perf_counter() - started
         obs.registry.counter("index_builds_total", index_type=itype).inc()
         obs.registry.histogram("index_build_seconds").observe(elapsed)
+        job.advance(rows_done=segment.num_rows)
+        job.finish()
         self._record_index(seg_id, fieldname, itype, params)
 
     def _maybe_build_indexes(self) -> None:
@@ -1088,9 +1143,16 @@ class LSMManager:
     def _segment_path(self, segment_id: int) -> str:
         return f"segments/{segment_id:012d}.seg"
 
-    def _persist_segment(self, segment: Segment) -> int:
+    def _persist_segment(self, segment: Segment, job=None) -> int:
         blob = segment.to_bytes()
+        if job is not None:
+            # Rows are fully encoded before the write starts, so a job
+            # parked on a stalled write still shows real progress.
+            job.advance(phase="segment-write", rows_done=segment.num_rows,
+                        bytes_total=len(blob))
         self.fs.write(self._segment_path(segment.segment_id), blob)
+        if job is not None:
+            job.advance(bytes_done=len(blob))
         return len(blob)
 
     def _load_segment(self, segment_id: int) -> Segment:
@@ -1129,6 +1191,8 @@ class LSMManager:
         """
         self.bufferpool.invalidate(segment_id, defer=True)
         self._dead_segment_files.put(segment_id)
+        get_obs().events.emit(
+            obs_events.COMPACTION_DEFERRED_DELETE, seg_id=segment_id)
 
     def _drain_dead_segment_files(self) -> None:
         """Physically delete files whose removing commit is now durable."""
@@ -1266,12 +1330,18 @@ class LSMManager:
                     sizes=sizes,
                 )
             self._gc_orphans_locked()
+            flushed_lsn = self._flushed_lsn
             if self.wal is None:
+                get_obs().events.emit(
+                    obs_events.RECOVERY, replayed=0,
+                    segments=len(self.manifest.live_segment_ids()),
+                    flushed_lsn=flushed_lsn,
+                )
                 return 0
             # Finish the checkpoint a crash may have interrupted, then
             # replay only records the manifest does not already cover.
-            self.wal.truncate_through(self._flushed_lsn)
-            records = self.wal.replay(from_lsn=self._flushed_lsn + 1)
+            self.wal.truncate_through(flushed_lsn)
+            records = self.wal.replay(from_lsn=flushed_lsn + 1)
         with self._lock:
             for record in records:
                 if record.kind == "insert":
@@ -1283,7 +1353,13 @@ class LSMManager:
                     self._pending_deletes.append(
                         np.asarray(record.row_ids, dtype=np.int64)
                     )
-            return len(records)
+        get_obs().events.emit(
+            obs_events.RECOVERY,
+            replayed=len(records),
+            segments=len(self.manifest.live_segment_ids()),
+            flushed_lsn=flushed_lsn,
+        )
+        return len(records)
 
     def _gc_orphans_locked(self) -> None:
         """Delete segment/index files not referenced by the manifest.

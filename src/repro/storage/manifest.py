@@ -33,6 +33,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.obs import get_obs
+from repro.obs import events as obs_events
 from repro.utils.sanitizer import assert_guarded, maybe_sanitize
 
 
@@ -251,6 +253,10 @@ class Manifest:
         self, dead_segs: Sequence[int], dead_frozen: Sequence[int] = ()
     ) -> None:
         """Run the dead callbacks with no manifest lock held."""
+        if dead_segs or dead_frozen:
+            get_obs().events.emit(
+                obs_events.MANIFEST_GC,
+                dead_segments=len(dead_segs), dead_frozen=len(dead_frozen))
         if self._on_segment_dead is not None:
             for seg in dead_segs:
                 self._on_segment_dead(seg)

@@ -42,8 +42,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs import get_obs
+from repro.obs import events as obs_events
 from repro.storage.filesystem import FileSystem
-from repro.utils.sanitizer import maybe_sanitize
+from repro.utils.sanitizer import assert_guarded, maybe_sanitize
 
 #: record frame: magic, crc32 of payload, payload length.
 _FRAME = struct.Struct("<4sII")
@@ -145,6 +146,8 @@ class WriteAheadLog:
     #: registered centrally in [tool.reprolint.guarded-fields]).
     _GUARDED_BY = {
         "_next_lsn": "_lock",
+        "_pending_bytes": "_lock",
+        "_lag_bytes": "_lock",
     }
 
     def __init__(self, fs: FileSystem, prefix: str = "wal"):
@@ -162,6 +165,11 @@ class WriteAheadLog:
             except ValueError:
                 continue
             self._next_lsn = max(self._next_lsn, lsn + 1)
+        #: lsn -> framed record size for un-checkpointed records; the
+        #: sum is the WAL-lag health signal.  Records inherited from a
+        #: previous process are sized when replay reads them.
+        self._pending_bytes: Dict[int, int] = {}
+        self._lag_bytes = 0
 
     def _path(self, lsn: int) -> str:
         return f"{self.prefix}/{lsn:012d}.rec"
@@ -196,13 +204,17 @@ class WriteAheadLog:
         # that raises (torn, transient) was never acknowledged, and its
         # LSN is reused by the next append.
         obs = get_obs()
+        blob = record.to_bytes()
         with obs.tracer.span("wal.append", kind=record.kind):
             started = time.perf_counter()
-            self.fs.write(self._path(record.lsn), record.to_bytes())
+            self.fs.write(self._path(record.lsn), blob)
             elapsed = time.perf_counter() - started
         self._next_lsn += 1
+        self._pending_bytes[record.lsn] = len(blob)
+        self._lag_bytes += len(blob)
         obs.registry.counter("wal_appends_total", kind=record.kind).inc()
         obs.registry.histogram("wal_append_seconds").observe(elapsed)
+        obs.registry.gauge("wal_lag_bytes").set(self._lag_bytes)
         return record.lsn
 
     def _scan_locked(self, from_lsn: int) -> List[Tuple[int, str]]:
@@ -231,12 +243,17 @@ class WriteAheadLog:
             entries = self._scan_locked(from_lsn)
             decoded: List[Tuple[int, str, Optional[WalRecord]]] = []
             for lsn, path in entries:
+                blob = self.fs.read(path)
                 try:
-                    record: Optional[WalRecord] = WalRecord.from_bytes(
-                        self.fs.read(path)
-                    )
+                    record: Optional[WalRecord] = WalRecord.from_bytes(blob)
                 except WalCorruptionError:
                     record = None
+                else:
+                    # Size records inherited from a previous process so
+                    # the lag signal is right after recovery.
+                    if lsn not in self._pending_bytes:
+                        self._pending_bytes[lsn] = len(blob)
+                        self._lag_bytes += len(blob)
                 decoded.append((lsn, path, record))
             last_intact = max(
                 (i for i, (*__, rec) in enumerate(decoded) if rec is not None),
@@ -252,14 +269,30 @@ class WriteAheadLog:
             # Anything after the last intact record is a torn tail.
             for lsn, path, record in decoded[last_intact + 1:]:
                 self.fs.delete(path)
+                self._drop_pending_locked(lsn)
+            get_obs().registry.gauge("wal_lag_bytes").set(self._lag_bytes)
             return [rec for *__, rec in decoded[: last_intact + 1]]
+
+    def _drop_pending_locked(self, lsn: int) -> None:
+        assert_guarded(self._lock, "WriteAheadLog", "_lag_bytes")
+        size = self._pending_bytes.pop(lsn, 0)
+        self._lag_bytes -= size
 
     def truncate_through(self, lsn: int) -> None:
         """Checkpoint: discard records with LSN <= ``lsn``."""
+        removed = 0
         with self._lock:
             for rec_lsn, path in self._scan_locked(0):
                 if rec_lsn <= lsn:
                     self.fs.delete(path)
+                    self._drop_pending_locked(rec_lsn)
+                    removed += 1
+            lag = self._lag_bytes
+        obs = get_obs()
+        obs.registry.gauge("wal_lag_bytes").set(lag)
+        if removed:
+            obs.events.emit(obs_events.WAL_CHECKPOINT,
+                            lsn=lsn, removed=removed, lag_bytes=lag)
 
     def pending_lsns(self) -> List[int]:
         """LSNs of records currently on storage, ascending.

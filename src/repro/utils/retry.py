@@ -33,6 +33,7 @@ from random import Random
 from typing import Callable, List, Optional, Tuple, Type
 
 from repro.obs import get_obs
+from repro.obs import events as obs_events
 
 __all__ = ["RetryExhaustedError", "RetryPolicy"]
 
@@ -120,7 +121,14 @@ class RetryPolicy:
                 slept += delay
                 self.total_sleep += delay
                 sleeper(delay)
-        get_obs().registry.counter("retry_exhausted_total").inc()
+        obs = get_obs()
+        obs.registry.counter("retry_exhausted_total").inc()
+        obs.events.emit(
+            obs_events.RETRY_EXHAUSTED,
+            fn=getattr(fn, "__name__", str(fn)),
+            attempts=attempt,
+            error=type(last_exc).__name__ if last_exc is not None else "",
+        )
         raise RetryExhaustedError(
             f"{getattr(fn, '__name__', fn)!r} failed after {attempt} attempt(s): "
             f"{last_exc}",

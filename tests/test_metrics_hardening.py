@@ -76,6 +76,80 @@ class TestHostileLabels:
         assert sorted(samples.values()) == [1.0, 2.0]
 
 
+class TestHelpLines:
+    def test_every_family_announces_help_then_type(self):
+        reg = MetricsRegistry()
+        reg.counter("wal_appends_total").inc()
+        reg.gauge("wal_lag_bytes").set(5)
+        reg.histogram("wal_append_seconds").observe(0.001)
+        lines = reg.render_prometheus().splitlines()
+        for family in ("wal_appends_total", "wal_lag_bytes", "wal_append_seconds"):
+            help_idx = lines.index(
+                f"# HELP {family} {obs.describe_metric(family)}"
+            )
+            assert lines[help_idx + 1].startswith(f"# TYPE {family} ")
+
+    def test_help_emitted_once_per_family_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", status="200").inc()
+        reg.counter("reqs_total", status="404").inc()
+        text = reg.render_prometheus()
+        assert text.count("# HELP reqs_total") == 1
+
+    def test_described_families_use_the_registry_text(self):
+        from repro.obs import METRIC_DESCRIPTIONS
+
+        reg = MetricsRegistry()
+        reg.counter("retry_exhausted_total").inc()
+        text = reg.render_prometheus()
+        expected = METRIC_DESCRIPTIONS["retry_exhausted_total"]
+        assert f"# HELP retry_exhausted_total {expected}" in text
+
+    def test_unknown_family_gets_fallback_help(self):
+        reg = MetricsRegistry()
+        reg.counter("adhoc_things_total").inc()
+        assert "# HELP adhoc_things_total Metric adhoc_things_total." in (
+            reg.render_prometheus()
+        )
+
+    @pytest.mark.parametrize("hostile", [
+        "line one\nline two", "trailing\\", "back\\slash\nand newline",
+    ])
+    def test_hostile_help_text_cannot_inject_lines(self, hostile, monkeypatch):
+        from repro.obs import metrics as metrics_mod
+
+        monkeypatch.setitem(
+            metrics_mod.METRIC_DESCRIPTIONS, "hostile_total", hostile
+        )
+        reg = MetricsRegistry()
+        reg.counter("hostile_total").inc(7)
+        lines = reg.render_prometheus().splitlines()
+        help_lines = [l for l in lines if l.startswith("# HELP hostile_total")]
+        # the description stayed on one HELP line, escaped
+        assert len(help_lines) == 1
+        assert "\n" not in help_lines[0]
+        assert help_lines[0] == (
+            "# HELP hostile_total "
+            + hostile.replace("\\", "\\\\").replace("\n", "\\n")
+        )
+        # and every non-comment line still parses as a sample
+        for line in lines:
+            if line and not line.startswith("#"):
+                assert SAMPLE_LINE.match(line), line
+
+    def test_help_text_does_not_escape_quotes(self, monkeypatch):
+        """HELP text is unquoted: per the spec only backslash and
+        newline are escaped, unlike label values."""
+        from repro.obs import metrics as metrics_mod
+
+        monkeypatch.setitem(
+            metrics_mod.METRIC_DESCRIPTIONS, "quoted_total", 'has "quotes"'
+        )
+        reg = MetricsRegistry()
+        reg.counter("quoted_total").inc()
+        assert '# HELP quoted_total has "quotes"' in reg.render_prometheus()
+
+
 class TestConcurrentScrapes:
     def test_counters_monotone_under_writer_threads(self):
         reg = MetricsRegistry()
